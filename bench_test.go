@@ -1,0 +1,268 @@
+package dtt_test
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches DESIGN.md calls out. The experiment benches report the
+// headline number of their table/figure as a custom metric, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation; the
+// workload benches measure real Go wall-clock for baseline vs DTT.
+
+import (
+	"testing"
+
+	"dtt"
+	"dtt/internal/harness"
+	"dtt/internal/mem"
+	"dtt/internal/queue"
+	"dtt/internal/sim"
+	"dtt/internal/trace"
+	"dtt/internal/workloads"
+)
+
+// benchExperiment runs one experiment per iteration and reports metric as
+// a testing.B custom metric.
+func benchExperiment(b *testing.B, id, metric string) {
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	opts := harness.Options{Size: workloads.Size{Scale: 1, Iters: 20, Seed: 1}}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, ok := rep.Values[metric]
+		if !ok {
+			b.Fatalf("%s: metric %q missing from %v", id, metric, rep.Values)
+		}
+		last = v
+	}
+	b.ReportMetric(last, metric)
+}
+
+// Tables.
+func BenchmarkT1_ISATable(b *testing.B)       { benchExperiment(b, "T1", "instructions") }
+func BenchmarkT2_MachineTable(b *testing.B)   { benchExperiment(b, "T2", "contexts") }
+func BenchmarkT3_BenchmarkTable(b *testing.B) { benchExperiment(b, "T3", "instances_mcf") }
+func BenchmarkT4_TriggerAdvisor(b *testing.B) { benchExperiment(b, "T4", "top2_hits") }
+
+// Figures.
+func BenchmarkF1_RedundantLoads(b *testing.B)    { benchExperiment(b, "F1", "average") }
+func BenchmarkF2_SilentStores(b *testing.B)      { benchExperiment(b, "F2", "average") }
+func BenchmarkF3_Speedup(b *testing.B)           { benchExperiment(b, "F3", "mean") }
+func BenchmarkF4_Decomposition(b *testing.B)     { benchExperiment(b, "F4", "full_mean") }
+func BenchmarkF5_ContextSweep(b *testing.B)      { benchExperiment(b, "F5", "mean_ctx4") }
+func BenchmarkF6_QueueSweep(b *testing.B)        { benchExperiment(b, "F6", "mean_cap64") }
+func BenchmarkF7_InstrReduction(b *testing.B)    { benchExperiment(b, "F7", "average") }
+func BenchmarkF8_Placement(b *testing.B)         { benchExperiment(b, "F8", "idle_mean") }
+func BenchmarkF9_SilentTStores(b *testing.B)     { benchExperiment(b, "F9", "average") }
+func BenchmarkF10_SoftwareSpeedup(b *testing.B)  { benchExperiment(b, "F10", "mean") }
+func BenchmarkF11_EnergySavings(b *testing.B)    { benchExperiment(b, "F11", "average") }
+func BenchmarkF12_MemLatencySweep(b *testing.B)  { benchExperiment(b, "F12", "mean_lat300") }
+func BenchmarkF13_ScaleSweep(b *testing.B)       { benchExperiment(b, "F13", "speedup_mcf_s2") }
+func BenchmarkF14_Characterisation(b *testing.B) { benchExperiment(b, "F14", "speedup_red90") }
+
+// Per-workload wall-clock benches: the real Go cost of the baseline and
+// DTT variants (deferred backend: redundancy elimination only).
+func BenchmarkWorkloadBaseline(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name(), func(b *testing.B) {
+			size := workloads.Size{Scale: 1, Iters: 20, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.RunBaseline(workloads.NewBaselineEnv(), size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWorkloadDTT(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name(), func(b *testing.B) {
+			size := workloads.Size{Scale: 1, Iters: 20, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.RunDTT(workloads.NewDTTEnv(rt), size); err != nil {
+					b.Fatal(err)
+				}
+				rt.Close()
+			}
+		})
+	}
+}
+
+// Ablation: duplicate-squashing policy. A synthetic trigger stream with
+// heavy per-line and per-address reuse measures enqueue throughput and the
+// squash fraction each policy achieves.
+func BenchmarkAblationDedupPolicy(b *testing.B) {
+	policies := []queue.DedupPolicy{queue.DedupPerAddress, queue.DedupPerLine, queue.DedupPerThread, queue.DedupNone}
+	for _, pol := range policies {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			q := queue.NewThreadQueue(64, pol)
+			h := uint64(1)
+			for i := 0; i < b.N; i++ {
+				h = h*6364136223846793005 + 1442695040888963407
+				t := queue.ThreadID(h % 4)
+				addr := mem.Addr((h >> 8) % 256 * 8)
+				if q.Enqueue(t, addr) == queue.Overflowed {
+					q.Dequeue()
+				}
+				if i%16 == 15 {
+					q.Dequeue()
+				}
+			}
+			enq, sq, _, _, _ := q.Counters()
+			if enq+sq > 0 {
+				b.ReportMetric(float64(sq)/float64(enq+sq), "squash-frac")
+			}
+		})
+	}
+}
+
+// Ablation: queue overflow policy. Inline overflow preserves every
+// trigger's computation in the main thread; drop forfeits it. Measured as
+// end-to-end mcf runs with a tiny queue.
+func BenchmarkAblationOverflowPolicy(b *testing.B) {
+	w, _ := workloads.ByName("mcf")
+	for _, pol := range []queue.OverflowPolicy{queue.OverflowInline, queue.OverflowDrop} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			size := workloads.Size{Scale: 1, Iters: 20, Seed: 1}
+			var inline, dropped int64
+			for i := 0; i < b.N; i++ {
+				rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2, Overflow: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.RunDTT(workloads.NewDTTEnv(rt), size); err != nil {
+					b.Fatal(err)
+				}
+				s := rt.Stats()
+				inline, dropped = s.InlineRuns, s.Dropped
+				rt.Close()
+			}
+			b.ReportMetric(float64(inline), "inline-runs")
+			b.ReportMetric(float64(dropped), "dropped")
+		})
+	}
+}
+
+// Ablation: trigger granularity. The same mcf run under word-granular and
+// line-granular squashing; line granularity squashes distinct trigger
+// words that share a line, trading instances for accuracy.
+func BenchmarkAblationTriggerGranularity(b *testing.B) {
+	w, _ := workloads.ByName("mcf")
+	for _, pol := range []queue.DedupPolicy{queue.DedupPerAddress, queue.DedupPerLine} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			size := workloads.Size{Scale: 1, Iters: 20, Seed: 1}
+			var executed int64
+			for i := 0; i < b.N; i++ {
+				rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, Dedup: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.RunDTT(workloads.NewDTTEnv(rt), size); err != nil {
+					b.Fatal(err)
+				}
+				executed = rt.Stats().Executed
+				rt.Close()
+			}
+			b.ReportMetric(float64(executed), "instances")
+		})
+	}
+}
+
+// Microbenches of the hot structures.
+func BenchmarkTStoreSilent(b *testing.B) {
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	r := rt.NewRegion("bench", 1024)
+	id := rt.Register("noop", func(dtt.Trigger) {})
+	if err := rt.Attach(id, r, 0, 1024); err != nil {
+		b.Fatal(err)
+	}
+	r.TStore(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TStore(0, 1) // always silent
+	}
+}
+
+func BenchmarkTStoreFiring(b *testing.B) {
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	r := rt.NewRegion("bench", 1024)
+	id := rt.Register("noop", func(dtt.Trigger) {})
+	if err := rt.Attach(id, r, 0, 1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TStore(i%1024, dtt.Word(i+1))
+		if i%1024 == 1023 {
+			rt.Barrier()
+		}
+	}
+}
+
+func BenchmarkCacheHierarchy(b *testing.B) {
+	h := mem.NewHierarchy(mem.DefaultHierarchy())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(mem.Addr(i%100000)*8, i%4 == 0)
+	}
+}
+
+func BenchmarkSimulatorEngine(b *testing.B) {
+	// A representative DAG: 64 main segments, each releasing 4 supports.
+	var tasks []*trace.Task
+	id := func() trace.TaskID { return trace.TaskID(len(tasks)) }
+	prevMain := trace.NoTask
+	for seg := 0; seg < 64; seg++ {
+		var deps []trace.TaskID
+		if prevMain != trace.NoTask {
+			deps = append(deps, prevMain)
+		}
+		m := &trace.Task{ID: id(), Kind: trace.KindMain, Ops: 500, Deps: deps}
+		tasks = append(tasks, m)
+		var sups []trace.TaskID
+		for s := 0; s < 4; s++ {
+			st := &trace.Task{ID: id(), Kind: trace.KindSupport, Ops: 300, Deps: []trace.TaskID{m.ID}}
+			tasks = append(tasks, st)
+			sups = append(sups, st.ID)
+		}
+		j := &trace.Task{ID: id(), Kind: trace.KindMain, Ops: 10, Deps: append(sups, m.ID)}
+		tasks = append(tasks, j)
+		prevMain = j.ID
+	}
+	tr := &trace.Trace{Tasks: tasks}
+	for _, t := range tasks {
+		if t.Kind == trace.KindMain {
+			tr.Main = append(tr.Main, t.ID)
+		}
+	}
+	cfg := sim.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

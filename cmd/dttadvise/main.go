@@ -1,0 +1,62 @@
+// Command dttadvise profiles an unmodified workload baseline and ranks its
+// allocations as data-triggered-thread candidates: where a programmer (or
+// compiler) should put triggering stores.
+//
+// Usage:
+//
+//	dttadvise -workload mcf
+//	dttadvise                # all workloads, summary per workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtt/internal/advisor"
+	"dtt/internal/mem"
+	"dtt/internal/workloads"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "", "workload to analyse (default: all)")
+		scale = flag.Int("scale", 1, "workload data scale factor")
+		iters = flag.Int("iters", 40, "workload outer iterations")
+		seed  = flag.Uint64("seed", 1, "workload input seed")
+		top   = flag.Int("top", 0, "show only the top N candidates (0 = all)")
+	)
+	flag.Parse()
+
+	var targets []workloads.Workload
+	if *name == "" {
+		targets = workloads.All()
+	} else {
+		w, ok := workloads.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dttadvise: unknown workload %q; available: %s\n",
+				*name, strings.Join(workloads.Names(), ", "))
+			os.Exit(2)
+		}
+		targets = []workloads.Workload{w}
+	}
+
+	size := workloads.Size{Scale: *scale, Iters: *iters, Seed: *seed}
+	for _, w := range targets {
+		sys := mem.NewSystem()
+		a := advisor.New(sys)
+		sys.AttachProbe(a)
+		if _, err := w.RunBaseline(&workloads.Env{Sys: sys}, size); err != nil {
+			fmt.Fprintf(os.Stderr, "dttadvise: %s: %v\n", w.Name(), err)
+			os.Exit(1)
+		}
+		cands := a.Candidates()
+		if *top > 0 && len(cands) > *top {
+			cands = cands[:*top]
+		}
+		tb := advisor.Table(cands)
+		tb.Title = fmt.Sprintf("%s: %s", w.Name(), tb.Title)
+		fmt.Println(tb.String())
+	}
+}

@@ -1,0 +1,66 @@
+// Command dttbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dttbench                 # run every experiment (T1..T3, F1..F10)
+//	dttbench -exp F3,F4      # run selected experiments
+//	dttbench -list           # list experiment IDs and titles
+//	dttbench -iters 80       # scale the workloads
+//
+// See DESIGN.md for the experiment-to-paper mapping and EXPERIMENTS.md for
+// recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtt/internal/harness"
+	"dtt/internal/workloads"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		scale = flag.Int("scale", 1, "workload data scale factor")
+		iters = flag.Int("iters", 40, "workload outer iterations")
+		seed  = flag.Uint64("seed", 1, "workload input seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := harness.Options{Size: workloads.Size{Scale: *scale, Iters: *iters, Seed: *seed}}
+
+	var selected []harness.Experiment
+	if *exps == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := harness.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dttbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dttbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+	}
+}

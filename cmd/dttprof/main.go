@@ -1,0 +1,64 @@
+// Command dttprof measures value redundancy in the benchmark baselines: the
+// fraction of redundant loads (the paper's 78% motivation) and of silent
+// stores, per benchmark.
+//
+// Usage:
+//
+//	dttprof                  # profile every workload
+//	dttprof -workload mcf    # profile one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtt/internal/mem"
+	"dtt/internal/profiler"
+	"dtt/internal/stats"
+	"dtt/internal/workloads"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "", "workload to profile (default: all)")
+		scale = flag.Int("scale", 1, "workload data scale factor")
+		iters = flag.Int("iters", 40, "workload outer iterations")
+		seed  = flag.Uint64("seed", 1, "workload input seed")
+	)
+	flag.Parse()
+
+	var targets []workloads.Workload
+	if *name == "" {
+		targets = workloads.All()
+	} else {
+		w, ok := workloads.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dttprof: unknown workload %q; available: %s\n", *name, strings.Join(workloads.Names(), ", "))
+			os.Exit(2)
+		}
+		targets = []workloads.Workload{w}
+	}
+
+	size := workloads.Size{Scale: *scale, Iters: *iters, Seed: *seed}
+	tb := stats.NewTable("Baseline value redundancy",
+		"benchmark", "loads", "redundant%", "stores", "silent%", "addresses")
+	for _, w := range targets {
+		sys := mem.NewSystem()
+		lp := profiler.NewLoadProfile()
+		sp := profiler.NewStoreProfile()
+		sys.AttachProbe(lp)
+		sys.AttachProbe(sp)
+		if _, err := w.RunBaseline(&workloads.Env{Sys: sys}, size); err != nil {
+			fmt.Fprintf(os.Stderr, "dttprof: %s: %v\n", w.Name(), err)
+			os.Exit(1)
+		}
+		tb.AddRow(w.Name(), lp.Loads(),
+			fmt.Sprintf("%.1f", 100*lp.Fraction()),
+			sp.Stores(),
+			fmt.Sprintf("%.1f", 100*sp.Fraction()),
+			lp.Touched())
+	}
+	fmt.Print(tb.String())
+}

@@ -1,0 +1,124 @@
+// Command dttvm assembles and runs a program for the DTT virtual machine —
+// the paper's ISA extension made executable. With no file argument it runs
+// a built-in demonstration program.
+//
+// Usage:
+//
+//	dttvm program.s
+//	dttvm -backend immediate -workers 2 program.s
+//	dttvm -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtt/internal/core"
+	"dtt/internal/vm"
+)
+
+const demo = `
+; Demonstration: a support thread maintains squares of a table.
+; tst is the triggering store; rewriting an unchanged value is silent.
+	.thread square sq
+
+main:
+	li r3, 0
+	li r4, 8
+	tspawn square, r3, r4    ; trigger range: words [0, 8)
+
+	li r1, 0                 ; first pass: all eight change
+loop1:
+	addi r5, r1, 1
+	tst r5, 0(r1)
+	addi r1, r1, 1
+	blt r1, r4, loop1
+	twait square
+
+	li r1, 0                 ; second pass: same values, all silent
+loop2:
+	addi r5, r1, 1
+	tst r5, 0(r1)
+	addi r1, r1, 1
+	blt r1, r4, loop2
+	twait square
+
+	li r1, 0                 ; print the squares from words [16, 24)
+loop3:
+	ld r6, 16(r1)
+	print r6
+	addi r1, r1, 1
+	blt r1, r4, loop3
+	halt
+
+sq:                              ; r1 = trigger index, r2 = new value
+	mul r8, r2, r2
+	addi r9, r1, 16
+	st r8, 0(r9)
+	tret
+`
+
+func main() {
+	var (
+		backend = flag.String("backend", "deferred", "deferred or immediate")
+		workers = flag.Int("workers", 2, "support contexts for the immediate backend")
+		memSize = flag.Int("mem", 4096, "memory size in words")
+		fuel    = flag.Int64("fuel", 1<<20, "instruction budget")
+		runDemo = flag.Bool("demo", false, "run the built-in demo program")
+		disasm  = flag.Bool("disasm", false, "print the assembled program instead of running it")
+	)
+	flag.Parse()
+
+	src := demo
+	switch {
+	case *runDemo || flag.NArg() == 0:
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "dttvm: at most one program file")
+		os.Exit(2)
+	}
+
+	prog, err := vm.Assemble(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
+		os.Exit(1)
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	cfg := vm.Config{MemWords: *memSize, Fuel: *fuel}
+	if *backend == "immediate" {
+		rt, err := core.New(core.Config{Backend: core.BackendImmediate, Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
+			os.Exit(1)
+		}
+		defer rt.Close()
+		cfg.Runtime = rt
+	}
+
+	m, err := vm.New(prog, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
+		os.Exit(1)
+	}
+	defer m.Close()
+	if err := m.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
+		os.Exit(1)
+	}
+	for _, v := range m.Output() {
+		fmt.Println(v)
+	}
+	s := m.Stats()
+	fmt.Printf("-- tstores=%d silent=%d support-instances=%d\n", s.TStores, s.Silent, s.Executed+s.InlineRuns)
+}

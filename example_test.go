@@ -1,0 +1,61 @@
+package dtt_test
+
+import (
+	"fmt"
+
+	"dtt"
+)
+
+// Example shows the core programming model: a support thread attached to a
+// region runs when values change and is skipped when they do not.
+func Example() {
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	data := rt.NewRegion("data", 4)
+	out := rt.NewRegion("out", 4)
+	double := rt.Register("double", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)*2)
+	})
+	if err := rt.Attach(double, data, 0, 4); err != nil {
+		panic(err)
+	}
+
+	data.TStore(1, 21) // fires
+	data.TStore(1, 21) // silent: skipped
+	rt.Wait(double)
+
+	s := rt.Stats()
+	fmt.Printf("out[1]=%d executed=%d silent=%d\n", out.Load(1), s.Executed, s.Silent)
+	// Output: out[1]=42 executed=1 silent=1
+}
+
+// ExampleGuardSet shows the one-trigger-word-per-computation idiom for
+// inputs too scattered to attach triggers to directly.
+func ExampleGuardSet() {
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	const rows = 3
+	refreshed := 0
+	guards := dtt.NewGuardSet(rt, "rows", rows)
+	recompute := rt.Register("row", func(tg dtt.Trigger) { refreshed++ })
+	if err := rt.Attach(recompute, guards.Region(), 0, rows); err != nil {
+		panic(err)
+	}
+
+	guards.Update(0, true)  // row 0 really changed: fires
+	guards.Update(1, false) // row 1 rewritten unchanged: silent
+	guards.Update(2, true)  // row 2 changed: fires
+	rt.Barrier()
+
+	fmt.Printf("refreshed=%d generations=%d,%d,%d\n",
+		refreshed, guards.Generation(0), guards.Generation(1), guards.Generation(2))
+	// Output: refreshed=2 generations=1,0,1
+}

@@ -1,0 +1,170 @@
+// ISA: the paper's claim demonstrated at the instruction level.
+//
+// The same kernel is written twice in DTT assembly and run on the virtual
+// machine in internal/vm. A table of n values feeds an expensive derived
+// table; each round rewrites every input with a triggering store, but only
+// one input actually changes.
+//
+//   - The baseline program recomputes the whole derived table every round.
+//   - The DTT program attaches a support thread to the input table; only
+//     the changed entry's derivation runs.
+//
+// Both print the same derived values; the machine's executed-instruction
+// counter shows how many dynamic instructions the triggering stores
+// eliminated — the paper's committed-instruction argument, reproduced with
+// actual instructions.
+//
+// Run with: go run ./examples/isa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtt/internal/vm"
+)
+
+// Memory map (word indexes): inputs at [0, 8), derived table at [16, 24).
+// The derivation is deliberately expensive: an iterated multiply loop.
+//
+// Register conventions: r4 = 8 (table size), r10 = round counter.
+const baseline = `
+main:
+	li r4, 8
+	li r10, 0
+round:
+	; rewrite every input: input[i] = 10*i + min(round,1)*0 + (i==3 ? round : 0)
+	li r1, 0
+write:
+	li r5, 10
+	mul r5, r5, r1
+	li r6, 3
+	bne r1, r6, store   ; only input[3] changes with the round
+	add r5, r5, r10
+store:
+	st r5, 0(r1)
+	addi r1, r1, 1
+	blt r1, r4, write
+
+	; recompute the whole derived table, changed or not
+	li r1, 0
+derive:
+	ld r5, 0(r1)
+	li r7, 0
+	li r8, 0
+inner:
+	mul r9, r5, r5
+	add r7, r7, r9
+	addi r8, r8, 1
+	li r9, 12
+	blt r8, r9, inner
+	addi r9, r1, 16
+	st r7, 0(r9)
+	addi r1, r1, 1
+	blt r1, r4, derive
+
+	addi r10, r10, 1
+	li r9, 6
+	blt r10, r9, round
+
+	li r1, 0
+show:
+	ld r5, 16(r1)
+	print r5
+	addi r1, r1, 1
+	blt r1, r4, show
+	halt
+`
+
+const dtt = `
+	.thread derive dv
+
+main:
+	li r4, 8
+	li r3, 0
+	tspawn derive, r3, r4   ; trigger range: the input table [0, 8)
+	li r10, 0
+round:
+	; the same whole-table rewrite, through triggering stores: the seven
+	; unchanged entries are silent and cost nothing downstream
+	li r1, 0
+write:
+	li r5, 10
+	mul r5, r5, r1
+	li r6, 3
+	bne r1, r6, store
+	add r5, r5, r10
+store:
+	tst r5, 0(r1)
+	addi r1, r1, 1
+	blt r1, r4, write
+	twait derive
+
+	addi r10, r10, 1
+	li r9, 6
+	blt r10, r9, round
+
+	li r1, 0
+show:
+	ld r5, 16(r1)
+	print r5
+	addi r1, r1, 1
+	blt r1, r4, show
+	halt
+
+dv:                             ; r1 = trigger index, r2 = new value
+	li r7, 0
+	li r8, 0
+inner:
+	mul r9, r2, r2
+	add r7, r7, r9
+	addi r8, r8, 1
+	li r9, 12
+	blt r8, r9, inner
+	addi r9, r1, 16
+	st r7, 0(r9)
+	tret
+`
+
+func runProgram(src string) (*vm.Machine, []int64) {
+	prog, err := vm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return m, m.Output()
+}
+
+func main() {
+	mb, outB := runProgram(baseline)
+	defer mb.Close()
+	md, outD := runProgram(dtt)
+	defer md.Close()
+
+	if len(outB) != len(outD) {
+		log.Fatalf("output lengths differ: %d vs %d", len(outB), len(outD))
+	}
+	for i := range outB {
+		if outB[i] != outD[i] {
+			log.Fatalf("derived[%d] differs: %d vs %d", i, outB[i], outD[i])
+		}
+	}
+	fmt.Print("derived table (identical in both programs):")
+	for _, v := range outD {
+		fmt.Printf(" %d", v)
+	}
+	fmt.Println()
+
+	fb, fd := mb.FuelUsed(), md.FuelUsed()
+	s := md.Stats()
+	fmt.Printf("baseline executed %d instructions\n", fb)
+	fmt.Printf("dtt      executed %d instructions (%.1fx fewer)\n", fd, float64(fb)/float64(fd))
+	fmt.Printf("tstores=%d silent=%d (%.0f%%) support instances=%d\n",
+		s.TStores, s.Silent, 100*s.SilentFraction(), s.Executed+s.InlineRuns)
+}

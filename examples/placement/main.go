@@ -1,0 +1,128 @@
+// Placement: the vpr pattern — an annealing loop whose cost bookkeeping is
+// maintained by a data-triggered thread.
+//
+// Blocks sit on a grid; nets connect them; the placement cost is the sum of
+// net bounding-box half-perimeters. The annealer moves one block per
+// iteration (and rejects many moves). A support thread attached to the
+// position array keeps per-net costs and the running total up to date —
+// the main loop never recomputes costs it didn't invalidate, and rejected
+// moves (silent stores) cost nothing at all.
+//
+// Run with: go run ./examples/placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtt"
+)
+
+const (
+	blocks = 64
+	nets   = 128
+	pins   = 4
+	grid   = 256
+	moves  = 200
+)
+
+type netlist struct {
+	netPins   [nets][]int
+	blockNets [blocks][]int
+}
+
+func pack(x, y int) dtt.Word       { return dtt.Word(x)<<16 | dtt.Word(y) }
+func unpack(w dtt.Word) (x, y int) { return int(w >> 16), int(w & 0xffff) }
+
+func main() {
+	state := uint64(7)
+	next := func(bound int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(bound))
+	}
+
+	var nl netlist
+	for n := 0; n < nets; n++ {
+		for p := 0; p < pins; p++ {
+			b := next(blocks)
+			nl.netPins[n] = append(nl.netPins[n], b)
+			nl.blockNets[b] = append(nl.blockNets[b], n)
+		}
+	}
+
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendImmediate, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	pos := rt.NewRegion("pos", blocks)
+	netCost := rt.NewRegion("netCost", nets)
+	total := rt.NewRegion("total", 1)
+
+	bbox := func(n int) int64 {
+		minX, minY, maxX, maxY := grid, grid, 0, 0
+		for _, b := range nl.netPins[n] {
+			x, y := unpack(pos.Load(b))
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		return int64(maxX - minX + maxY - minY)
+	}
+
+	refresh := rt.Register("refresh-nets", func(tg dtt.Trigger) {
+		for _, n := range nl.blockNets[tg.Index] {
+			old := int64(netCost.Load(n))
+			nw := bbox(n)
+			if nw != old {
+				netCost.Store(n, dtt.Word(uint64(nw)))
+				total.Store(0, dtt.Word(uint64(int64(total.Load(0))+nw-old)))
+			}
+		}
+	})
+	if err := rt.Attach(refresh, pos, 0, blocks); err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial placement and cost.
+	for b := 0; b < blocks; b++ {
+		pos.TStore(b, pack(next(grid), next(grid)))
+	}
+	rt.Wait(refresh)
+	fmt.Printf("initial cost: %d\n", int64(total.Load(0)))
+
+	accepted, rejected := 0, 0
+	for mv := 0; mv < moves; mv++ {
+		b := next(blocks)
+		old := pos.Load(b)
+		cand := pack(next(grid), next(grid))
+		if next(3) == 0 {
+			cand = old // rejected move: writes the old position back
+		}
+		if pos.TStore(b, cand) {
+			accepted++
+		} else {
+			rejected++
+		}
+		if (mv+1)%50 == 0 {
+			rt.Wait(refresh)
+			fmt.Printf("after %3d moves: cost %d\n", mv+1, int64(total.Load(0)))
+		}
+	}
+	rt.Barrier()
+
+	s := rt.Stats()
+	fmt.Printf("final cost: %d\n", int64(total.Load(0)))
+	fmt.Printf("moves: %d accepted, %d rejected (silent) — %d net refreshes ran\n",
+		accepted, rejected, s.Executed+s.InlineRuns)
+}

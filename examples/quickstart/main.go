@@ -1,0 +1,67 @@
+// Quickstart: the smallest useful data-triggered threads program.
+//
+// A support thread maintains out[i] = data[i]^2. The main thread writes
+// data through triggering stores: writes that change a value fire the
+// thread; writes that don't are silent and cost nothing downstream.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtt"
+)
+
+func main() {
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendImmediate, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	const n = 8
+	data := rt.NewRegion("data", n)
+	out := rt.NewRegion("out", n)
+
+	square := rt.Register("square", func(tg dtt.Trigger) {
+		v := tg.Region.Load(tg.Index)
+		out.Store(tg.Index, v*v)
+	})
+	if err := rt.Attach(square, data, 0, n); err != nil {
+		log.Fatal(err)
+	}
+
+	// First pass: every store changes a value, so every element is
+	// (re)computed.
+	for i := 0; i < n; i++ {
+		data.TStore(i, dtt.Word(i+1))
+	}
+	rt.Wait(square)
+	fmt.Print("squares:")
+	for i := 0; i < n; i++ {
+		fmt.Printf(" %d", out.Load(i))
+	}
+	fmt.Println()
+
+	// Second pass: only one element actually changes. The other seven
+	// triggering stores are silent — seven recomputations eliminated.
+	for i := 0; i < n; i++ {
+		v := dtt.Word(i + 1)
+		if i == 3 {
+			v = 10
+		}
+		data.TStore(i, v)
+	}
+	rt.Wait(square)
+	fmt.Print("updated:")
+	for i := 0; i < n; i++ {
+		fmt.Printf(" %d", out.Load(i))
+	}
+	fmt.Println()
+
+	s := rt.Stats()
+	fmt.Printf("tstores=%d silent=%d executed=%d (%.0f%% of stores were redundant)\n",
+		s.TStores, s.Silent, s.Executed, 100*s.SilentFraction())
+}

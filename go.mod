@@ -1,0 +1,3 @@
+module dtt
+
+go 1.22

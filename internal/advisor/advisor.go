@@ -1,0 +1,176 @@
+// Package advisor finds data-triggered-thread opportunities in an
+// unmodified program. The paper (and its software follow-on) relies on the
+// programmer or compiler to decide where triggering stores pay off; this
+// package automates the profiling half of that decision: run the baseline
+// once with the advisor attached and it ranks every allocation by how much
+// recomputation a trigger on it could eliminate.
+//
+// The heuristic mirrors the paper's argument. A good trigger region is one
+// that is read far more often than it genuinely changes: reads measure the
+// computation that depends on the region, value-changing stores measure
+// how often that computation would actually need to run. The score is
+//
+//	score = reads / max(1, changingStores) * (1 + silentFraction)
+//
+// — reads per real change, boosted when the program demonstrably rewrites
+// the region with values already present.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"dtt/internal/mem"
+	"dtt/internal/stats"
+)
+
+// regionStats accumulates one allocation's traffic.
+type regionStats struct {
+	buf       *mem.Buffer
+	loads     int64
+	redundant int64
+	stores    int64
+	silent    int64
+	// last value per word index, for the redundant-load classification.
+	last map[int]mem.Word
+}
+
+// Advisor observes a run and aggregates traffic per allocation. Attach it
+// to the program's mem.System and run the unmodified baseline.
+type Advisor struct {
+	mem.NopProbe
+	sys     *mem.System
+	regions map[*mem.Buffer]*regionStats
+	// cache the last-hit buffer: memory traffic is strongly clustered.
+	lastBuf *mem.Buffer
+}
+
+// New returns an Advisor for sys.
+func New(sys *mem.System) *Advisor {
+	return &Advisor{sys: sys, regions: make(map[*mem.Buffer]*regionStats)}
+}
+
+func (a *Advisor) statsFor(addr mem.Addr) *regionStats {
+	b := a.lastBuf
+	if b == nil || addr < b.Base() || addr >= b.Addr(b.Len()) {
+		b = a.sys.BufferAt(addr)
+		if b == nil {
+			return nil
+		}
+		a.lastBuf = b
+	}
+	rs := a.regions[b]
+	if rs == nil {
+		rs = &regionStats{buf: b, last: make(map[int]mem.Word)}
+		a.regions[b] = rs
+	}
+	return rs
+}
+
+// OnLoad classifies the load against the region's last-seen value.
+func (a *Advisor) OnLoad(addr mem.Addr, v mem.Word) {
+	rs := a.statsFor(addr)
+	if rs == nil {
+		return
+	}
+	rs.loads++
+	i := rs.buf.Index(addr)
+	if prev, ok := rs.last[i]; ok && prev == v {
+		rs.redundant++
+	}
+	rs.last[i] = v
+}
+
+// OnStore aggregates the store.
+func (a *Advisor) OnStore(addr mem.Addr, _, _ mem.Word, silent bool) {
+	rs := a.statsFor(addr)
+	if rs == nil {
+		return
+	}
+	rs.stores++
+	if silent {
+		rs.silent++
+	}
+}
+
+// Candidate is one ranked allocation.
+type Candidate struct {
+	// Name is the allocation name.
+	Name string
+	// Words is the allocation size.
+	Words int
+	// Loads, RedundantLoads, Stores and SilentStores are raw counts.
+	Loads, RedundantLoads, Stores, SilentStores int64
+	// ChangingStores is Stores minus SilentStores.
+	ChangingStores int64
+	// Score is the ranking heuristic; higher means a better trigger.
+	Score float64
+}
+
+// SilentFraction returns SilentStores/Stores (0 for an unwritten region).
+func (c Candidate) SilentFraction() float64 {
+	if c.Stores == 0 {
+		return 0
+	}
+	return float64(c.SilentStores) / float64(c.Stores)
+}
+
+// ReadsPerChange returns Loads per value-changing store.
+func (c Candidate) ReadsPerChange() float64 {
+	ch := c.ChangingStores
+	if ch < 1 {
+		ch = 1
+	}
+	return float64(c.Loads) / float64(ch)
+}
+
+// Candidates returns every written-and-read allocation ranked by Score,
+// best first. Write-only and read-only allocations are excluded: a trigger
+// needs both a producer and a dependent computation.
+func (a *Advisor) Candidates() []Candidate {
+	var out []Candidate
+	for _, rs := range a.regions {
+		if rs.stores == 0 || rs.loads == 0 {
+			continue
+		}
+		c := Candidate{
+			Name:           rs.buf.Name(),
+			Words:          rs.buf.Len(),
+			Loads:          rs.loads,
+			RedundantLoads: rs.redundant,
+			Stores:         rs.stores,
+			SilentStores:   rs.silent,
+			ChangingStores: rs.stores - rs.silent,
+		}
+		c.Score = c.ReadsPerChange() * (1 + c.SilentFraction())
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Table renders the ranked candidates.
+func Table(cands []Candidate) *stats.Table {
+	tb := stats.NewTable("DTT trigger-candidate analysis (best first)",
+		"region", "words", "loads", "redund%", "stores", "silent%", "reads/change", "score")
+	for _, c := range cands {
+		redund := 0.0
+		if c.Loads > 0 {
+			redund = float64(c.RedundantLoads) / float64(c.Loads)
+		}
+		tb.AddRow(c.Name, c.Words, c.Loads,
+			fmt.Sprintf("%.1f", 100*redund),
+			c.Stores,
+			fmt.Sprintf("%.1f", 100*c.SilentFraction()),
+			fmt.Sprintf("%.1f", c.ReadsPerChange()),
+			fmt.Sprintf("%.0f", c.Score))
+	}
+	return tb
+}
+
+var _ mem.Probe = (*Advisor)(nil)

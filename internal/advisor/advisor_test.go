@@ -1,0 +1,104 @@
+package advisor
+
+import (
+	"testing"
+
+	"dtt/internal/mem"
+)
+
+func TestRanksReadMostlyRegionFirst(t *testing.T) {
+	sys := mem.NewSystem()
+	hot := sys.Alloc("config", 4)   // written rarely, read constantly
+	churn := sys.Alloc("buffer", 4) // rewritten every round
+	a := New(sys)
+	sys.AttachProbe(a)
+
+	hot.Store(0, 1)
+	for round := 0; round < 50; round++ {
+		churn.Store(0, mem.Word(round))
+		for i := 0; i < 20; i++ {
+			hot.Load(0)
+			churn.Load(0)
+		}
+	}
+	cands := a.Candidates()
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(cands))
+	}
+	if cands[0].Name != "config" {
+		t.Fatalf("top candidate = %s, want config", cands[0].Name)
+	}
+	if !(cands[0].Score > cands[1].Score) {
+		t.Fatalf("scores not ordered: %v vs %v", cands[0].Score, cands[1].Score)
+	}
+}
+
+func TestSilentStoresBoostScore(t *testing.T) {
+	sys := mem.NewSystem()
+	silent := sys.Alloc("silent", 1)
+	noisy := sys.Alloc("noisy", 1)
+	a := New(sys)
+	sys.AttachProbe(a)
+	for round := 0; round < 40; round++ {
+		silent.Store(0, 7)                // same value: silent after the first
+		noisy.Store(0, mem.Word(round%2)) // alternates: every store changes
+		silent.Load(0)
+		noisy.Load(0)
+	}
+	cands := a.Candidates()
+	if cands[0].Name != "silent" {
+		t.Fatalf("top = %s, want silent", cands[0].Name)
+	}
+	if cands[0].SilentFraction() < 0.9 {
+		t.Fatalf("silent fraction = %v", cands[0].SilentFraction())
+	}
+}
+
+func TestExcludesOneSidedRegions(t *testing.T) {
+	sys := mem.NewSystem()
+	writeOnly := sys.Alloc("writeOnly", 1)
+	readOnly := sys.Alloc("readOnly", 1)
+	readOnly.Poke(0, 5)
+	both := sys.Alloc("both", 1)
+	a := New(sys)
+	sys.AttachProbe(a)
+	writeOnly.Store(0, 1)
+	readOnly.Load(0)
+	both.Store(0, 1)
+	both.Load(0)
+	cands := a.Candidates()
+	if len(cands) != 1 || cands[0].Name != "both" {
+		t.Fatalf("candidates = %+v, want only 'both'", cands)
+	}
+}
+
+func TestCandidateHelpers(t *testing.T) {
+	c := Candidate{Loads: 100, Stores: 10, SilentStores: 5, ChangingStores: 5}
+	if c.SilentFraction() != 0.5 {
+		t.Fatalf("SilentFraction = %v", c.SilentFraction())
+	}
+	if c.ReadsPerChange() != 20 {
+		t.Fatalf("ReadsPerChange = %v", c.ReadsPerChange())
+	}
+	z := Candidate{Loads: 7}
+	if z.SilentFraction() != 0 || z.ReadsPerChange() != 7 {
+		t.Fatalf("zero-store helpers wrong: %v %v", z.SilentFraction(), z.ReadsPerChange())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table([]Candidate{{Name: "r", Words: 8, Loads: 10, Stores: 2, SilentStores: 1, ChangingStores: 1, Score: 15}})
+	if tb.Rows() != 1 || tb.Cell(0, 0) != "r" {
+		t.Fatalf("table = %s", tb.String())
+	}
+}
+
+func TestUnmappedTrafficIgnored(t *testing.T) {
+	sys := mem.NewSystem()
+	a := New(sys)
+	a.OnLoad(0, 1) // address 0 is never mapped
+	a.OnStore(0, 0, 1, false)
+	if len(a.Candidates()) != 0 {
+		t.Fatalf("unmapped traffic created a candidate")
+	}
+}

@@ -1,0 +1,127 @@
+// Package core implements the data-triggered threads runtime — the paper's
+// primary contribution as a library.
+//
+// A program registers support threads (Register), attaches them to trigger
+// ranges of memory regions (Attach), and writes trigger data through
+// triggering stores (Region.TStore). A triggering store compares the new
+// value against memory: if nothing changed it is silent and no work happens
+// — this is where redundant computation is eliminated. If the value changed,
+// an instance of each attached thread is enqueued in the thread queue,
+// subject to duplicate squashing. The main thread consumes support-thread
+// results after Wait (the paper's twait) or Barrier (tbarrier).
+//
+// Three execution backends cover the evaluation space:
+//
+//   - BackendImmediate runs support threads on a pool of goroutines,
+//     modelling spare hardware contexts with real parallelism. This is the
+//     software-DTT configuration and what examples use.
+//   - BackendDeferred runs queued instances inline at Wait/Barrier: all
+//     redundancy elimination, no parallelism. It is the ablation that
+//     separates the paper's two benefit channels.
+//   - BackendRecorded is BackendDeferred plus task-DAG recording through a
+//     trace.Recorder, feeding the SMT timing simulator.
+package core
+
+import (
+	"fmt"
+
+	"dtt/internal/mem"
+	"dtt/internal/queue"
+	"dtt/internal/trace"
+)
+
+// ThreadID identifies a registered support thread.
+type ThreadID = queue.ThreadID
+
+// Trigger describes why a support-thread instance is running.
+type Trigger struct {
+	// Thread is the running thread's ID.
+	Thread ThreadID
+	// Region and Index locate the word whose change fired the trigger.
+	// Under duplicate squashing an instance may observe values newer than
+	// the one that fired it; the paper's model makes the same guarantee
+	// (the thread sees memory at execution time, not at trigger time).
+	Region *Region
+	Index  int
+	// Addr is the logical address of the trigger word.
+	Addr mem.Addr
+}
+
+// ThreadFunc is a support-thread body.
+type ThreadFunc func(tg Trigger)
+
+// Backend selects the execution model.
+type Backend int
+
+// Backends.
+const (
+	// BackendDeferred queues instances and runs them inline at
+	// Wait/Barrier on the calling goroutine.
+	BackendDeferred Backend = iota
+	// BackendImmediate dispatches instances to a worker pool as soon as
+	// they are enqueued.
+	BackendImmediate
+	// BackendRecorded behaves like BackendDeferred and records the task
+	// DAG into Config.Recorder.
+	BackendRecorded
+)
+
+// String returns the backend name.
+func (b Backend) String() string {
+	switch b {
+	case BackendDeferred:
+		return "deferred"
+	case BackendImmediate:
+		return "immediate"
+	case BackendRecorded:
+		return "recorded"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// Config configures a Runtime. The zero value selects the deferred backend
+// with default hardware-structure sizes.
+type Config struct {
+	// Backend selects the execution model.
+	Backend Backend
+	// Workers is the number of support-thread contexts for
+	// BackendImmediate; ignored otherwise. Defaults to 1.
+	Workers int
+	// QueueCapacity bounds the thread queue. Triggers that overflow fall
+	// back to the Overflow policy. Defaults to 64.
+	QueueCapacity int
+	// Dedup selects the duplicate-squashing policy. Defaults to the
+	// paper's per-address squashing.
+	Dedup queue.DedupPolicy
+	// Overflow selects what a triggering store does when the queue is
+	// full. Defaults to inline execution.
+	Overflow queue.OverflowPolicy
+	// System is the address space regions are allocated from; a fresh
+	// one is created when nil.
+	System *mem.System
+	// Recorder receives the task DAG for BackendRecorded. The runtime
+	// attaches it to System as a probe; the caller must not.
+	Recorder *trace.Recorder
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.System == nil {
+		c.System = mem.NewSystem()
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Backend == BackendRecorded && c.Recorder == nil {
+		return fmt.Errorf("core: BackendRecorded requires a Recorder")
+	}
+	if c.Backend != BackendRecorded && c.Recorder != nil {
+		return fmt.Errorf("core: Recorder set but backend is %v", c.Backend)
+	}
+	return nil
+}

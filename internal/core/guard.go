@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// GuardSet packages the software-DTT "one trigger word per computation"
+// idiom: when a computation's inputs are too scattered (or too large) to
+// attach triggers to directly, the program maintains one guard word per
+// computation and advances it exactly when the inputs really changed. The
+// guard region carries the trigger; the triggering store on an unchanged
+// guard is silent and skips the computation.
+//
+// Typical use — one guard per matrix row, recompute a row only when it
+// changed:
+//
+//	guards := core.NewGuardSet(rt, "rows", nRows)
+//	id := rt.Register("recompute", func(tg core.Trigger) { recomputeRow(tg.Index) })
+//	rt.Attach(id, guards.Region(), 0, nRows)
+//	...
+//	changed := updateRow(r)     // plain stores, tracked by the caller
+//	guards.Update(r, changed)   // fires the thread iff changed
+type GuardSet struct {
+	region *Region
+	gens   []uint64
+}
+
+// NewGuardSet allocates n guard words named name in rt's address space.
+func NewGuardSet(rt *Runtime, name string, n int) *GuardSet {
+	if n < 0 {
+		panic(fmt.Sprintf("core: NewGuardSet %q with negative size %d", name, n))
+	}
+	return &GuardSet{region: rt.NewRegion(name, n), gens: make([]uint64, n)}
+}
+
+// Region returns the guard region; attach support threads to it. The
+// trigger index passed to the thread is the guard index.
+func (g *GuardSet) Region() *Region { return g.region }
+
+// Len returns the number of guards.
+func (g *GuardSet) Len() int { return len(g.gens) }
+
+// Update performs the triggering store for guard i: if changed, the
+// guard's generation advances and attached threads fire; otherwise the
+// store is silent. It returns whether the store changed the guard (always
+// equal to changed). Update must be called from the goroutine that owns
+// the guarded computation's inputs, like any triggering store.
+func (g *GuardSet) Update(i int, changed bool) bool {
+	if changed {
+		g.gens[i]++
+	}
+	return g.region.TStore(i, g.gens[i])
+}
+
+// Touch unconditionally fires guard i's threads, for forced refreshes.
+func (g *GuardSet) Touch(i int) {
+	g.gens[i]++
+	g.region.TStore(i, g.gens[i])
+}
+
+// Generation returns how many times guard i has changed.
+func (g *GuardSet) Generation(i int) uint64 { return g.gens[i] }

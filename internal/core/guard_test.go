@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func TestGuardSetFiresOnlyOnChange(t *testing.T) {
+	rt := newDeferred(t, nil)
+	g := NewGuardSet(rt, "guards", 4)
+	runs := 0
+	var lastIdx int
+	id := rt.Register("recompute", func(tg Trigger) {
+		runs++
+		lastIdx = tg.Index
+	})
+	if err := rt.Attach(id, g.Region(), 0, g.Len()); err != nil {
+		t.Fatal(err)
+	}
+
+	if fired := g.Update(2, true); !fired {
+		t.Fatalf("changed update did not fire")
+	}
+	rt.Barrier()
+	if runs != 1 || lastIdx != 2 {
+		t.Fatalf("runs=%d idx=%d, want 1/2", runs, lastIdx)
+	}
+
+	for i := 0; i < 10; i++ {
+		if fired := g.Update(2, false); fired {
+			t.Fatalf("unchanged update fired")
+		}
+	}
+	rt.Barrier()
+	if runs != 1 {
+		t.Fatalf("unchanged updates ran the thread: runs=%d", runs)
+	}
+}
+
+func TestGuardSetTouchForcesRefresh(t *testing.T) {
+	rt := newDeferred(t, nil)
+	g := NewGuardSet(rt, "guards", 2)
+	runs := 0
+	id := rt.Register("r", func(Trigger) { runs++ })
+	rt.Attach(id, g.Region(), 0, 2)
+	g.Touch(0)
+	rt.Barrier()
+	g.Touch(0)
+	rt.Barrier()
+	if runs != 2 {
+		t.Fatalf("Touch runs = %d, want 2", runs)
+	}
+	// Two touches inside one wait period coalesce under duplicate
+	// squashing: the single refresh observes the latest generation.
+	g.Touch(0)
+	g.Touch(0)
+	rt.Barrier()
+	if runs != 3 {
+		t.Fatalf("coalesced touches ran %d times, want 1 more", runs-2)
+	}
+	if g.Generation(0) != 4 || g.Generation(1) != 0 {
+		t.Fatalf("generations = %d,%d", g.Generation(0), g.Generation(1))
+	}
+}
+
+func TestGuardSetGenerationsMonotone(t *testing.T) {
+	rt := newDeferred(t, nil)
+	g := NewGuardSet(rt, "guards", 1)
+	prev := g.Generation(0)
+	for i := 0; i < 20; i++ {
+		g.Update(0, i%3 == 0)
+		if g.Generation(0) < prev {
+			t.Fatalf("generation went backwards")
+		}
+		prev = g.Generation(0)
+	}
+	if prev != 7 {
+		t.Fatalf("generation = %d, want 7 (one per change)", prev)
+	}
+}
+
+func TestGuardSetNegativePanics(t *testing.T) {
+	rt := newDeferred(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewGuardSet(-1) did not panic")
+		}
+	}()
+	NewGuardSet(rt, "bad", -1)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+
+	"dtt/internal/mem"
+)
+
+// Region is a trigger-capable array of words allocated from the runtime's
+// address space. Ordinary loads and stores behave like memory accesses;
+// TStore and TStoreF are the paper's triggering stores.
+type Region struct {
+	rt  *Runtime
+	buf *mem.Buffer
+}
+
+// Name returns the region's allocation name.
+func (r *Region) Name() string { return r.buf.Name() }
+
+// Len returns the region size in words.
+func (r *Region) Len() int { return r.buf.Len() }
+
+// Buffer exposes the underlying memory buffer, for address arithmetic and
+// validation.
+func (r *Region) Buffer() *mem.Buffer { return r.buf }
+
+// Load returns word i.
+func (r *Region) Load(i int) mem.Word { return r.buf.Load(i) }
+
+// LoadF returns word i as a float64.
+func (r *Region) LoadF(i int) float64 { return r.buf.LoadF(i) }
+
+// Store writes v to word i without trigger semantics and reports whether
+// the value changed.
+func (r *Region) Store(i int, v mem.Word) bool { return r.buf.Store(i, v) }
+
+// StoreF writes f's bit pattern to word i without trigger semantics.
+func (r *Region) StoreF(i int, f float64) bool { return r.buf.StoreF(i, f) }
+
+// TStore is a triggering store: it writes v to word i, and if the value
+// changed it fires the threads attached to that address. It reports whether
+// the value changed; a false return means the store was silent and all
+// downstream computation was skipped.
+func (r *Region) TStore(i int, v mem.Word) bool { return r.rt.tstore(r, i, v) }
+
+// TStoreF is the float64 form of TStore; change detection compares IEEE-754
+// bit patterns, as hardware comparing raw memory would.
+func (r *Region) TStoreF(i int, f float64) bool {
+	return r.rt.tstore(r, i, wordOf(f))
+}
+
+// Peek returns word i without a memory event (validation/debugging).
+func (r *Region) Peek(i int) mem.Word { return r.buf.Peek(i) }
+
+// PeekF returns word i as a float64 without a memory event.
+func (r *Region) PeekF(i int) float64 { return r.buf.PeekF(i) }
+
+// Poke writes v without a memory event or trigger (input setup).
+func (r *Region) Poke(i int, v mem.Word) { r.buf.Poke(i, v) }
+
+// PokeF writes f without a memory event or trigger (input setup).
+func (r *Region) PokeF(i int, f float64) { r.buf.PokeF(i, f) }
+
+// Snapshot copies the region contents, for validation.
+func (r *Region) Snapshot() []mem.Word { return r.buf.Snapshot() }
+
+func wordOf(f float64) mem.Word { return mem.Word(math.Float64bits(f)) }

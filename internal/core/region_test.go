@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegionAccessors(t *testing.T) {
+	rt := newDeferred(t, nil)
+	r := rt.NewRegion("acc", 8)
+	if r.Name() != "acc" || r.Len() != 8 || r.Buffer() == nil {
+		t.Fatalf("basic accessors wrong: %q %d", r.Name(), r.Len())
+	}
+
+	r.Poke(0, 5)
+	if r.Peek(0) != 5 || r.Load(0) != 5 {
+		t.Fatalf("Poke/Peek/Load round trip failed")
+	}
+	if changed := r.Store(0, 5); changed {
+		t.Fatalf("silent plain store reported changed")
+	}
+
+	r.PokeF(1, 2.5)
+	if r.PeekF(1) != 2.5 || r.LoadF(1) != 2.5 {
+		t.Fatalf("float poke/peek/load round trip failed")
+	}
+	if changed := r.StoreF(1, 3.25); !changed || r.LoadF(1) != 3.25 {
+		t.Fatalf("StoreF failed: %v", r.LoadF(1))
+	}
+
+	snap := r.Snapshot()
+	r.Store(0, 99)
+	if snap[0] != 5 {
+		t.Fatalf("Snapshot aliases live data")
+	}
+}
+
+func TestRegionTStoreFBitPattern(t *testing.T) {
+	rt := newDeferred(t, nil)
+	r := rt.NewRegion("f", 2)
+	runs := 0
+	id := rt.Register("r", func(Trigger) { runs++ })
+	rt.Attach(id, r, 0, 2)
+
+	if changed := r.TStoreF(0, 1.5); !changed {
+		t.Fatalf("first TStoreF not a change")
+	}
+	if changed := r.TStoreF(0, 1.5); changed {
+		t.Fatalf("identical float TStoreF not silent")
+	}
+	// NaN bit patterns: the same NaN pattern is silent, as hardware
+	// comparing raw memory would behave.
+	nan := math.NaN()
+	r.TStoreF(1, nan)
+	if changed := r.TStoreF(1, nan); changed {
+		t.Fatalf("identical NaN pattern treated as a change")
+	}
+	rt.Barrier()
+	if runs != 2 {
+		t.Fatalf("runs = %d, want 2", runs)
+	}
+}
+
+func TestRuntimeConfigAccessor(t *testing.T) {
+	rt := newDeferred(t, func(c *Config) { c.QueueCapacity = 7 })
+	if rt.Config().QueueCapacity != 7 {
+		t.Fatalf("Config() = %+v", rt.Config())
+	}
+	if rt.Config().Backend != BackendDeferred {
+		t.Fatalf("backend = %v", rt.Config().Backend)
+	}
+}
+
+func TestBackendStringUnknown(t *testing.T) {
+	if Backend(9).String() != "Backend(9)" {
+		t.Fatalf("unknown backend formatting: %v", Backend(9))
+	}
+}

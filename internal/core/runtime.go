@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dtt/internal/isa"
+	"dtt/internal/mem"
+	"dtt/internal/queue"
+	"dtt/internal/trace"
+)
+
+type threadEntry struct {
+	name string
+	fn   ThreadFunc
+}
+
+type attachment struct {
+	thread ThreadID
+	region *Region
+	lo, hi mem.Addr
+}
+
+type releaseKey struct {
+	thread ThreadID
+	addr   mem.Addr
+}
+
+// Runtime is a data-triggered threads runtime instance.
+//
+// The main thread (the goroutine that created the runtime) allocates
+// regions, registers and attaches threads, performs triggering stores and
+// synchronises with Wait/Barrier. With BackendImmediate, support threads run
+// concurrently on worker goroutines; the programming model requires — as
+// the paper's does — that the main thread not access a support thread's
+// output between the trigger and the matching Wait.
+type Runtime struct {
+	cfg Config
+	sys *mem.System
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	reg     *queue.Registry
+	tq      *queue.ThreadQueue
+	tqst    *queue.TQST
+	threads []threadEntry
+	atts    []attachment
+	// running serialises instances per thread across workers and inline
+	// overflow execution; owner records which goroutine holds each
+	// thread's run token so a cascading trigger that overflows the queue
+	// can re-enter its own thread recursively instead of deadlocking.
+	running map[ThreadID]bool
+	owner   map[ThreadID]uint64
+	// release maps a pending queue entry to the trace task that released
+	// it (BackendRecorded only).
+	release map[releaseKey]trace.TaskID
+	closed  bool
+	wg      sync.WaitGroup
+
+	stats statsCounters
+}
+
+// New builds a Runtime from cfg.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	rt := &Runtime{
+		cfg:     cfg,
+		sys:     cfg.System,
+		reg:     queue.NewRegistry(),
+		tq:      queue.NewThreadQueue(cfg.QueueCapacity, cfg.Dedup),
+		tqst:    queue.NewTQST(),
+		running: make(map[ThreadID]bool),
+		owner:   make(map[ThreadID]uint64),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	if cfg.Backend == BackendRecorded {
+		rt.release = make(map[releaseKey]trace.TaskID)
+		rt.sys.AttachProbe(cfg.Recorder)
+	}
+	if cfg.Backend == BackendImmediate {
+		if rt.sys.Probed() {
+			return nil, fmt.Errorf("core: BackendImmediate cannot run with probes attached; probes are not safe under concurrency")
+		}
+		for i := 0; i < cfg.Workers; i++ {
+			rt.wg.Add(1)
+			go rt.worker()
+		}
+	}
+	return rt, nil
+}
+
+// System returns the runtime's address space.
+func (rt *Runtime) System() *mem.System { return rt.sys }
+
+// Config returns the configuration the runtime was built with (after
+// defaulting).
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// NewRegion allocates a region of n words in the runtime's address space.
+func (rt *Runtime) NewRegion(name string, n int) *Region {
+	return &Region{rt: rt, buf: rt.sys.Alloc(name, n)}
+}
+
+// Register records a support thread body under name and returns its ID.
+func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
+	if fn == nil {
+		panic("core: Register with nil ThreadFunc")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	id := ThreadID(len(rt.threads))
+	rt.threads = append(rt.threads, threadEntry{name: name, fn: fn})
+	return id
+}
+
+// ThreadName returns the name thread t was registered under.
+func (rt *Runtime) ThreadName(t ThreadID) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(t) < 0 || int(t) >= len(rt.threads) {
+		return fmt.Sprintf("thread-%d", t)
+	}
+	return rt.threads[t].name
+}
+
+// Attach arms thread t to trigger on stores to words [lo, hi) of r. This is
+// the tspawn registration instruction.
+func (rt *Runtime) Attach(t ThreadID, r *Region, lo, hi int) error {
+	if r == nil || r.rt != rt {
+		return fmt.Errorf("core: Attach to a region of a different runtime")
+	}
+	if lo < 0 || hi > r.Len() || lo >= hi {
+		return fmt.Errorf("core: Attach range [%d, %d) outside region %q of %d words", lo, hi, r.Name(), r.Len())
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(t) < 0 || int(t) >= len(rt.threads) {
+		return fmt.Errorf("core: Attach of unregistered thread %d", t)
+	}
+	loA, hiA := r.buf.Addr(lo), r.buf.Addr(hi)
+	if err := rt.reg.Attach(t, loA, hiA); err != nil {
+		return err
+	}
+	rt.atts = append(rt.atts, attachment{thread: t, region: r, lo: loA, hi: hiA})
+	rt.chargeMgmt(isa.OpTSpawn)
+	return nil
+}
+
+// Cancel detaches thread t and squashes its pending instances (tcancel).
+func (rt *Runtime) Cancel(t ThreadID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.reg.Detach(t)
+	kept := rt.atts[:0]
+	for _, a := range rt.atts {
+		if a.thread != t {
+			kept = append(kept, a)
+		}
+	}
+	rt.atts = kept
+	n := rt.tq.Squash(t)
+	rt.tqst.Cancel(t, n)
+	if rt.release != nil {
+		for k := range rt.release {
+			if k.thread == t {
+				delete(rt.release, k)
+			}
+		}
+	}
+	rt.stats.cancels.Add(1)
+	rt.chargeMgmt(isa.OpTCancel)
+}
+
+// chargeMgmt accounts a management instruction in recorded mode. Callers
+// hold rt.mu or are otherwise on the single driver goroutine.
+func (rt *Runtime) chargeMgmt(op isa.Opcode) {
+	if rt.cfg.Recorder == nil {
+		return
+	}
+	ins, _ := isa.Lookup(op)
+	rt.cfg.Recorder.NoteMgmt(int64(ins.Latency))
+}
+
+// tstore is the triggering-store implementation shared by Region.TStore and
+// Region.TStoreF. It returns whether the value changed.
+func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
+	changed := r.buf.Store(i, v)
+	if rt.cfg.Recorder != nil {
+		rt.cfg.Recorder.NoteTStore()
+	}
+	rt.stats.tstores.Add(1)
+	if !changed {
+		rt.stats.silent.Add(1)
+		return false
+	}
+	addr := r.buf.Addr(i)
+
+	rt.mu.Lock()
+	ids := rt.reg.Lookup(addr, nil)
+	if len(ids) == 0 {
+		rt.mu.Unlock()
+		return true
+	}
+	rt.stats.fired.Add(int64(len(ids)))
+	var inline []queue.Entry
+	for _, id := range ids {
+		switch rt.tq.Enqueue(id, addr) {
+		case queue.Enqueued:
+			rt.tqst.MarkPending(id)
+			rt.stats.enqueued.Add(1)
+			rt.noteRelease(id, addr)
+			rt.cond.Broadcast()
+		case queue.Squashed:
+			rt.stats.squashed.Add(1)
+			rt.noteRelease(id, addr)
+		case queue.Overflowed:
+			rt.stats.overflowed.Add(1)
+			if rt.cfg.Overflow == queue.OverflowInline {
+				inline = append(inline, queue.Entry{Thread: id, Addr: addr})
+			} else {
+				rt.stats.dropped.Add(1)
+			}
+		}
+	}
+	rt.mu.Unlock()
+
+	for _, e := range inline {
+		rt.runInline(e)
+	}
+	return true
+}
+
+// noteRelease records the current trace position as the release point of the
+// pending entry for (t, addr). Callers hold rt.mu.
+func (rt *Runtime) noteRelease(t ThreadID, addr mem.Addr) {
+	if rt.release == nil {
+		return
+	}
+	rt.release[releaseKey{thread: t, addr: addr}] = rt.cfg.Recorder.ReleasePoint()
+}
+
+// takeRelease pops the recorded release point for an entry, or trace.NoTask.
+// Callers hold rt.mu.
+func (rt *Runtime) takeRelease(e queue.Entry) trace.TaskID {
+	if rt.release == nil {
+		return trace.NoTask
+	}
+	k := releaseKey{thread: e.Thread, addr: e.Addr}
+	if rel, ok := rt.release[k]; ok {
+		delete(rt.release, k)
+		return rel
+	}
+	return trace.NoTask
+}
+
+// resolve builds the Trigger for a queue entry. Callers hold rt.mu.
+func (rt *Runtime) resolve(e queue.Entry) (Trigger, ThreadFunc) {
+	for _, a := range rt.atts {
+		if a.thread == e.Thread && e.Addr >= a.lo && e.Addr < a.hi {
+			return Trigger{
+				Thread: e.Thread,
+				Region: a.region,
+				Index:  a.region.buf.Index(e.Addr),
+				Addr:   e.Addr,
+			}, rt.threads[e.Thread].fn
+		}
+	}
+	// An entry can only exist for an attached range, and Cancel squashes
+	// entries when detaching; reaching here is a runtime bug.
+	panic(fmt.Sprintf("core: queue entry for thread %d addr %#x has no attachment", e.Thread, e.Addr))
+}
+
+// runInline executes an overflowed trigger synchronously in the triggering
+// thread, honouring per-thread serialisation. When the triggering store
+// came from inside an instance of the same thread — a cascading trigger
+// that found the queue full — the body is re-entered recursively on this
+// goroutine: that preserves one-instance-at-a-time (the nesting is serial)
+// and avoids waiting for ourselves.
+func (rt *Runtime) runInline(e queue.Entry) {
+	// On the single-goroutine backends no identity is needed: if the
+	// thread is busy while we are issuing a store, we are necessarily
+	// inside its own body. Only the immediate backend pays for goroutine
+	// identity, and only on this overflow path.
+	var g uint64
+	if rt.cfg.Backend == BackendImmediate {
+		g = goid()
+	}
+	rt.mu.Lock()
+	if rt.running[e.Thread] || rt.anyRunningInstance(e.Thread) {
+		recursive := rt.cfg.Backend != BackendImmediate || rt.owner[e.Thread] == g
+		if recursive {
+			tg, fn := rt.resolve(e)
+			rt.mu.Unlock()
+			fn(tg)
+			rt.stats.inlineRuns.Add(1)
+			return
+		}
+		for rt.running[e.Thread] || rt.anyRunningInstance(e.Thread) {
+			rt.cond.Wait()
+		}
+	}
+	rt.running[e.Thread] = true
+	if g != 0 {
+		rt.owner[e.Thread] = g
+	}
+	tg, fn := rt.resolve(e)
+	rt.mu.Unlock()
+
+	fn(tg)
+
+	rt.mu.Lock()
+	rt.running[e.Thread] = false
+	delete(rt.owner, e.Thread)
+	rt.stats.inlineRuns.Add(1)
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// anyRunningInstance reports whether the TQST shows a dispatched instance of
+// t. Callers hold rt.mu.
+func (rt *Runtime) anyRunningInstance(t ThreadID) bool {
+	_, r := rt.tqst.InFlight(t)
+	return r > 0
+}
+
+// worker is the BackendImmediate dispatch loop: one goroutine per spare
+// hardware context.
+func (rt *Runtime) worker() {
+	defer rt.wg.Done()
+	// goid is stable for the life of this worker goroutine; computing it
+	// once keeps runtime.Stack off the dispatch fast path.
+	g := goid()
+	rt.mu.Lock()
+	for {
+		e, ok := rt.tq.DequeueFirst(func(e queue.Entry) bool { return !rt.running[e.Thread] })
+		if !ok {
+			if rt.closed {
+				break
+			}
+			rt.cond.Wait()
+			continue
+		}
+		rt.tqst.MarkRunning(e.Thread)
+		rt.running[e.Thread] = true
+		rt.owner[e.Thread] = g
+		tg, fn := rt.resolve(e)
+		rt.mu.Unlock()
+
+		fn(tg)
+
+		rt.mu.Lock()
+		rt.running[e.Thread] = false
+		delete(rt.owner, e.Thread)
+		rt.tqst.MarkDone(e.Thread)
+		rt.stats.executed.Add(1)
+		rt.cond.Broadcast()
+	}
+	rt.mu.Unlock()
+}
+
+// drainLocked executes queued instances inline until the queue is empty,
+// for the deferred and recorded backends. It returns the trace IDs of the
+// executed support tasks. Callers hold rt.mu; it is released around thread
+// bodies.
+func (rt *Runtime) drainLocked() []trace.TaskID {
+	var done []trace.TaskID
+	for {
+		e, ok := rt.tq.Dequeue()
+		if !ok {
+			return done
+		}
+		rt.tqst.MarkRunning(e.Thread)
+		tg, fn := rt.resolve(e)
+		rel := rt.takeRelease(e)
+		name := rt.threads[e.Thread].name
+		rt.mu.Unlock()
+
+		if rt.cfg.Recorder != nil {
+			rt.cfg.Recorder.BeginSupport(name, rel)
+		}
+		fn(tg)
+		if rt.cfg.Recorder != nil {
+			done = append(done, rt.cfg.Recorder.EndSupport())
+		}
+
+		rt.mu.Lock()
+		rt.tqst.MarkDone(e.Thread)
+		rt.stats.executed.Add(1)
+	}
+}
+
+// goid returns the current goroutine's id, parsed from the stack header.
+// It is only used on the queue-overflow slow path, where the cost is
+// immaterial next to the thread body about to run.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Header: "goroutine 123 [".
+	s := buf[:n]
+	var id uint64
+	for i := len("goroutine "); i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		id = id*10 + uint64(s[i]-'0')
+	}
+	return id
+}
+
+// Wait blocks until thread t has no pending or running instances (twait).
+// With the deferred and recorded backends it executes the queue inline
+// first.
+func (rt *Runtime) Wait(t ThreadID) {
+	rt.stats.waits.Add(1)
+	rt.mu.Lock()
+	if rt.cfg.Backend == BackendImmediate {
+		for !rt.tqst.Quiet(t) || rt.tq.Pending(t) {
+			rt.cond.Wait()
+		}
+		rt.mu.Unlock()
+		return
+	}
+	done := rt.drainLocked()
+	rt.mu.Unlock()
+	rt.joinTrace(done, isa.OpTWait)
+}
+
+// Barrier blocks until the thread queue is empty and every thread is idle
+// (tbarrier).
+func (rt *Runtime) Barrier() {
+	rt.stats.barriers.Add(1)
+	rt.mu.Lock()
+	if rt.cfg.Backend == BackendImmediate {
+		for rt.tq.Len() > 0 || !rt.tqst.AllQuiet() {
+			rt.cond.Wait()
+		}
+		rt.mu.Unlock()
+		return
+	}
+	done := rt.drainLocked()
+	rt.mu.Unlock()
+	rt.joinTrace(done, isa.OpTBarrier)
+}
+
+// joinTrace closes the synchronisation point in the recorded trace.
+func (rt *Runtime) joinTrace(done []trace.TaskID, op isa.Opcode) {
+	if rt.cfg.Recorder == nil {
+		return
+	}
+	rt.chargeMgmt(op)
+	rt.cfg.Recorder.Join(done)
+}
+
+// Status returns thread t's TQST state (tstatus).
+func (rt *Runtime) Status(t ThreadID) queue.Status {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tqst.Get(t)
+}
+
+// Executed returns how many instances of t have completed.
+func (rt *Runtime) Executed(t ThreadID) int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tqst.Executed(t)
+}
+
+// Close stops the worker pool. Pending queue entries are not executed; call
+// Barrier first for a clean drain. Close is idempotent.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}

@@ -1,0 +1,116 @@
+package core
+
+import "sync/atomic"
+
+// statsCounters are the runtime's internal counters, atomic so the
+// immediate backend's workers can update them without taking rt.mu.
+type statsCounters struct {
+	tstores    atomic.Int64
+	silent     atomic.Int64
+	fired      atomic.Int64
+	enqueued   atomic.Int64
+	squashed   atomic.Int64
+	overflowed atomic.Int64
+	dropped    atomic.Int64
+	inlineRuns atomic.Int64
+	executed   atomic.Int64
+	waits      atomic.Int64
+	barriers   atomic.Int64
+	cancels    atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of runtime activity. The relationships
+// the counters obey:
+//
+//	TStores   = Silent + value-changing tstores
+//	Fired     = triggers offered to the queue (per attached thread)
+//	Fired     = Enqueued + Squashed + Overflowed
+//	Overflowed = InlineRuns + Dropped   (once the run has quiesced)
+//	Executed  = queue-dispatched instances completed
+type Stats struct {
+	// TStores counts triggering stores issued.
+	TStores int64
+	// Silent counts triggering stores that wrote an unchanged value: the
+	// redundant computation the runtime skipped.
+	Silent int64
+	// Fired counts value-changing tstores per attached thread.
+	Fired int64
+	// Enqueued counts new thread-queue entries.
+	Enqueued int64
+	// Squashed counts triggers absorbed by duplicate squashing.
+	Squashed int64
+	// Overflowed counts triggers that found the queue full.
+	Overflowed int64
+	// Dropped counts overflowed triggers discarded under OverflowDrop.
+	Dropped int64
+	// InlineRuns counts overflowed triggers executed in the main thread.
+	InlineRuns int64
+	// Executed counts queue-dispatched support instances completed.
+	Executed int64
+	// Waits and Barriers count synchronisation operations.
+	Waits    int64
+	Barriers int64
+	// Cancels counts tcancel operations.
+	Cancels int64
+}
+
+// SilentFraction returns Silent/TStores, or 0 when no tstores ran.
+func (s Stats) SilentFraction() float64 {
+	if s.TStores == 0 {
+		return 0
+	}
+	return float64(s.Silent) / float64(s.TStores)
+}
+
+// SquashFraction returns Squashed/Fired, or 0 when nothing fired.
+func (s Stats) SquashFraction() float64 {
+	if s.Fired == 0 {
+		return 0
+	}
+	return float64(s.Squashed) / float64(s.Fired)
+}
+
+// ThreadStats is per-thread trigger activity, for characterisation tables.
+type ThreadStats struct {
+	// Name is the registration name.
+	Name string
+	// Attachments is the number of live trigger ranges.
+	Attachments int
+	// Executed counts completed instances (queue-dispatched only; inline
+	// overflow runs are accounted globally).
+	Executed int64
+}
+
+// ThreadStatsFor returns thread t's activity snapshot.
+func (rt *Runtime) ThreadStatsFor(t ThreadID) ThreadStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ts := ThreadStats{Executed: rt.tqst.Executed(t)}
+	if int(t) >= 0 && int(t) < len(rt.threads) {
+		ts.Name = rt.threads[t].name
+	}
+	for _, a := range rt.atts {
+		if a.thread == t {
+			ts.Attachments++
+		}
+	}
+	return ts
+}
+
+// Stats returns a snapshot of the runtime's counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		TStores:    rt.stats.tstores.Load(),
+		Silent:     rt.stats.silent.Load(),
+		Fired:      rt.stats.fired.Load(),
+		Enqueued:   rt.stats.enqueued.Load(),
+		Squashed:   rt.stats.squashed.Load(),
+		Overflowed: rt.stats.overflowed.Load(),
+		Dropped:    rt.stats.dropped.Load(),
+		InlineRuns: rt.stats.inlineRuns.Load(),
+		Executed:   rt.stats.executed.Load(),
+		Waits:      rt.stats.waits.Load(),
+		Barriers:   rt.stats.barriers.Load(),
+		Cancels:    rt.stats.cancels.Load(),
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dtt/internal/queue"
+)
+
+// TestRandomOpSequencesKeepInvariants drives a deferred runtime with
+// arbitrary interleavings of tstores, waits, barriers and cancels and
+// checks the stats conservation laws and the quiet-after-barrier property.
+func TestRandomOpSequencesKeepInvariants(t *testing.T) {
+	f := func(ops []struct {
+		Kind uint8
+		Idx  uint8
+		Val  uint8
+	}) bool {
+		rt, err := New(Config{Backend: BackendDeferred, QueueCapacity: 3})
+		if err != nil {
+			return false
+		}
+		defer rt.Close()
+		data := rt.NewRegion("d", 16)
+		id := rt.Register("r", func(tg Trigger) {
+			// A thread body that itself loads and stores, exercising the
+			// probe-free fast path.
+			_ = tg.Region.Load(tg.Index)
+		})
+		id2 := rt.Register("r2", func(Trigger) {})
+		if rt.Attach(id, data, 0, 16) != nil || rt.Attach(id2, data, 8, 16) != nil {
+			return false
+		}
+		for _, op := range ops {
+			switch op.Kind % 5 {
+			case 0, 1:
+				data.TStore(int(op.Idx)%16, uint64(op.Val%4))
+			case 2:
+				rt.Wait(id)
+			case 3:
+				rt.Barrier()
+			case 4:
+				// Store without trigger semantics mixed in.
+				data.Store(int(op.Idx)%16, uint64(op.Val%4))
+			}
+		}
+		rt.Barrier()
+		s := rt.Stats()
+		if s.Fired != s.Enqueued+s.Squashed+s.Overflowed {
+			return false
+		}
+		if s.Overflowed != s.InlineRuns+s.Dropped {
+			return false
+		}
+		if s.Silent > s.TStores {
+			return false
+		}
+		return rt.Status(id) == queue.StatusIdle && rt.Status(id2) == queue.StatusIdle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImmediateStress hammers an immediate-backend runtime from the main
+// goroutine while support threads run, with waits interleaved; run under
+// -race this is the concurrency soak for the whole dispatch path.
+func TestImmediateStress(t *testing.T) {
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 4, QueueCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	data := rt.NewRegion("d", 64)
+	out := rt.NewRegion("o", 64)
+	var runs atomic.Int64
+	id := rt.Register("sq", func(tg Trigger) {
+		v := tg.Region.Load(tg.Index)
+		out.Store(tg.Index, v*v)
+		runs.Add(1)
+	})
+	if err := rt.Attach(id, data, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 50; round++ {
+		for i := 0; i < 64; i++ {
+			data.TStore(i, uint64(round*((i%7)+1)))
+		}
+		if round%5 == 0 {
+			rt.Wait(id)
+			for i := 0; i < 64; i++ {
+				v := data.Load(i)
+				if got := out.Load(i); got != v*v {
+					t.Fatalf("round %d: out[%d] = %d, want %d", round, i, got, v*v)
+				}
+			}
+		}
+	}
+	rt.Barrier()
+	s := rt.Stats()
+	if s.Fired == 0 || runs.Load() == 0 {
+		t.Fatalf("stress run fired nothing: %+v", s)
+	}
+	if s.Fired != s.Enqueued+s.Squashed+s.Overflowed {
+		t.Fatalf("conservation broken under concurrency: %+v", s)
+	}
+}
+
+// TestCascadeOverflowDoesNotDeadlock is a regression test: a support
+// thread whose own triggering store overflows the queue used to wait for
+// its own thread to go quiet. The recursive-inline path must run it on the
+// spot instead.
+func TestCascadeOverflowDoesNotDeadlock(t *testing.T) {
+	for _, backend := range []Backend{BackendDeferred, BackendImmediate} {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			rt, err := New(Config{Backend: backend, Workers: 2, QueueCapacity: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			chain := rt.NewRegion("chain", 8)
+			runs := 0
+			var mu sync.Mutex
+			id := rt.Register("hop", func(tg Trigger) {
+				mu.Lock()
+				runs++
+				mu.Unlock()
+				if tg.Index+1 < chain.Len() {
+					// Cascading trigger from inside the body; with
+					// capacity 1 this overflows while we are running.
+					chain.TStore(tg.Index+1, tg.Region.Load(tg.Index)+1)
+				}
+			})
+			if err := rt.Attach(id, chain, 0, 8); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() {
+				chain.TStore(0, 1)
+				rt.Barrier()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("cascade with overflowing queue deadlocked")
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if runs != 8 {
+				t.Fatalf("cascade ran %d hops, want 8", runs)
+			}
+			for i := 0; i < 8; i++ {
+				if got := chain.Peek(i); got != uint64(i+1) {
+					t.Fatalf("chain[%d] = %d, want %d", i, got, i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestOverflowDropLosesWorkDeliberately documents why OverflowInline is
+// the default: with OverflowDrop and a non-idempotent consumer, dropped
+// triggers are genuinely lost.
+func TestOverflowDropLosesWorkDeliberately(t *testing.T) {
+	run := func(pol queue.OverflowPolicy) int64 {
+		rt, err := New(Config{Backend: BackendDeferred, QueueCapacity: 1, Overflow: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		data := rt.NewRegion("d", 8)
+		var count int64
+		id := rt.Register("count", func(Trigger) { count++ })
+		rt.Attach(id, data, 0, 8)
+		for i := 0; i < 8; i++ {
+			data.TStore(i, 1)
+		}
+		rt.Barrier()
+		return count
+	}
+	if got := run(queue.OverflowInline); got != 8 {
+		t.Fatalf("inline overflow ran %d, want all 8", got)
+	}
+	if got := run(queue.OverflowDrop); got >= 8 {
+		t.Fatalf("drop overflow ran %d, expected losses", got)
+	}
+}
+
+// TestCancelWhileWorkInFlight cancels a thread racing with its own
+// triggers on the immediate backend; afterwards the runtime must be quiet
+// and further triggers inert.
+func TestCancelWhileWorkInFlight(t *testing.T) {
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 2, QueueCapacity: 128, Dedup: queue.DedupNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	data := rt.NewRegion("d", 4)
+	var runs atomic.Int64
+	id := rt.Register("r", func(Trigger) { runs.Add(1) })
+	rt.Attach(id, data, 0, 4)
+	for i := 1; i <= 200; i++ {
+		data.TStore(i%4, uint64(i))
+		if i == 100 {
+			rt.Cancel(id)
+		}
+	}
+	rt.Barrier()
+	after := runs.Load()
+	data.TStore(0, 9999)
+	rt.Barrier()
+	if runs.Load() != after {
+		t.Fatalf("cancelled thread fired again")
+	}
+	if rt.Status(id) != queue.StatusIdle {
+		t.Fatalf("cancelled thread not idle: %v", rt.Status(id))
+	}
+}
+
+// TestCloseLeavesPendingUnexecuted documents Close's contract: it stops
+// workers without draining.
+func TestCloseLeavesPendingUnexecuted(t *testing.T) {
+	rt, err := New(Config{Backend: BackendDeferred, QueueCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := rt.NewRegion("d", 8)
+	runs := 0
+	id := rt.Register("r", func(Trigger) { runs++ })
+	rt.Attach(id, data, 0, 8)
+	for i := 0; i < 8; i++ {
+		data.TStore(i, 1)
+	}
+	rt.Close() // no Wait/Barrier first
+	if runs != 0 {
+		t.Fatalf("Close drained the queue: %d runs", runs)
+	}
+	if s := rt.Stats(); s.Enqueued != 8 || s.Executed != 0 {
+		t.Fatalf("stats after Close: %+v", s)
+	}
+}
+
+// TestWaitOnForeignThreadReturns ensures Wait on a never-armed thread does
+// not block.
+func TestWaitOnForeignThreadReturns(t *testing.T) {
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	id := rt.Register("idle", func(Trigger) {})
+	done := make(chan struct{})
+	go func() {
+		rt.Wait(id)
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,118 @@
+// Package energy estimates the energy of a simulated run. The paper argues
+// that eliminating redundant computation saves energy roughly in proportion
+// to the committed instructions removed, plus the static energy of the
+// cycles removed; this package makes that argument quantitative for our
+// traces with an event-level model: every instruction class, cache access
+// and DTT structure operation carries a per-event cost, and static power
+// accrues per cycle.
+//
+// Absolute units are arbitrary (one ALU op = 1 unit); only ratios between
+// a baseline and a DTT run of the same workload are meaningful, which is
+// what experiment F11 reports.
+package energy
+
+import (
+	"fmt"
+
+	"dtt/internal/mem"
+	"dtt/internal/sim"
+	"dtt/internal/trace"
+)
+
+// Params are per-event energy costs in arbitrary units.
+type Params struct {
+	// ALUOp is the cost of one integer operation.
+	ALUOp float64
+	// Load is indexed by the hierarchy level that satisfied the load.
+	Load [mem.LevelMem + 1]float64
+	// Store is the cost of a plain store (charged at L1).
+	Store float64
+	// TStore adds the triggering store's comparison and registry lookup
+	// on top of a plain store.
+	TStore float64
+	// Mgmt is the cost per management/synchronisation instruction slot.
+	Mgmt float64
+	// StaticPerContextCycle accrues for every busy context-cycle,
+	// modelling the structures kept powered while work is in flight.
+	StaticPerContextCycle float64
+}
+
+// Default returns the cost model used by the experiments: loads get more
+// expensive down the hierarchy (roughly 2/10/35/150 relative to an ALU
+// op), triggering stores pay a 3-unit premium for the comparison and
+// registry lookup, and static power is a quarter of an ALU op per busy
+// context-cycle.
+func Default() Params {
+	p := Params{
+		ALUOp:                 1,
+		Store:                 2,
+		TStore:                5,
+		Mgmt:                  2,
+		StaticPerContextCycle: 0.25,
+	}
+	p.Load[mem.LevelL1] = 2
+	p.Load[mem.LevelL2] = 10
+	p.Load[mem.LevelL3] = 35
+	p.Load[mem.LevelMem] = 150
+	return p
+}
+
+// Validate reports an error for non-physical (negative) costs.
+func (p Params) Validate() error {
+	vals := []float64{p.ALUOp, p.Store, p.TStore, p.Mgmt, p.StaticPerContextCycle}
+	for lv := mem.LevelL1; lv <= mem.LevelMem; lv++ {
+		vals = append(vals, p.Load[lv])
+	}
+	for _, v := range vals {
+		if v < 0 {
+			return fmt.Errorf("energy: negative cost in params")
+		}
+	}
+	return nil
+}
+
+// Breakdown is the estimated energy of one run.
+type Breakdown struct {
+	// Compute, Memory, Trigger and Static split Total by source:
+	// ALU work, loads+stores, DTT structures (tstores + mgmt), and
+	// busy-context static energy.
+	Compute float64
+	Memory  float64
+	Trigger float64
+	Static  float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.Compute + b.Memory + b.Trigger + b.Static }
+
+// Savings returns the fractional energy saved relative to base
+// (positive = this run uses less energy).
+func (b Breakdown) Savings(base Breakdown) float64 {
+	if base.Total() == 0 {
+		return 0
+	}
+	return 1 - b.Total()/base.Total()
+}
+
+// Estimate prices the work in tr and the occupancy in res under p.
+// The trace supplies event counts; the simulation result supplies the
+// busy-context cycles for the static term.
+func Estimate(tr *trace.Trace, res sim.Result, p Params) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var b Breakdown
+	for _, t := range tr.Tasks {
+		b.Compute += float64(t.Ops) * p.ALUOp
+		for lv := mem.LevelL1; lv <= mem.LevelMem; lv++ {
+			b.Memory += float64(t.Loads[lv]) * p.Load[lv]
+		}
+		b.Memory += float64(t.Stores) * p.Store
+		// A triggering store is a store plus the trigger machinery.
+		b.Memory += float64(t.TStores) * p.Store
+		b.Trigger += float64(t.TStores) * p.TStore
+		b.Trigger += float64(t.Mgmt) * p.Mgmt
+	}
+	b.Static = res.BusyContextCycles * p.StaticPerContextCycle
+	return b, nil
+}

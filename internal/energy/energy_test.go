@@ -1,0 +1,106 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"dtt/internal/mem"
+	"dtt/internal/sim"
+	"dtt/internal/trace"
+)
+
+func mkTask(id int, ops, stores, tstores, mgmt int64, loads [mem.LevelMem + 1]int64) *trace.Task {
+	t := &trace.Task{ID: trace.TaskID(id), Kind: trace.KindMain, Ops: ops, Stores: stores, TStores: tstores, Mgmt: mgmt}
+	t.Loads = loads
+	if id > 0 {
+		t.Deps = []trace.TaskID{trace.TaskID(id - 1)}
+	}
+	return t
+}
+
+func TestEstimateCounts(t *testing.T) {
+	var loads [mem.LevelMem + 1]int64
+	loads[mem.LevelL1] = 10
+	loads[mem.LevelMem] = 2
+	tr := &trace.Trace{
+		Tasks: []*trace.Task{mkTask(0, 100, 5, 3, 4, loads)},
+		Main:  []trace.TaskID{0},
+	}
+	p := Default()
+	b, err := Estimate(tr, sim.Result{BusyContextCycles: 40}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompute := 100 * p.ALUOp
+	wantMemory := 10*p.Load[mem.LevelL1] + 2*p.Load[mem.LevelMem] + 5*p.Store + 3*p.Store
+	wantTrigger := 3*p.TStore + 4*p.Mgmt
+	wantStatic := 40 * p.StaticPerContextCycle
+	if math.Abs(b.Compute-wantCompute) > 1e-9 || math.Abs(b.Memory-wantMemory) > 1e-9 ||
+		math.Abs(b.Trigger-wantTrigger) > 1e-9 || math.Abs(b.Static-wantStatic) > 1e-9 {
+		t.Fatalf("breakdown = %+v, want %v/%v/%v/%v", b, wantCompute, wantMemory, wantTrigger, wantStatic)
+	}
+	if math.Abs(b.Total()-(wantCompute+wantMemory+wantTrigger+wantStatic)) > 1e-9 {
+		t.Fatalf("Total mismatch")
+	}
+}
+
+func TestSavings(t *testing.T) {
+	base := Breakdown{Compute: 100}
+	dtt := Breakdown{Compute: 60}
+	if got := dtt.Savings(base); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("Savings = %v, want 0.4", got)
+	}
+	if (Breakdown{}).Savings(Breakdown{}) != 0 {
+		t.Fatalf("zero-base savings not 0")
+	}
+}
+
+func TestLessWorkLessEnergy(t *testing.T) {
+	var noLoads [mem.LevelMem + 1]int64
+	big := &trace.Trace{Tasks: []*trace.Task{mkTask(0, 1000, 0, 0, 0, noLoads)}, Main: []trace.TaskID{0}}
+	small := &trace.Trace{Tasks: []*trace.Task{mkTask(0, 100, 0, 0, 0, noLoads)}, Main: []trace.TaskID{0}}
+	bb, _ := Estimate(big, sim.Result{}, Default())
+	bs, _ := Estimate(small, sim.Result{}, Default())
+	if !(bs.Total() < bb.Total()) {
+		t.Fatalf("less work did not cost less: %v vs %v", bs.Total(), bb.Total())
+	}
+	if s := bs.Savings(bb); s < 0.8 {
+		t.Fatalf("savings = %v, want ~0.9", s)
+	}
+}
+
+func TestMemoryHierarchyCostsMonotone(t *testing.T) {
+	p := Default()
+	if !(p.Load[mem.LevelL1] < p.Load[mem.LevelL2] &&
+		p.Load[mem.LevelL2] < p.Load[mem.LevelL3] &&
+		p.Load[mem.LevelL3] < p.Load[mem.LevelMem]) {
+		t.Fatalf("load costs not monotone down the hierarchy: %v", p.Load)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	p := Default()
+	p.ALUOp = -1
+	if err := p.Validate(); err == nil {
+		t.Fatalf("negative cost accepted")
+	}
+	var noLoads [mem.LevelMem + 1]int64
+	tr := &trace.Trace{Tasks: []*trace.Task{mkTask(0, 1, 0, 0, 0, noLoads)}, Main: []trace.TaskID{0}}
+	if _, err := Estimate(tr, sim.Result{}, p); err == nil {
+		t.Fatalf("Estimate accepted invalid params")
+	}
+}
+
+func TestTStorePremiumVisible(t *testing.T) {
+	var noLoads [mem.LevelMem + 1]int64
+	plain := &trace.Trace{Tasks: []*trace.Task{mkTask(0, 0, 100, 0, 0, noLoads)}, Main: []trace.TaskID{0}}
+	trig := &trace.Trace{Tasks: []*trace.Task{mkTask(0, 0, 0, 100, 0, noLoads)}, Main: []trace.TaskID{0}}
+	bp, _ := Estimate(plain, sim.Result{}, Default())
+	bt, _ := Estimate(trig, sim.Result{}, Default())
+	if !(bt.Total() > bp.Total()) {
+		t.Fatalf("tstores not more expensive than stores: %v vs %v", bt.Total(), bp.Total())
+	}
+	if bt.Trigger == 0 || bp.Trigger != 0 {
+		t.Fatalf("trigger energy misattributed: plain=%v trig=%v", bp.Trigger, bt.Trigger)
+	}
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+
+	"dtt/internal/energy"
+	"dtt/internal/stats"
+	"dtt/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{
+		ID:    "F11",
+		Title: "Energy savings (event-level estimate)",
+		Run:   runF11,
+	})
+	registerExperiment(Experiment{
+		ID:    "F12",
+		Title: "Sensitivity to memory latency",
+		Run:   runF12,
+	})
+}
+
+// runF11 prices each baseline/DTT pair under the event-level energy model:
+// the paper's argument that skipped instructions are skipped energy, with
+// the DTT structures' own costs charged against the savings.
+func runF11(opts Options) (*Report, error) {
+	fig := stats.NewFigure("Figure F11: energy savings of DTT over baseline", "%")
+	series := fig.AddSeries("savings")
+	r := &Report{ID: "F11", Title: "Energy savings"}
+	params := energy.Default()
+	var savings []float64
+	for _, w := range workloads.All() {
+		base, err := recordBaseline(w, opts.size())
+		if err != nil {
+			return nil, err
+		}
+		dtt, err := recordDTT(w, opts.size(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyEquivalence(w, base, dtt); err != nil {
+			return nil, err
+		}
+		baseRes, dttRes, err := speedupPair(base.trace, dtt.trace, opts.machine())
+		if err != nil {
+			return nil, err
+		}
+		baseE, err := energy.Estimate(base.trace, baseRes, params)
+		if err != nil {
+			return nil, err
+		}
+		dttE, err := energy.Estimate(dtt.trace, dttRes, params)
+		if err != nil {
+			return nil, err
+		}
+		s := dttE.Savings(baseE)
+		series.Add(w.Name(), 100*s)
+		savings = append(savings, s)
+		r.set("savings_"+w.Name(), s)
+	}
+	avg := stats.Mean(savings)
+	series.Add("average", 100*avg)
+	r.set("average", avg)
+	r.Sections = []string{
+		fig.String(),
+		fmt.Sprintf("Average energy savings %.1f%%. Negative values mean the trigger machinery\n"+
+			"(comparisons, registry lookups, signatures) cost more than the work it skipped.", 100*avg),
+	}
+	return r, nil
+}
+
+// runF12 sweeps main-memory latency: redundancy elimination removes loads
+// along with compute, so DTT's advantage should persist — and the skipped
+// misses matter more — as memory gets slower.
+func runF12(opts Options) (*Report, error) {
+	latencies := []int{100, 300, 600}
+	fig := stats.NewFigure("Figure F12: speedup vs memory latency", "x")
+	seriesFor := map[int]*stats.Series{}
+	for _, l := range latencies {
+		seriesFor[l] = fig.AddSeries(fmt.Sprintf("%d cycles", l))
+	}
+	r := &Report{ID: "F12", Title: "Sensitivity to memory latency"}
+	perLatMeans := map[int][]float64{}
+	for _, w := range workloads.All() {
+		base, err := recordBaseline(w, opts.size())
+		if err != nil {
+			return nil, err
+		}
+		dtt, err := recordDTT(w, opts.size(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyEquivalence(w, base, dtt); err != nil {
+			return nil, err
+		}
+		for _, l := range latencies {
+			cfg := opts.machine()
+			cfg.Hier.MemLatency = l
+			baseRes, dttRes, err := speedupPair(base.trace, dtt.trace, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sp := dttRes.Speedup(baseRes)
+			seriesFor[l].Add(w.Name(), sp)
+			perLatMeans[l] = append(perLatMeans[l], sp)
+			r.set(fmt.Sprintf("speedup_%s_lat%d", w.Name(), l), sp)
+		}
+	}
+	summary := stats.NewTable("Mean speedup by memory latency", "latency (cycles)", "mean speedup")
+	for _, l := range latencies {
+		m := stats.Mean(perLatMeans[l])
+		summary.AddRow(l, fmt.Sprintf("%.2fx", m))
+		r.set(fmt.Sprintf("mean_lat%d", l), m)
+	}
+	r.Sections = []string{fig.String(), summary.String()}
+	return r, nil
+}

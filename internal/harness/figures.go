@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+
+	"dtt/internal/mem"
+	"dtt/internal/profiler"
+	"dtt/internal/stats"
+	"dtt/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{
+		ID:    "F1",
+		Title: "Fraction of redundant loads per benchmark (paper: 78% average)",
+		Run:   runF1,
+	})
+	registerExperiment(Experiment{
+		ID:    "F2",
+		Title: "Fraction of silent stores per benchmark",
+		Run:   runF2,
+	})
+	registerExperiment(Experiment{
+		ID:    "F9",
+		Title: "Silent triggering stores per benchmark (redundancy detected at the trigger)",
+		Run:   runF9,
+	})
+}
+
+// profileBaseline runs w's baseline with the given probe attached.
+func profileBaseline(w workloads.Workload, size workloads.Size, p mem.Probe) error {
+	sys := mem.NewSystem()
+	sys.AttachProbe(p)
+	_, err := w.RunBaseline(&workloads.Env{Sys: sys}, size)
+	return err
+}
+
+// runF1 reproduces the motivating measurement: the fraction of loads that
+// fetch the value the previous load of that address fetched.
+func runF1(opts Options) (*Report, error) {
+	fig := stats.NewFigure("Figure F1: redundant loads per benchmark", "% of loads")
+	series := fig.AddSeries("redundant")
+	r := &Report{ID: "F1", Title: "Fraction of redundant loads per benchmark"}
+	var fractions []float64
+	for _, w := range workloads.All() {
+		p := profiler.NewLoadProfile()
+		if err := profileBaseline(w, opts.size(), p); err != nil {
+			return nil, err
+		}
+		series.Add(w.Name(), 100*p.Fraction())
+		fractions = append(fractions, p.Fraction())
+		r.set("redundant_"+w.Name(), p.Fraction())
+	}
+	avg := stats.Mean(fractions)
+	series.Add("average", 100*avg)
+	r.set("average", avg)
+	r.Sections = []string{
+		fig.String(),
+		fmt.Sprintf("Average redundant-load fraction: %.1f%% (paper reports 78%% on full SPEC runs)", 100*avg),
+	}
+	return r, nil
+}
+
+// runF2 measures silent stores in the baseline: how often the program
+// writes the value already in memory. These are the stores a triggering
+// store turns into skipped computation.
+func runF2(opts Options) (*Report, error) {
+	fig := stats.NewFigure("Figure F2: silent stores per benchmark", "% of stores")
+	series := fig.AddSeries("silent")
+	r := &Report{ID: "F2", Title: "Fraction of silent stores per benchmark"}
+	var fractions []float64
+	for _, w := range workloads.All() {
+		p := profiler.NewStoreProfile()
+		if err := profileBaseline(w, opts.size(), p); err != nil {
+			return nil, err
+		}
+		series.Add(w.Name(), 100*p.Fraction())
+		fractions = append(fractions, p.Fraction())
+		r.set("silent_"+w.Name(), p.Fraction())
+	}
+	avg := stats.Mean(fractions)
+	series.Add("average", 100*avg)
+	r.set("average", avg)
+	r.Sections = []string{
+		fig.String(),
+		fmt.Sprintf("Average silent-store fraction: %.1f%%", 100*avg),
+	}
+	return r, nil
+}
+
+// runF9 measures how much redundancy the triggering stores themselves
+// absorb in the DTT runs: silent tstores never reach the thread queue.
+func runF9(opts Options) (*Report, error) {
+	fig := stats.NewFigure("Figure F9: silent triggering stores per benchmark", "% of tstores")
+	series := fig.AddSeries("silent")
+	r := &Report{ID: "F9", Title: "Silent triggering stores per benchmark"}
+	var fractions []float64
+	for _, w := range workloads.All() {
+		dtt, err := recordDTT(w, opts.size(), nil)
+		if err != nil {
+			return nil, err
+		}
+		f := dtt.stats.SilentFraction()
+		series.Add(w.Name(), 100*f)
+		fractions = append(fractions, f)
+		r.set("silent_"+w.Name(), f)
+	}
+	avg := stats.Mean(fractions)
+	series.Add("average", 100*avg)
+	r.set("average", avg)
+	r.Sections = []string{
+		fig.String(),
+		fmt.Sprintf("Average silent-tstore fraction: %.1f%% — the redundant computation skipped at the trigger", 100*avg),
+	}
+	return r, nil
+}

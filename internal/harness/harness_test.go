@@ -1,0 +1,264 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dtt/internal/workloads"
+)
+
+// smallOpts keeps experiment tests fast.
+func smallOpts() Options {
+	return Options{Size: workloads.Size{Scale: 1, Iters: 10, Seed: 3}}
+}
+
+func TestExperimentsRegisteredAndOrdered(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14"}
+	got := Experiments()
+	if len(got) != len(want) {
+		ids := make([]string, len(got))
+		for i, e := range got {
+			ids[i] = e.ID
+		}
+		t.Fatalf("experiments = %v, want %v", ids, want)
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("F3"); !ok {
+		t.Fatalf("ByID(F3) missing")
+	}
+	if _, ok := ByID("F99"); ok {
+		t.Fatalf("ByID(F99) found something")
+	}
+}
+
+func TestT1ListsISA(t *testing.T) {
+	rep := mustRun(t, "T1", smallOpts())
+	if rep.Values["instructions"] < 5 {
+		t.Fatalf("T1 lists %v instructions", rep.Values["instructions"])
+	}
+	for _, m := range []string{"tstorew", "tspawn", "twait", "tbarrier"} {
+		if !strings.Contains(rep.String(), m) {
+			t.Errorf("T1 missing %s", m)
+		}
+	}
+}
+
+func TestT2DescribesMachine(t *testing.T) {
+	rep := mustRun(t, "T2", smallOpts())
+	if rep.Values["contexts"] <= 0 {
+		t.Fatalf("T2 contexts = %v", rep.Values["contexts"])
+	}
+	for _, s := range []string{"L1 data cache", "memory latency", "issue width"} {
+		if !strings.Contains(rep.String(), s) {
+			t.Errorf("T2 missing %q", s)
+		}
+	}
+}
+
+func TestT3CharacterisesEveryBenchmark(t *testing.T) {
+	rep := mustRun(t, "T3", smallOpts())
+	for _, w := range workloads.All() {
+		if !strings.Contains(rep.String(), w.Name()) {
+			t.Errorf("T3 missing %s", w.Name())
+		}
+		if rep.Values["instances_"+w.Name()] <= 0 {
+			t.Errorf("T3: %s executed no support instances", w.Name())
+		}
+	}
+}
+
+func TestF1RedundantLoadsHigh(t *testing.T) {
+	rep := mustRun(t, "F1", smallOpts())
+	avg := rep.Values["average"]
+	// The paper reports 78% on full SPEC; our kernels concentrate the
+	// redundant inner loops, so the average must be high but sane.
+	if avg < 0.5 || avg > 1 {
+		t.Fatalf("average redundant-load fraction %v outside [0.5, 1]", avg)
+	}
+	for _, w := range workloads.All() {
+		f := rep.Values["redundant_"+w.Name()]
+		if f <= 0 || f > 1 {
+			t.Errorf("%s redundant fraction %v out of range", w.Name(), f)
+		}
+	}
+}
+
+func TestF2SilentStoresPresent(t *testing.T) {
+	rep := mustRun(t, "F2", smallOpts())
+	if rep.Values["average"] <= 0 {
+		t.Fatalf("no silent stores measured")
+	}
+}
+
+func TestF3SpeedupShape(t *testing.T) {
+	rep := mustRun(t, "F3", Options{})
+	// The paper's shape: every benchmark at least breaks roughly even,
+	// mcf is the large outlier, and the mean sits well above 1.
+	for _, w := range workloads.All() {
+		sp := rep.Values["speedup_"+w.Name()]
+		if sp < 0.9 {
+			t.Errorf("%s speedup %v: DTT should not lose badly anywhere", w.Name(), sp)
+		}
+	}
+	if max, mcf := rep.Values["max"], rep.Values["speedup_mcf"]; max != mcf {
+		t.Errorf("max speedup %v is not mcf's %v; mcf must dominate as in the paper", max, mcf)
+	}
+	if mcf := rep.Values["speedup_mcf"]; mcf < 4 || mcf > 8 {
+		t.Errorf("mcf speedup %v outside the paper's 5.9x band", mcf)
+	}
+	if mean := rep.Values["mean"]; mean < 1.2 || mean > 2.5 {
+		t.Errorf("mean speedup %v outside the paper's 1.46x band", mean)
+	}
+}
+
+func TestF4EliminationDominates(t *testing.T) {
+	rep := mustRun(t, "F4", smallOpts())
+	for _, w := range workloads.All() {
+		e, f := rep.Values["elim_"+w.Name()], rep.Values["full_"+w.Name()]
+		if f+1e-9 < e {
+			t.Errorf("%s: full DTT %v slower than elimination-only %v", w.Name(), f, e)
+		}
+	}
+	if rep.Values["elim_mean"] <= 1 {
+		t.Errorf("elimination-only mean %v: redundancy elimination should win on its own", rep.Values["elim_mean"])
+	}
+}
+
+func TestF5MoreContextsNeverHurt(t *testing.T) {
+	rep := mustRun(t, "F5", smallOpts())
+	m1, m2, m8 := rep.Values["mean_ctx1"], rep.Values["mean_ctx2"], rep.Values["mean_ctx8"]
+	if !(m2 >= m1-0.05 && m8 >= m2-0.05) {
+		t.Fatalf("context scaling not monotone-ish: 1ctx=%v 2ctx=%v 8ctx=%v", m1, m2, m8)
+	}
+}
+
+func TestF6QueueCapacityShape(t *testing.T) {
+	rep := mustRun(t, "F6", smallOpts())
+	if rep.Values["mean_cap64"] < rep.Values["mean_cap1"]-0.05 {
+		t.Fatalf("larger queue slower: cap1=%v cap64=%v", rep.Values["mean_cap1"], rep.Values["mean_cap64"])
+	}
+}
+
+func TestF7InstructionReduction(t *testing.T) {
+	rep := mustRun(t, "F7", smallOpts())
+	if rep.Values["average"] <= 0 {
+		t.Fatalf("average instruction reduction %v: skipping work must remove instructions", rep.Values["average"])
+	}
+	if rep.Values["reduction_mcf"] < 0.4 {
+		t.Errorf("mcf instruction reduction %v too small", rep.Values["reduction_mcf"])
+	}
+}
+
+func TestF8PlacementRuns(t *testing.T) {
+	rep := mustRun(t, "F8", smallOpts())
+	if rep.Values["same_mean"] <= 0 || rep.Values["idle_mean"] <= 0 {
+		t.Fatalf("placement means missing: %+v", rep.Values)
+	}
+	// Idle-core placement never costs the main thread bandwidth, so it may
+	// not lose materially to same-core placement.
+	if rep.Values["idle_mean"] < rep.Values["same_mean"]-0.1 {
+		t.Fatalf("idle-core %v materially worse than same-core %v", rep.Values["idle_mean"], rep.Values["same_mean"])
+	}
+}
+
+func TestF9SilentTStores(t *testing.T) {
+	rep := mustRun(t, "F9", smallOpts())
+	if rep.Values["average"] <= 0.05 {
+		t.Fatalf("average silent-tstore fraction %v: redundancy must be visible at triggers", rep.Values["average"])
+	}
+}
+
+func TestT4AdvisorFindsHandChosenTriggers(t *testing.T) {
+	rep := mustRun(t, "T4", smallOpts())
+	if hits, n := rep.Values["top2_hits"], rep.Values["workloads"]; hits < n-2 {
+		t.Fatalf("advisor found only %v of %v hand-chosen triggers in its top two", hits, n)
+	}
+	if rep.Values["rank_mcf"] != 1 {
+		t.Errorf("mcf.pot not the top candidate: rank %v", rep.Values["rank_mcf"])
+	}
+}
+
+func TestF11EnergySavings(t *testing.T) {
+	rep := mustRun(t, "F11", smallOpts())
+	if rep.Values["average"] <= 0 {
+		t.Fatalf("average energy savings %v: skipped work must save energy on net", rep.Values["average"])
+	}
+	if rep.Values["savings_mcf"] < 0.4 {
+		t.Errorf("mcf energy savings %v too small", rep.Values["savings_mcf"])
+	}
+	// bzip2 churns nearly every block: its trigger machinery may cost more
+	// than it saves, but it must not be catastrophic.
+	if rep.Values["savings_bzip2"] < -0.5 {
+		t.Errorf("bzip2 energy savings %v implausibly bad", rep.Values["savings_bzip2"])
+	}
+}
+
+func TestF12LatencySweepRuns(t *testing.T) {
+	rep := mustRun(t, "F12", smallOpts())
+	for _, lat := range []string{"mean_lat100", "mean_lat300", "mean_lat600"} {
+		if rep.Values[lat] <= 1 {
+			t.Errorf("%s = %v: DTT should keep winning at every memory latency", lat, rep.Values[lat])
+		}
+	}
+}
+
+func TestF13ScaleStability(t *testing.T) {
+	rep := mustRun(t, "F13", smallOpts())
+	for _, name := range []string{"mcf", "equake", "gzip", "mesa"} {
+		s1 := rep.Values["speedup_"+name+"_s1"]
+		s2 := rep.Values["speedup_"+name+"_s2"]
+		if s1 <= 0 || s2 <= 0 {
+			t.Fatalf("%s: missing scale speedups: %v %v", name, s1, s2)
+		}
+		if ratio := s2 / s1; ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: speedup unstable across scales: %v vs %v", name, s1, s2)
+		}
+	}
+}
+
+func TestF14CharacterisationMonotone(t *testing.T) {
+	rep := mustRun(t, "F14", smallOpts())
+	reds := []int{0, 25, 50, 75, 90, 99}
+	for i := 1; i < len(reds); i++ {
+		lo := rep.Values[fmt.Sprintf("speedup_red%d", reds[i-1])]
+		hi := rep.Values[fmt.Sprintf("speedup_red%d", reds[i])]
+		if hi < lo-0.05 {
+			t.Errorf("speedup not monotone in redundancy: %d%%=%v > %d%%=%v", reds[i-1], lo, reds[i], hi)
+		}
+	}
+	if e0 := rep.Values["elim_red0"]; e0 > 1.05 {
+		t.Errorf("elimination-only at 0%% redundancy = %v; nothing should be eliminated", e0)
+	}
+	ops := []int{4, 16, 64, 256, 1024}
+	for i := 1; i < len(ops); i++ {
+		lo := rep.Values[fmt.Sprintf("speedup_ops%d", ops[i-1])]
+		hi := rep.Values[fmt.Sprintf("speedup_ops%d", ops[i])]
+		if hi < lo-0.05 {
+			t.Errorf("speedup not monotone in thread size: %dops=%v > %dops=%v", ops[i-1], lo, ops[i], hi)
+		}
+	}
+}
+
+func mustRun(t *testing.T, id string, opts Options) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	rep, err := e.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id || len(rep.Sections) == 0 {
+		t.Fatalf("%s: malformed report %+v", id, rep)
+	}
+	return rep
+}

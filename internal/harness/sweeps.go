@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/sim"
+	"dtt/internal/stats"
+	"dtt/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{
+		ID:    "F5",
+		Title: "Sensitivity to hardware thread contexts",
+		Run:   runF5,
+	})
+	registerExperiment(Experiment{
+		ID:    "F6",
+		Title: "Sensitivity to thread queue capacity",
+		Run:   runF6,
+	})
+	registerExperiment(Experiment{
+		ID:    "F8",
+		Title: "Support-thread placement: same-core SMT vs idle core",
+		Run:   runF8,
+	})
+}
+
+// runF5 sweeps the number of hardware contexts. One context means no spare
+// context at all: the DTT program still skips redundant computation but
+// support threads run serialised in the main context.
+func runF5(opts Options) (*Report, error) {
+	contexts := []int{1, 2, 4, 8}
+	fig := stats.NewFigure("Figure F5: speedup vs hardware thread contexts", "x")
+	seriesFor := map[int]*stats.Series{}
+	for _, c := range contexts {
+		seriesFor[c] = fig.AddSeries(fmt.Sprintf("%d contexts", c))
+	}
+	r := &Report{ID: "F5", Title: "Sensitivity to hardware thread contexts"}
+	perCtxMeans := map[int][]float64{}
+	for _, w := range workloads.All() {
+		base, err := recordBaseline(w, opts.size())
+		if err != nil {
+			return nil, err
+		}
+		dtt, err := recordDTT(w, opts.size(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyEquivalence(w, base, dtt); err != nil {
+			return nil, err
+		}
+		for _, c := range contexts {
+			cfg := opts.machine()
+			cfg.Cores = 1
+			cfg.ContextsPerCore = c
+			baseRes, err := sim.Run(base.trace, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr := dtt.trace
+			if c == 1 {
+				tr = tr.Serialize()
+			}
+			dttRes, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sp := dttRes.Speedup(baseRes)
+			seriesFor[c].Add(w.Name(), sp)
+			perCtxMeans[c] = append(perCtxMeans[c], sp)
+			r.set(fmt.Sprintf("speedup_%s_ctx%d", w.Name(), c), sp)
+		}
+	}
+	summary := stats.NewTable("Mean speedup by context count", "contexts", "mean speedup")
+	for _, c := range contexts {
+		m := stats.Mean(perCtxMeans[c])
+		summary.AddRow(c, fmt.Sprintf("%.2fx", m))
+		r.set(fmt.Sprintf("mean_ctx%d", c), m)
+	}
+	r.Sections = []string{fig.String(), summary.String()}
+	return r, nil
+}
+
+// runF6 sweeps the thread queue capacity. A full queue falls back to inline
+// execution: correctness is preserved but the trigger's computation returns
+// to the main thread, so small queues forfeit overlap.
+func runF6(opts Options) (*Report, error) {
+	caps := []int{1, 2, 4, 8, 16, 64}
+	fig := stats.NewFigure("Figure F6: speedup vs thread queue capacity", "x")
+	seriesFor := map[int]*stats.Series{}
+	for _, c := range caps {
+		seriesFor[c] = fig.AddSeries(fmt.Sprintf("capacity %d", c))
+	}
+	r := &Report{ID: "F6", Title: "Sensitivity to thread queue capacity"}
+	perCapMeans := map[int][]float64{}
+	for _, w := range workloads.All() {
+		base, err := recordBaseline(w, opts.size())
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := sim.Run(base.trace, opts.machine())
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range caps {
+			c := c
+			dtt, err := recordDTT(w, opts.size(), func(cfg *core.Config) { cfg.QueueCapacity = c })
+			if err != nil {
+				return nil, err
+			}
+			if err := verifyEquivalence(w, base, dtt); err != nil {
+				return nil, err
+			}
+			dttRes, err := sim.Run(dtt.trace, opts.machine())
+			if err != nil {
+				return nil, err
+			}
+			sp := dttRes.Speedup(baseRes)
+			seriesFor[c].Add(w.Name(), sp)
+			perCapMeans[c] = append(perCapMeans[c], sp)
+			r.set(fmt.Sprintf("speedup_%s_cap%d", w.Name(), c), sp)
+		}
+	}
+	summary := stats.NewTable("Mean speedup by queue capacity", "capacity", "mean speedup")
+	for _, c := range caps {
+		m := stats.Mean(perCapMeans[c])
+		summary.AddRow(c, fmt.Sprintf("%.2fx", m))
+		r.set(fmt.Sprintf("mean_cap%d", c), m)
+	}
+	r.Sections = []string{fig.String(), summary.String()}
+	return r, nil
+}
+
+// runF8 compares support-thread placement policies on a two-core machine.
+func runF8(opts Options) (*Report, error) {
+	fig := stats.NewFigure("Figure F8: support-thread placement", "x")
+	same := fig.AddSeries("same-core SMT")
+	idle := fig.AddSeries("idle core")
+	r := &Report{ID: "F8", Title: "Support-thread placement"}
+	var sames, idles []float64
+	for _, w := range workloads.All() {
+		base, err := recordBaseline(w, opts.size())
+		if err != nil {
+			return nil, err
+		}
+		dtt, err := recordDTT(w, opts.size(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyEquivalence(w, base, dtt); err != nil {
+			return nil, err
+		}
+		for _, placement := range []sim.Placement{sim.PlaceSameCore, sim.PlaceIdleCore} {
+			// Two narrow cores with one spare context each: same-core
+			// placement must share the main thread's issue bandwidth,
+			// idle-core placement gets a whole core to itself.
+			cfg := opts.machine()
+			cfg.Cores = 2
+			cfg.ContextsPerCore = 2
+			cfg.IssueWidth = 4
+			cfg.Placement = placement
+			baseRes, dttRes, err := speedupPair(base.trace, dtt.trace, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sp := dttRes.Speedup(baseRes)
+			if placement == sim.PlaceSameCore {
+				same.Add(w.Name(), sp)
+				sames = append(sames, sp)
+				r.set("same_"+w.Name(), sp)
+			} else {
+				idle.Add(w.Name(), sp)
+				idles = append(idles, sp)
+				r.set("idle_"+w.Name(), sp)
+			}
+		}
+	}
+	r.set("same_mean", stats.Mean(sames))
+	r.set("idle_mean", stats.Mean(idles))
+	r.Sections = []string{
+		fig.String(),
+		fmt.Sprintf("Means: same-core %.2fx, idle-core %.2fx. Idle-core placement avoids stealing\n"+
+			"issue bandwidth from the main thread at the cost of occupying another core.",
+			stats.Mean(sames), stats.Mean(idles)),
+	}
+	return r, nil
+}

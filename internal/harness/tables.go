@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+
+	"dtt/internal/isa"
+	"dtt/internal/mem"
+	"dtt/internal/stats"
+	"dtt/internal/trace"
+	"dtt/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{
+		ID:    "T1",
+		Title: "DTT instruction set extensions",
+		Run:   runT1,
+	})
+	registerExperiment(Experiment{
+		ID:    "T2",
+		Title: "Simulated processor configuration",
+		Run:   runT2,
+	})
+	registerExperiment(Experiment{
+		ID:    "T3",
+		Title: "Benchmark suite and DTT characteristics",
+		Run:   runT3,
+	})
+}
+
+// runT1 regenerates the ISA extension table.
+func runT1(Options) (*Report, error) {
+	tb := stats.NewTable("Table T1: data-triggered threads ISA extensions",
+		"instruction", "class", "latency", "semantics")
+	for _, ins := range isa.Set() {
+		tb.AddRow(ins.String(), ins.Class.String(), ins.Latency, ins.Semantics)
+	}
+	r := &Report{ID: "T1", Title: "DTT instruction set extensions", Sections: []string{tb.String()}}
+	r.set("instructions", float64(len(isa.Set())))
+	return r, nil
+}
+
+// runT2 regenerates the machine configuration table.
+func runT2(opts Options) (*Report, error) {
+	cfg := opts.machine()
+	hier := cfg.Hier
+	if hier == (mem.HierarchyConfig{}) {
+		hier = mem.DefaultHierarchy()
+	}
+	tb := stats.NewTable("Table T2: simulated processor configuration", "parameter", "value")
+	tb.AddRow("cores", cfg.Cores)
+	tb.AddRow("SMT contexts / core", cfg.ContextsPerCore)
+	tb.AddRow("issue width / core", fmt.Sprintf("%d instr/cycle", cfg.IssueWidth))
+	tb.AddRow("issue width / context", fmt.Sprintf("%d instr/cycle", cfg.CtxIssueWidth))
+	tb.AddRow("memory-level parallelism", cfg.MLP)
+	tb.AddRow("support-thread placement", cfg.Placement.String())
+	cacheRow := func(c mem.CacheConfig) string {
+		return fmt.Sprintf("%dKB, %d-way, %dB lines, %d-cycle hit", c.SizeBytes>>10, c.Assoc, c.LineBytes, c.Latency)
+	}
+	tb.AddRow("L1 data cache", cacheRow(hier.L1))
+	tb.AddRow("L2 cache", cacheRow(hier.L2))
+	tb.AddRow("L3 cache", cacheRow(hier.L3))
+	tb.AddRow("memory latency", fmt.Sprintf("%d cycles", hier.MemLatency))
+	r := &Report{ID: "T2", Title: "Simulated processor configuration", Sections: []string{tb.String()}}
+	r.set("contexts", float64(cfg.Contexts()))
+	return r, nil
+}
+
+// runT3 regenerates the benchmark characterisation table: what each kernel
+// models, how many trigger words it attaches, how often triggers fire, and
+// how large its support threads are.
+func runT3(opts Options) (*Report, error) {
+	size := opts.size()
+	tb := stats.NewTable("Table T3: benchmark suite and DTT characteristics",
+		"benchmark", "suite", "triggers", "tstores", "silent%", "squash%", "instances", "avg thread size")
+	r := &Report{ID: "T3", Title: "Benchmark suite and DTT characteristics"}
+	for _, w := range workloads.All() {
+		dtt, err := recordDTT(w, size, nil)
+		if err != nil {
+			return nil, err
+		}
+		s := dtt.stats
+		var supCount, supInstr int64
+		for _, task := range dtt.trace.Tasks {
+			if task.Kind == trace.KindSupport {
+				supCount++
+				supInstr += task.Instructions()
+			}
+		}
+		avgSize := 0.0
+		if supCount > 0 {
+			avgSize = float64(supInstr) / float64(supCount)
+		}
+		tb.AddRow(w.Name(), w.Suite(),
+			dtt.res.Triggers,
+			s.TStores,
+			fmt.Sprintf("%.1f", 100*s.SilentFraction()),
+			fmt.Sprintf("%.1f", 100*s.SquashFraction()),
+			s.Executed+s.InlineRuns,
+			fmt.Sprintf("%.0f instr", avgSize))
+		r.set("silent_"+w.Name(), s.SilentFraction())
+		r.set("instances_"+w.Name(), float64(s.Executed+s.InlineRuns))
+	}
+	desc := stats.NewTable("Redundancy mechanism per benchmark", "benchmark", "mechanism")
+	for _, w := range workloads.All() {
+		desc.AddRow(w.Name(), w.Description())
+	}
+	r.Sections = []string{tb.String(), desc.String()}
+	return r, nil
+}

@@ -1,0 +1,131 @@
+// Package isa defines the data-triggered-threads instruction set extension.
+//
+// The HPCA 2011 paper adds a small number of instructions to a conventional
+// ISA: triggering stores that compare the stored value against memory and
+// fire an attached thread on change, and management instructions for
+// registering, cancelling and joining data-triggered threads. This package
+// is the single source of truth for those semantics: the runtime
+// (internal/core) implements them, the timing simulator charges their
+// latencies, and experiment T1 prints the table.
+package isa
+
+import "fmt"
+
+// Opcode identifies one DTT instruction.
+type Opcode int
+
+// The DTT instruction set extension.
+const (
+	// OpTStoreW is a triggering word store: write the register to memory,
+	// compare with the previous contents, and enqueue the attached thread
+	// if the value changed.
+	OpTStoreW Opcode = iota
+	// OpTStoreF is the floating-point triggering store; comparison is on
+	// the raw bit pattern, exactly like the integer form.
+	OpTStoreF
+	// OpTSpawn registers a thread body and associates it with a trigger
+	// address range in the thread registry.
+	OpTSpawn
+	// OpTCancel removes a thread's registry entry and squashes its pending
+	// queue entries.
+	OpTCancel
+	// OpTWait blocks the main thread until all pending and running
+	// instances of one thread have completed.
+	OpTWait
+	// OpTBarrier blocks the main thread until the thread queue is empty
+	// and all support threads have completed.
+	OpTBarrier
+	// OpTStatus reads a thread's entry from the thread queue status table
+	// without blocking.
+	OpTStatus
+
+	numOpcodes = iota
+)
+
+// Class groups instructions by the hardware structure they exercise.
+type Class int
+
+// Instruction classes.
+const (
+	ClassStore Class = iota // triggering stores
+	ClassMgmt               // registry management
+	ClassSync               // synchronisation with the status table
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassStore:
+		return "store"
+	case ClassMgmt:
+		return "mgmt"
+	case ClassSync:
+		return "sync"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Instruction describes one extension instruction.
+type Instruction struct {
+	Op       Opcode
+	Mnemonic string
+	Operands string
+	Class    Class
+	// Latency is the extra front-end cost in cycles charged by the timing
+	// model on top of the underlying memory access (for stores) or
+	// pipeline slot (for management instructions).
+	Latency int
+	// Semantics is the one-line architectural definition.
+	Semantics string
+}
+
+var set = [numOpcodes]Instruction{
+	OpTStoreW: {OpTStoreW, "tstorew", "Rs, off(Rb)", ClassStore, 1,
+		"store word; if old != new, look up registry and enqueue attached threads"},
+	OpTStoreF: {OpTStoreF, "tstoref", "Fs, off(Rb)", ClassStore, 1,
+		"store FP word; bit-pattern comparison, then as tstorew"},
+	OpTSpawn: {OpTSpawn, "tspawn", "Rt, Rlo, Rhi", ClassMgmt, 4,
+		"register thread Rt with trigger address range [Rlo, Rhi)"},
+	OpTCancel: {OpTCancel, "tcancel", "Rt", ClassMgmt, 4,
+		"deregister thread Rt and squash its pending queue entries"},
+	OpTWait: {OpTWait, "twait", "Rt", ClassSync, 2,
+		"stall until TQST shows no pending or running instance of Rt"},
+	OpTBarrier: {OpTBarrier, "tbarrier", "", ClassSync, 2,
+		"stall until the thread queue is empty and all threads idle"},
+	OpTStatus: {OpTStatus, "tstatus", "Rd, Rt", ClassSync, 1,
+		"read TQST entry for Rt into Rd without stalling"},
+}
+
+// Set returns the full extension in opcode order. The slice is freshly
+// allocated; callers may reorder it.
+func Set() []Instruction {
+	out := make([]Instruction, numOpcodes)
+	copy(out, set[:])
+	return out
+}
+
+// Lookup returns the instruction for op.
+func Lookup(op Opcode) (Instruction, bool) {
+	if op < 0 || int(op) >= numOpcodes {
+		return Instruction{}, false
+	}
+	return set[op], true
+}
+
+// ByMnemonic returns the instruction with the given mnemonic.
+func ByMnemonic(m string) (Instruction, bool) {
+	for _, ins := range set {
+		if ins.Mnemonic == m {
+			return ins, true
+		}
+	}
+	return Instruction{}, false
+}
+
+// String formats the instruction as it would appear in an ISA listing.
+func (i Instruction) String() string {
+	if i.Operands == "" {
+		return i.Mnemonic
+	}
+	return i.Mnemonic + " " + i.Operands
+}

@@ -1,0 +1,97 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetCompleteAndOrdered(t *testing.T) {
+	s := Set()
+	if len(s) != int(numOpcodes) {
+		t.Fatalf("Set() has %d instructions, want %d", len(s), numOpcodes)
+	}
+	for i, ins := range s {
+		if ins.Op != Opcode(i) {
+			t.Errorf("Set()[%d].Op = %v, want %v", i, ins.Op, Opcode(i))
+		}
+		if ins.Mnemonic == "" || ins.Semantics == "" {
+			t.Errorf("opcode %d missing mnemonic or semantics", i)
+		}
+		if ins.Latency <= 0 {
+			t.Errorf("%s has non-positive latency %d", ins.Mnemonic, ins.Latency)
+		}
+	}
+}
+
+func TestSetIsCopy(t *testing.T) {
+	s := Set()
+	s[0].Mnemonic = "clobbered"
+	if got, _ := Lookup(OpTStoreW); got.Mnemonic == "clobbered" {
+		t.Fatalf("Set() aliases internal table")
+	}
+}
+
+func TestMnemonicsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ins := range Set() {
+		if seen[ins.Mnemonic] {
+			t.Errorf("duplicate mnemonic %q", ins.Mnemonic)
+		}
+		seen[ins.Mnemonic] = true
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ins, ok := Lookup(OpTWait)
+	if !ok || ins.Mnemonic != "twait" {
+		t.Fatalf("Lookup(OpTWait) = %v, %v", ins, ok)
+	}
+	if _, ok := Lookup(Opcode(-1)); ok {
+		t.Fatalf("Lookup(-1) succeeded")
+	}
+	if _, ok := Lookup(Opcode(numOpcodes)); ok {
+		t.Fatalf("Lookup(past end) succeeded")
+	}
+}
+
+func TestByMnemonic(t *testing.T) {
+	ins, ok := ByMnemonic("tstoref")
+	if !ok || ins.Op != OpTStoreF {
+		t.Fatalf("ByMnemonic(tstoref) = %v, %v", ins, ok)
+	}
+	if _, ok := ByMnemonic("nop"); ok {
+		t.Fatalf("ByMnemonic(nop) succeeded")
+	}
+}
+
+func TestTriggeringStoresAreStoreClass(t *testing.T) {
+	for _, op := range []Opcode{OpTStoreW, OpTStoreF} {
+		ins, _ := Lookup(op)
+		if ins.Class != ClassStore {
+			t.Errorf("%s class = %v, want store", ins.Mnemonic, ins.Class)
+		}
+		if !strings.HasPrefix(ins.Mnemonic, "tstore") {
+			t.Errorf("triggering store mnemonic %q lacks tstore prefix", ins.Mnemonic)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassStore.String() != "store" || ClassMgmt.String() != "mgmt" || ClassSync.String() != "sync" {
+		t.Fatalf("class names wrong: %v %v %v", ClassStore, ClassMgmt, ClassSync)
+	}
+	if Class(7).String() != "Class(7)" {
+		t.Fatalf("unknown class formatting: %v", Class(7))
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	ins, _ := Lookup(OpTBarrier)
+	if ins.String() != "tbarrier" {
+		t.Fatalf("operand-less format: %q", ins.String())
+	}
+	ins, _ = Lookup(OpTSpawn)
+	if ins.String() != "tspawn Rt, Rlo, Rhi" {
+		t.Fatalf("operand format: %q", ins.String())
+	}
+}

@@ -1,0 +1,262 @@
+package mem
+
+import "fmt"
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels, ordered from fastest to slowest.
+const (
+	LevelL1 Level = iota + 1
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "Mem"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// CacheConfig describes one set-associative cache.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	// Latency is the hit latency in cycles, charged by the timing model.
+	Latency int
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("mem: cache %q: non-positive size %d", c.Name, c.SizeBytes)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: cache %q: line size %d not a positive power of two", c.Name, c.LineBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("mem: cache %q: non-positive associativity %d", c.Name, c.Assoc)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("mem: cache %q: size %d not divisible by line*assoc=%d", c.Name, c.SizeBytes, c.LineBytes*c.Assoc)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models tag
+// state only: data always lives in the backing Buffer.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setMask  Addr
+	lineBits uint
+
+	accesses   int64
+	misses     int64
+	writes     int64
+	writebacks int64
+}
+
+type cacheLine struct {
+	tag   Addr
+	valid bool
+	dirty bool
+	// lru is a per-set logical timestamp; larger is more recent.
+	lru int64
+}
+
+// NewCache builds a cache from cfg. It panics on an invalid configuration;
+// configurations are programmer-supplied constants, not runtime input.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([][]cacheLine, nsets)
+	lines := make([]cacheLine, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = lines[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: Addr(nsets - 1), lineBits: lineBits}
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks addr up, filling on miss, and reports whether it hit.
+func (c *Cache) Access(addr Addr, write bool) bool {
+	c.accesses++
+	if write {
+		c.writes++
+	}
+	block := addr >> c.lineBits
+	set := c.sets[block&c.setMask]
+	tag := block
+	victim := 0
+	oldest := int64(1<<63 - 1)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.accesses
+			if write {
+				ln.dirty = true
+			}
+			return true
+		}
+		if !ln.valid {
+			victim = i
+			oldest = -1
+		} else if ln.lru < oldest {
+			victim = i
+			oldest = ln.lru
+		}
+	}
+	c.misses++
+	if set[victim].valid && set[victim].dirty {
+		c.writebacks++
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.accesses}
+	return false
+}
+
+// Reset invalidates all lines and clears counters.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+	c.accesses, c.misses, c.writes, c.writebacks = 0, 0, 0, 0
+}
+
+// Accesses returns the total number of lookups.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of lookups that missed.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Writebacks returns how many dirty lines were evicted (write-back,
+// write-allocate policy).
+func (c *Cache) Writebacks() int64 { return c.writebacks }
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// HierarchyConfig describes a three-level cache hierarchy backed by main
+// memory. It mirrors the processor-configuration table of the paper's
+// simulated machine.
+type HierarchyConfig struct {
+	L1, L2, L3 CacheConfig
+	// MemLatency is the main-memory access latency in cycles.
+	MemLatency int
+}
+
+// DefaultHierarchy is the memory configuration used by all experiments
+// unless a sweep overrides it: 32KB/64B/4-way L1, 512KB/64B/8-way L2,
+// 4MB/64B/16-way L3, 300-cycle memory.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1:         CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineBytes: LineBytes, Assoc: 4, Latency: 2},
+		L2:         CacheConfig{Name: "L2", SizeBytes: 512 << 10, LineBytes: LineBytes, Assoc: 8, Latency: 12},
+		L3:         CacheConfig{Name: "L3", SizeBytes: 4 << 20, LineBytes: LineBytes, Assoc: 16, Latency: 40},
+		MemLatency: 300,
+	}
+}
+
+// Hierarchy is an inclusive three-level cache model. It implements Probe so
+// it can be attached directly to a System.
+type Hierarchy struct {
+	NopProbe
+	cfg        HierarchyConfig
+	l1, l2, l3 *Cache
+	levelHits  [LevelMem + 1]int64
+}
+
+// NewHierarchy builds the hierarchy described by cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1:  NewCache(cfg.L1),
+		l2:  NewCache(cfg.L2),
+		l3:  NewCache(cfg.L3),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Access walks addr down the hierarchy and returns the level that satisfied
+// it. Lower levels are filled on the way back up (inclusive hierarchy).
+func (h *Hierarchy) Access(addr Addr, write bool) Level {
+	lv := LevelMem
+	if h.l1.Access(addr, write) {
+		lv = LevelL1
+	} else if h.l2.Access(addr, write) {
+		lv = LevelL2
+	} else if h.l3.Access(addr, write) {
+		lv = LevelL3
+	}
+	h.levelHits[lv]++
+	return lv
+}
+
+// Latency returns the access latency in cycles for a hit at level lv.
+func (h *Hierarchy) Latency(lv Level) int {
+	switch lv {
+	case LevelL1:
+		return h.cfg.L1.Latency
+	case LevelL2:
+		return h.cfg.L2.Latency
+	case LevelL3:
+		return h.cfg.L3.Latency
+	default:
+		return h.cfg.MemLatency
+	}
+}
+
+// OnLoad and OnStore make Hierarchy a Probe: every memory event becomes a
+// cache access.
+func (h *Hierarchy) OnLoad(addr Addr, _ Word)             { h.Access(addr, false) }
+func (h *Hierarchy) OnStore(addr Addr, _, _ Word, _ bool) { h.Access(addr, true) }
+
+// LevelHits returns how many accesses were satisfied at lv.
+func (h *Hierarchy) LevelHits(lv Level) int64 { return h.levelHits[lv] }
+
+// Accesses returns the total number of accesses seen.
+func (h *Hierarchy) Accesses() int64 { return h.l1.Accesses() }
+
+// Reset clears all cache state and counters.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
+	h.levelHits = [LevelMem + 1]int64{}
+}
+
+// L1, L2 and L3 expose the individual caches for inspection.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+func (h *Hierarchy) L3() *Cache { return h.l3 }

@@ -1,0 +1,231 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinyCache() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return NewCache(CacheConfig{Name: "t", SizeBytes: 512, LineBytes: 64, Assoc: 2, Latency: 1})
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := tinyCache()
+	if c.Access(0x1000, false) {
+		t.Fatalf("cold access hit")
+	}
+	if !c.Access(0x1000, false) {
+		t.Fatalf("second access missed")
+	}
+	if !c.Access(0x1038, false) {
+		t.Fatalf("same-line access missed")
+	}
+	if c.Misses() != 1 || c.Accesses() != 3 {
+		t.Fatalf("misses=%d accesses=%d", c.Misses(), c.Accesses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := tinyCache()
+	// Three blocks mapping to set 0: block = addr>>6, set = block & 3.
+	a0 := Addr(0 << 6)
+	a1 := Addr(4 << 6)
+	a2 := Addr(8 << 6)
+	c.Access(a0, false)
+	c.Access(a1, false)
+	c.Access(a0, false) // a0 most recent; a1 is LRU
+	c.Access(a2, false) // evicts a1
+	if !c.Access(a0, false) {
+		t.Fatalf("a0 evicted although most recently used")
+	}
+	if c.Access(a1, false) {
+		t.Fatalf("a1 hit although it should have been evicted")
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "sz", SizeBytes: 0, LineBytes: 64, Assoc: 2},
+		{Name: "ln", SizeBytes: 512, LineBytes: 48, Assoc: 2},
+		{Name: "as", SizeBytes: 512, LineBytes: 64, Assoc: 0},
+		{Name: "div", SizeBytes: 500, LineBytes: 64, Assoc: 2},
+		{Name: "sets", SizeBytes: 64 * 3 * 1, LineBytes: 64, Assoc: 1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q validated but is invalid", cfg.Name)
+		}
+	}
+	good := CacheConfig{Name: "ok", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, Latency: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestCacheResetClearsState(t *testing.T) {
+	c := tinyCache()
+	c.Access(0x40, true)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatalf("counters survive reset")
+	}
+	if c.Access(0x40, false) {
+		t.Fatalf("line survived reset")
+	}
+}
+
+func TestCacheMissesNeverExceedAccesses(t *testing.T) {
+	c := tinyCache()
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			c.Access(Addr(a), a%2 == 0)
+		}
+		return c.Misses() <= c.Accesses() && c.MissRate() <= 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheFitsWorkingSet(t *testing.T) {
+	// A working set no larger than the cache must have only cold misses.
+	c := NewCache(CacheConfig{Name: "ws", SizeBytes: 4096, LineBytes: 64, Assoc: 4, Latency: 1})
+	lines := 4096 / 64
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(Addr(i*64), false)
+		}
+	}
+	if c.Misses() != int64(lines) {
+		t.Fatalf("misses = %d, want exactly %d cold misses", c.Misses(), lines)
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := tinyCache() // 4 sets x 2 ways
+	// Three blocks in set 0; dirty the first, then evict it.
+	a0, a1, a2 := Addr(0<<6), Addr(4<<6), Addr(8<<6)
+	c.Access(a0, true)  // dirty fill
+	c.Access(a1, false) // clean fill
+	c.Access(a2, false) // evicts a0 (LRU, dirty) -> writeback
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks())
+	}
+	c.Access(a0, false) // evicts a1 (clean) -> no writeback
+	if c.Writebacks() != 1 {
+		t.Fatalf("clean eviction counted as writeback: %d", c.Writebacks())
+	}
+}
+
+func TestWritebackDirtyOnWriteHit(t *testing.T) {
+	c := tinyCache()
+	a0, a1, a2 := Addr(0<<6), Addr(4<<6), Addr(8<<6)
+	c.Access(a0, false) // clean fill
+	c.Access(a0, true)  // write hit dirties the line
+	c.Access(a1, false)
+	c.Access(a2, false) // evicts a0, now dirty
+	if c.Writebacks() != 1 {
+		t.Fatalf("write-hit-dirtied line not written back: %d", c.Writebacks())
+	}
+	c.Reset()
+	if c.Writebacks() != 0 {
+		t.Fatalf("writebacks survive reset")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	if lv := h.Access(0x10000, false); lv != LevelMem {
+		t.Fatalf("cold access satisfied at %v", lv)
+	}
+	if lv := h.Access(0x10000, false); lv != LevelL1 {
+		t.Fatalf("warm access satisfied at %v", lv)
+	}
+	if h.LevelHits(LevelMem) != 1 || h.LevelHits(LevelL1) != 1 {
+		t.Fatalf("level hit counters wrong: mem=%d l1=%d", h.LevelHits(LevelMem), h.LevelHits(LevelL1))
+	}
+}
+
+func TestHierarchyLatencyMonotone(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	if !(h.Latency(LevelL1) < h.Latency(LevelL2) &&
+		h.Latency(LevelL2) < h.Latency(LevelL3) &&
+		h.Latency(LevelL3) < h.Latency(LevelMem)) {
+		t.Fatalf("latencies not monotone: %d %d %d %d",
+			h.Latency(LevelL1), h.Latency(LevelL2), h.Latency(LevelL3), h.Latency(LevelMem))
+	}
+}
+
+func TestHierarchyAsProbe(t *testing.T) {
+	s := NewSystem()
+	b := s.Alloc("buf", 1024)
+	h := NewHierarchy(DefaultHierarchy())
+	s.AttachProbe(h)
+	for i := 0; i < b.Len(); i++ {
+		b.Store(i, Word(i))
+	}
+	for i := 0; i < b.Len(); i++ {
+		b.Load(i)
+	}
+	if h.Accesses() != int64(2*b.Len()) {
+		t.Fatalf("hierarchy saw %d accesses, want %d", h.Accesses(), 2*b.Len())
+	}
+	// 1024 words = 128 lines; second pass over an 8KB footprint fits in L1,
+	// so loads should all hit L1.
+	if h.L1().Misses() != 128 {
+		t.Fatalf("L1 misses = %d, want 128 cold misses", h.L1().Misses())
+	}
+}
+
+func TestConfigAccessorsAndMissRate(t *testing.T) {
+	c := tinyCache()
+	if c.Config().Name != "t" || c.Config().SizeBytes != 512 {
+		t.Fatalf("cache Config() = %+v", c.Config())
+	}
+	if c.MissRate() != 0 {
+		t.Fatalf("untouched cache miss rate %v", c.MissRate())
+	}
+	c.Access(0x40, false)
+	c.Access(0x40, false)
+	if c.MissRate() != 0.5 {
+		t.Fatalf("MissRate = %v, want 0.5", c.MissRate())
+	}
+	h := NewHierarchy(DefaultHierarchy())
+	if h.Config().MemLatency != DefaultHierarchy().MemLatency {
+		t.Fatalf("hierarchy Config() wrong")
+	}
+	if h.L2() == nil || h.L3() == nil {
+		t.Fatalf("level accessors nil")
+	}
+}
+
+func TestNopProbeIsNoOp(t *testing.T) {
+	var p NopProbe
+	p.OnLoad(0, 0)
+	p.OnStore(0, 0, 0, false)
+	p.OnCompute(1)
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelMem: "Mem"} {
+		if lv.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(lv), lv.String(), want)
+		}
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Errorf("unknown level formatting: %q", Level(9).String())
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.Access(0x40, false)
+	h.Reset()
+	if h.Accesses() != 0 || h.LevelHits(LevelMem) != 0 {
+		t.Fatalf("reset did not clear counters")
+	}
+	if lv := h.Access(0x40, false); lv != LevelMem {
+		t.Fatalf("line survived hierarchy reset: %v", lv)
+	}
+}

@@ -1,0 +1,261 @@
+// Package mem provides the simulated memory substrate that the data-triggered
+// threads runtime, the profilers and the timing simulator all share.
+//
+// Workloads do not operate on raw Go pointers: fine-grained memory triggers
+// are awkward to bolt onto arbitrary Go values, so every piece of program
+// state that can carry a trigger lives in a Buffer allocated from a System.
+// A Buffer is a word-granular array with a stable logical base address, so
+// the cache model and the redundancy profiler see a realistic address stream
+// while the workload code stays ordinary Go.
+package mem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Word is the machine word manipulated by all workloads. Floating-point data
+// is stored as its IEEE-754 bit pattern; triggering stores compare bit
+// patterns, exactly as a hardware tstore compares raw memory contents.
+type Word = uint64
+
+// Addr is a logical byte address in the simulated address space.
+type Addr uint64
+
+const (
+	// WordBytes is the size of one Word in the simulated address space.
+	WordBytes = 8
+	// LineBytes is the cache line size; allocations are line-aligned so
+	// that distinct buffers never produce false line sharing.
+	LineBytes = 64
+)
+
+// Probe observes the memory and compute activity of an instrumented run.
+// Implementations include the cache hierarchy, the load-redundancy profiler
+// and the task recorder. All methods are invoked synchronously on the
+// goroutine performing the access.
+type Probe interface {
+	// OnLoad is called after a word load returns val from addr.
+	OnLoad(addr Addr, val Word)
+	// OnStore is called after a word store. silent reports whether the
+	// store wrote the value that was already there.
+	OnStore(addr Addr, old, val Word, silent bool)
+	// OnCompute accounts n abstract ALU operations of surrounding
+	// computation; it exists so timing models can charge non-memory work.
+	OnCompute(n int64)
+}
+
+// NopProbe is a Probe that ignores everything. It is the zero-cost default
+// and a convenient embedding base for probes that care about a subset of
+// events.
+type NopProbe struct{}
+
+func (NopProbe) OnLoad(Addr, Word)              {}
+func (NopProbe) OnStore(Addr, Word, Word, bool) {}
+func (NopProbe) OnCompute(int64)                {}
+
+// System is a simulated address space. It hands out line-aligned Buffers and
+// fans memory events out to attached probes. A System is not safe for
+// concurrent mutation of the same Buffer; the DTT runtime serialises
+// conflicting accesses at a higher level.
+type System struct {
+	next   Addr
+	bufs   []*Buffer
+	probes []Probe
+	// probe is the single active probe fan-out target when exactly one
+	// probe is attached; it lets the hot path skip slice iteration.
+	probe Probe
+}
+
+// NewSystem returns an empty address space. The first allocation starts at a
+// non-zero base so that address zero never aliases real data.
+func NewSystem() *System {
+	return &System{next: Addr(LineBytes)}
+}
+
+// AttachProbe registers p to observe all subsequent memory traffic.
+// Probes are invoked in attachment order.
+func (s *System) AttachProbe(p Probe) {
+	if p == nil {
+		return
+	}
+	s.probes = append(s.probes, p)
+	if len(s.probes) == 1 {
+		s.probe = p
+	} else {
+		s.probe = nil
+	}
+}
+
+// DetachProbes removes all probes.
+func (s *System) DetachProbes() {
+	s.probes = nil
+	s.probe = nil
+}
+
+// Probed reports whether at least one probe is attached.
+func (s *System) Probed() bool { return len(s.probes) > 0 }
+
+// Alloc reserves a Buffer of n words named name. The buffer is zero-filled
+// and line-aligned. Alloc panics if n is negative.
+func (s *System) Alloc(name string, n int) *Buffer {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: Alloc %q with negative size %d", name, n))
+	}
+	b := &Buffer{name: name, base: s.next, data: make([]Word, n), sys: s}
+	bytes := Addr(n) * WordBytes
+	// Round the next base up to the following line boundary.
+	s.next += (bytes + LineBytes - 1) / LineBytes * LineBytes
+	if bytes == 0 {
+		s.next += LineBytes
+	}
+	s.bufs = append(s.bufs, b)
+	return b
+}
+
+// Buffers returns the allocated buffers in allocation order.
+func (s *System) Buffers() []*Buffer { return s.bufs }
+
+// Footprint returns the total number of bytes allocated, including
+// line-alignment padding.
+func (s *System) Footprint() int64 { return int64(s.next - LineBytes) }
+
+// BufferAt returns the buffer containing addr, or nil if addr is unmapped.
+func (s *System) BufferAt(addr Addr) *Buffer {
+	i := sort.Search(len(s.bufs), func(i int) bool { return s.bufs[i].base > addr })
+	if i == 0 {
+		return nil
+	}
+	b := s.bufs[i-1]
+	if addr < b.base+Addr(len(b.data))*WordBytes {
+		return b
+	}
+	return nil
+}
+
+// Compute accounts n abstract ALU operations against attached probes.
+// Workloads call this (via their workload context) to describe non-memory
+// work so the timing model can charge it.
+func (s *System) Compute(n int64) {
+	if s.probe != nil {
+		s.probe.OnCompute(n)
+		return
+	}
+	for _, p := range s.probes {
+		p.OnCompute(n)
+	}
+}
+
+func (s *System) onLoad(addr Addr, v Word) {
+	if s.probe != nil {
+		s.probe.OnLoad(addr, v)
+		return
+	}
+	for _, p := range s.probes {
+		p.OnLoad(addr, v)
+	}
+}
+
+func (s *System) onStore(addr Addr, old, v Word, silent bool) {
+	if s.probe != nil {
+		s.probe.OnStore(addr, old, v, silent)
+		return
+	}
+	for _, p := range s.probes {
+		p.OnStore(addr, old, v, silent)
+	}
+}
+
+// Buffer is a word-granular array with a stable logical base address.
+type Buffer struct {
+	name string
+	base Addr
+	data []Word
+	sys  *System
+}
+
+// Name returns the allocation name.
+func (b *Buffer) Name() string { return b.name }
+
+// Base returns the logical byte address of word 0.
+func (b *Buffer) Base() Addr { return b.base }
+
+// Len returns the number of words in the buffer.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Addr returns the logical byte address of word i.
+func (b *Buffer) Addr(i int) Addr { return b.base + Addr(i)*WordBytes }
+
+// Index returns the word index of addr within b. It panics if addr is not
+// word-aligned inside b.
+func (b *Buffer) Index(addr Addr) int {
+	off := addr - b.base
+	i := int(off / WordBytes)
+	if off%WordBytes != 0 || i < 0 || i >= len(b.data) {
+		panic(fmt.Sprintf("mem: address %#x not a word of buffer %q", addr, b.name))
+	}
+	return i
+}
+
+// Load returns word i, notifying probes. Word access is atomic so that a
+// support thread may read trigger data the main thread is concurrently
+// rewriting — the overlap the DTT execution model is built on — without a
+// Go-level data race.
+func (b *Buffer) Load(i int) Word {
+	v := atomic.LoadUint64(&b.data[i])
+	if len(b.sys.probes) != 0 {
+		b.sys.onLoad(b.Addr(i), v)
+	}
+	return v
+}
+
+// Peek returns word i without generating a memory event. It exists for
+// validation and debugging; workloads must use Load.
+func (b *Buffer) Peek(i int) Word { return b.data[i] }
+
+// Store writes v to word i, notifying probes. It returns true if the stored
+// value differs from the previous contents (i.e. the store was not silent).
+// Like Load, the word update is atomic.
+func (b *Buffer) Store(i int, v Word) bool {
+	old := atomic.SwapUint64(&b.data[i], v)
+	changed := old != v
+	if len(b.sys.probes) != 0 {
+		b.sys.onStore(b.Addr(i), old, v, !changed)
+	}
+	return changed
+}
+
+// Poke writes v to word i without generating a memory event. It exists for
+// input-setup code that should not pollute profiles.
+func (b *Buffer) Poke(i int, v Word) { b.data[i] = v }
+
+// LoadF and StoreF are float64 views of Load and Store.
+
+// LoadF returns word i interpreted as a float64.
+func (b *Buffer) LoadF(i int) float64 { return math.Float64frombits(b.Load(i)) }
+
+// StoreF stores the bit pattern of f to word i and reports whether the bit
+// pattern changed.
+func (b *Buffer) StoreF(i int, f float64) bool { return b.Store(i, math.Float64bits(f)) }
+
+// PeekF returns word i as a float64 without a memory event.
+func (b *Buffer) PeekF(i int) float64 { return math.Float64frombits(b.data[i]) }
+
+// PokeF writes f's bit pattern without a memory event.
+func (b *Buffer) PokeF(i int, f float64) { b.data[i] = math.Float64bits(f) }
+
+// Fill sets every word to v without memory events.
+func (b *Buffer) Fill(v Word) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}
+
+// Snapshot copies the buffer contents, for validation.
+func (b *Buffer) Snapshot() []Word {
+	out := make([]Word, len(b.data))
+	copy(out, b.data)
+	return out
+}

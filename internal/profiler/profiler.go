@@ -1,0 +1,100 @@
+// Package profiler measures value redundancy in an instrumented run.
+//
+// The paper's motivating measurement is that 78% of all loads fetch
+// redundant data: the load returns the same value that the previous load of
+// the same address returned. LoadProfile reproduces that definition.
+// StoreProfile measures silent stores — stores that write the value already
+// in memory — which is exactly the event a triggering store squashes.
+package profiler
+
+import "dtt/internal/mem"
+
+// LoadProfile observes loads and classifies each as redundant or not.
+// A load of address a returning value v is redundant iff a has been loaded
+// before and the previous load of a also returned v. Intervening stores do
+// not reset the classification: if they restore the old value, the next
+// load still fetches data the program has already seen.
+type LoadProfile struct {
+	mem.NopProbe
+	last      map[mem.Addr]mem.Word
+	loads     int64
+	redundant int64
+}
+
+// NewLoadProfile returns an empty profile.
+func NewLoadProfile() *LoadProfile {
+	return &LoadProfile{last: make(map[mem.Addr]mem.Word)}
+}
+
+// OnLoad classifies one load.
+func (p *LoadProfile) OnLoad(addr mem.Addr, v mem.Word) {
+	p.loads++
+	if prev, ok := p.last[addr]; ok && prev == v {
+		p.redundant++
+	}
+	p.last[addr] = v
+}
+
+// Loads returns the number of loads observed.
+func (p *LoadProfile) Loads() int64 { return p.loads }
+
+// Redundant returns the number of redundant loads observed.
+func (p *LoadProfile) Redundant() int64 { return p.redundant }
+
+// Fraction returns redundant/loads, or 0 for an empty profile.
+func (p *LoadProfile) Fraction() float64 {
+	if p.loads == 0 {
+		return 0
+	}
+	return float64(p.redundant) / float64(p.loads)
+}
+
+// Touched returns the number of distinct addresses loaded.
+func (p *LoadProfile) Touched() int { return len(p.last) }
+
+// Reset clears the profile.
+func (p *LoadProfile) Reset() {
+	p.last = make(map[mem.Addr]mem.Word)
+	p.loads, p.redundant = 0, 0
+}
+
+var _ mem.Probe = (*LoadProfile)(nil)
+
+// StoreProfile counts silent stores: stores whose value equals the previous
+// memory contents. The memory substrate computes silence at store time, so
+// this probe only aggregates.
+type StoreProfile struct {
+	mem.NopProbe
+	stores int64
+	silent int64
+}
+
+// NewStoreProfile returns an empty profile.
+func NewStoreProfile() *StoreProfile { return &StoreProfile{} }
+
+// OnStore aggregates one store.
+func (p *StoreProfile) OnStore(_ mem.Addr, _, _ mem.Word, silent bool) {
+	p.stores++
+	if silent {
+		p.silent++
+	}
+}
+
+// Stores returns the number of stores observed.
+func (p *StoreProfile) Stores() int64 { return p.stores }
+
+// Silent returns the number of silent stores observed.
+func (p *StoreProfile) Silent() int64 { return p.silent }
+
+// Fraction returns silent/stores, or 0 for an empty profile.
+func (p *StoreProfile) Fraction() float64 {
+	if p.stores == 0 {
+		return 0
+	}
+	return float64(p.silent) / float64(p.stores)
+}
+
+// Reset clears the profile.
+func (p *StoreProfile) Reset() { p.stores, p.silent = 0, 0 }
+
+var _ mem.Probe = (*StoreProfile)(nil)

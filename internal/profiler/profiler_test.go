@@ -1,0 +1,137 @@
+package profiler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtt/internal/mem"
+)
+
+func TestLoadProfileBasics(t *testing.T) {
+	p := NewLoadProfile()
+	p.OnLoad(0x10, 5) // first load: not redundant
+	p.OnLoad(0x10, 5) // same value: redundant
+	p.OnLoad(0x10, 6) // changed: not redundant
+	p.OnLoad(0x18, 6) // different address: not redundant
+	if p.Loads() != 4 || p.Redundant() != 1 {
+		t.Fatalf("loads=%d redundant=%d, want 4/1", p.Loads(), p.Redundant())
+	}
+	if p.Touched() != 2 {
+		t.Fatalf("Touched = %d, want 2", p.Touched())
+	}
+	if got := p.Fraction(); got != 0.25 {
+		t.Fatalf("Fraction = %v, want 0.25", got)
+	}
+}
+
+func TestLoadProfileStoreRestoresValue(t *testing.T) {
+	// The definition compares against the previous *load*: a store that
+	// changes and then restores the value keeps the next load redundant.
+	p := NewLoadProfile()
+	p.OnLoad(0x10, 7)
+	p.OnStore(0x10, 7, 9, false) // ignored by the load profile
+	p.OnStore(0x10, 9, 7, false)
+	p.OnLoad(0x10, 7)
+	if p.Redundant() != 1 {
+		t.Fatalf("load after restore not classified redundant")
+	}
+}
+
+func TestLoadProfileEmptyFraction(t *testing.T) {
+	p := NewLoadProfile()
+	if p.Fraction() != 0 {
+		t.Fatalf("empty profile fraction %v", p.Fraction())
+	}
+}
+
+func TestLoadProfileReset(t *testing.T) {
+	p := NewLoadProfile()
+	p.OnLoad(0x10, 1)
+	p.Reset()
+	if p.Loads() != 0 || p.Touched() != 0 {
+		t.Fatalf("reset incomplete")
+	}
+	p.OnLoad(0x10, 1)
+	if p.Redundant() != 0 {
+		t.Fatalf("history survived reset")
+	}
+}
+
+func TestLoadProfileAllSameAllRedundant(t *testing.T) {
+	p := NewLoadProfile()
+	const n = 100
+	for i := 0; i < n; i++ {
+		p.OnLoad(0x40, 42)
+	}
+	if p.Redundant() != n-1 {
+		t.Fatalf("redundant = %d, want %d", p.Redundant(), n-1)
+	}
+}
+
+func TestLoadProfileFractionBoundsProperty(t *testing.T) {
+	f := func(events []struct {
+		A uint8
+		V uint8
+	}) bool {
+		p := NewLoadProfile()
+		for _, e := range events {
+			p.OnLoad(mem.Addr(e.A), mem.Word(e.V%4))
+		}
+		fr := p.Fraction()
+		return fr >= 0 && fr <= 1 && p.Redundant() <= p.Loads()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadProfileOnSystem(t *testing.T) {
+	s := mem.NewSystem()
+	b := s.Alloc("data", 8)
+	p := NewLoadProfile()
+	s.AttachProbe(p)
+	b.Store(0, 3)
+	b.Load(0)
+	b.Load(0)
+	if p.Loads() != 2 || p.Redundant() != 1 {
+		t.Fatalf("system integration: loads=%d redundant=%d", p.Loads(), p.Redundant())
+	}
+}
+
+func TestStoreProfileBasics(t *testing.T) {
+	p := NewStoreProfile()
+	p.OnStore(0x10, 0, 1, false)
+	p.OnStore(0x10, 1, 1, true)
+	p.OnStore(0x10, 1, 2, false)
+	if p.Stores() != 3 || p.Silent() != 1 {
+		t.Fatalf("stores=%d silent=%d", p.Stores(), p.Silent())
+	}
+	if got := p.Fraction(); got < 0.33 || got > 0.34 {
+		t.Fatalf("Fraction = %v", got)
+	}
+}
+
+func TestStoreProfileOnSystem(t *testing.T) {
+	s := mem.NewSystem()
+	b := s.Alloc("data", 2)
+	p := NewStoreProfile()
+	s.AttachProbe(p)
+	b.Store(0, 5) // changes (0 -> 5)
+	b.Store(0, 5) // silent
+	b.Store(0, 6) // changes
+	if p.Stores() != 3 || p.Silent() != 1 {
+		t.Fatalf("stores=%d silent=%d, want 3/1", p.Stores(), p.Silent())
+	}
+}
+
+func TestStoreProfileResetAndEmpty(t *testing.T) {
+	p := NewStoreProfile()
+	if p.Fraction() != 0 {
+		t.Fatalf("empty fraction %v", p.Fraction())
+	}
+	p.OnStore(0, 0, 0, true)
+	p.Reset()
+	if p.Stores() != 0 || p.Silent() != 0 {
+		t.Fatalf("reset incomplete")
+	}
+}

@@ -1,0 +1,259 @@
+package queue
+
+import (
+	"fmt"
+
+	"dtt/internal/mem"
+)
+
+// DedupPolicy selects how the thread queue squashes duplicate trigger
+// entries. The paper's design enqueues at most one instance per thread and
+// trigger address — the support thread reads the latest data when it runs,
+// so re-executing for every intermediate value is pure waste.
+type DedupPolicy int
+
+const (
+	// DedupPerAddress squashes an enqueue when the same (thread, trigger
+	// address) pair is already pending. This is the paper's policy.
+	DedupPerAddress DedupPolicy = iota
+	// DedupPerLine squashes on the same (thread, cache line): cheaper
+	// comparators than per-address at the cost of coalescing distinct
+	// trigger words within a line. An ablation on trigger granularity.
+	DedupPerLine
+	// DedupPerThread squashes when any instance of the thread is pending,
+	// regardless of address. An ablation: cheaper hardware, coarser.
+	DedupPerThread
+	// DedupNone never squashes. The degenerate ablation baseline.
+	DedupNone
+)
+
+// String returns the policy name.
+func (p DedupPolicy) String() string {
+	switch p {
+	case DedupPerAddress:
+		return "per-address"
+	case DedupPerLine:
+		return "per-line"
+	case DedupPerThread:
+		return "per-thread"
+	case DedupNone:
+		return "none"
+	}
+	return fmt.Sprintf("DedupPolicy(%d)", int(p))
+}
+
+// OverflowPolicy selects what a triggering store does when the thread queue
+// is full.
+type OverflowPolicy int
+
+const (
+	// OverflowInline makes the triggering store execute the support thread
+	// in line in the main thread, as the paper's fallback does. Correctness
+	// is preserved; the store just gets no benefit.
+	OverflowInline OverflowPolicy = iota
+	// OverflowDrop discards the trigger. Only safe for idempotent
+	// recompute-at-wait threads; exposed for failure-injection tests.
+	OverflowDrop
+)
+
+// String returns the policy name.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowInline:
+		return "inline"
+	case OverflowDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+}
+
+// Entry is one pending thread-queue slot.
+type Entry struct {
+	Thread ThreadID
+	Addr   mem.Addr // the trigger address that fired
+	Seq    int64    // enqueue sequence number, for observability
+}
+
+// EnqueueStatus reports what Enqueue did with a trigger.
+type EnqueueStatus int
+
+const (
+	// Enqueued means a new entry was added.
+	Enqueued EnqueueStatus = iota
+	// Squashed means a matching entry was already pending.
+	Squashed
+	// Overflowed means the queue was full; the caller must apply the
+	// overflow policy.
+	Overflowed
+)
+
+// String returns the status name.
+func (s EnqueueStatus) String() string {
+	switch s {
+	case Enqueued:
+		return "enqueued"
+	case Squashed:
+		return "squashed"
+	case Overflowed:
+		return "overflowed"
+	}
+	return fmt.Sprintf("EnqueueStatus(%d)", int(s))
+}
+
+type dedupKey struct {
+	thread ThreadID
+	addr   mem.Addr
+}
+
+// ThreadQueue is the fixed-capacity pending-trigger queue. Entries enter in
+// trigger order and leave in FIFO order.
+type ThreadQueue struct {
+	cap     int
+	dedup   DedupPolicy
+	entries []Entry
+	pending map[dedupKey]int // count of pending entries per key
+	seq     int64
+
+	enqueued   int64
+	squashed   int64
+	overflowed int64
+	dequeued   int64
+	peak       int
+}
+
+// NewThreadQueue returns a queue with the given capacity and dedup policy.
+// Capacity must be positive.
+func NewThreadQueue(capacity int, dedup DedupPolicy) *ThreadQueue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: non-positive thread queue capacity %d", capacity))
+	}
+	return &ThreadQueue{cap: capacity, dedup: dedup, pending: make(map[dedupKey]int)}
+}
+
+func (q *ThreadQueue) key(t ThreadID, addr mem.Addr) dedupKey {
+	switch q.dedup {
+	case DedupPerLine:
+		return dedupKey{thread: t, addr: addr &^ (mem.LineBytes - 1)}
+	case DedupPerThread:
+		return dedupKey{thread: t}
+	case DedupNone:
+		// A unique key per enqueue disables squashing.
+		return dedupKey{thread: t, addr: mem.Addr(q.seq) << 16}
+	default:
+		return dedupKey{thread: t, addr: addr}
+	}
+}
+
+// Enqueue offers a fired trigger to the queue.
+func (q *ThreadQueue) Enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
+	k := q.key(t, addr)
+	if q.dedup != DedupNone && q.pending[k] > 0 {
+		q.squashed++
+		return Squashed
+	}
+	if len(q.entries) >= q.cap {
+		q.overflowed++
+		return Overflowed
+	}
+	q.seq++
+	q.entries = append(q.entries, Entry{Thread: t, Addr: addr, Seq: q.seq})
+	if q.dedup != DedupNone {
+		q.pending[k]++
+	}
+	q.enqueued++
+	if len(q.entries) > q.peak {
+		q.peak = len(q.entries)
+	}
+	return Enqueued
+}
+
+// Dequeue removes and returns the oldest entry. ok is false when the queue
+// is empty.
+func (q *ThreadQueue) Dequeue() (e Entry, ok bool) {
+	if len(q.entries) == 0 {
+		return Entry{}, false
+	}
+	e = q.entries[0]
+	copy(q.entries, q.entries[1:])
+	q.entries = q.entries[:len(q.entries)-1]
+	k := q.key(e.Thread, e.Addr)
+	if q.dedup != DedupNone {
+		if q.pending[k] <= 1 {
+			delete(q.pending, k)
+		} else {
+			q.pending[k]--
+		}
+	}
+	q.dequeued++
+	return e, true
+}
+
+// DequeueFirst removes and returns the oldest entry satisfying pred,
+// preserving the order of the rest. ok is false when no entry matches.
+// The immediate backend uses it to skip over entries whose thread already
+// has a running instance.
+func (q *ThreadQueue) DequeueFirst(pred func(Entry) bool) (e Entry, ok bool) {
+	for i, cand := range q.entries {
+		if !pred(cand) {
+			continue
+		}
+		q.entries = append(q.entries[:i], q.entries[i+1:]...)
+		if q.dedup != DedupNone {
+			k := q.key(cand.Thread, cand.Addr)
+			if q.pending[k] <= 1 {
+				delete(q.pending, k)
+			} else {
+				q.pending[k]--
+			}
+		}
+		q.dequeued++
+		return cand, true
+	}
+	return Entry{}, false
+}
+
+// Squash removes all pending entries of thread t (tcancel) and returns how
+// many were removed.
+func (q *ThreadQueue) Squash(t ThreadID) int {
+	kept := q.entries[:0]
+	removed := 0
+	for _, e := range q.entries {
+		if e.Thread == t {
+			removed++
+			if q.dedup != DedupNone {
+				k := q.key(e.Thread, e.Addr)
+				if q.pending[k] <= 1 {
+					delete(q.pending, k)
+				} else {
+					q.pending[k]--
+				}
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	q.entries = kept
+	return removed
+}
+
+// Len returns the number of pending entries.
+func (q *ThreadQueue) Len() int { return len(q.entries) }
+
+// Cap returns the queue capacity.
+func (q *ThreadQueue) Cap() int { return q.cap }
+
+// Pending reports whether thread t has any pending entry.
+func (q *ThreadQueue) Pending(t ThreadID) bool {
+	for _, e := range q.entries {
+		if e.Thread == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Counters returns lifetime statistics: enqueued, squashed, overflowed,
+// dequeued, and the peak occupancy.
+func (q *ThreadQueue) Counters() (enqueued, squashed, overflowed, dequeued int64, peak int) {
+	return q.enqueued, q.squashed, q.overflowed, q.dequeued, q.peak
+}

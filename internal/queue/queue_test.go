@@ -1,0 +1,479 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtt/internal/mem"
+)
+
+func TestRegistryAttachLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Attach(1, 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(2, 150, 250); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Lookup(175, nil)
+	if len(got) != 2 {
+		t.Fatalf("Lookup(175) = %v, want both threads", got)
+	}
+	if got := r.Lookup(100, nil); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup(100) = %v, want [1]", got)
+	}
+	if got := r.Lookup(200, nil); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Lookup(200) = %v (hi is exclusive), want [2]", got)
+	}
+	if got := r.Lookup(99, nil); len(got) != 0 {
+		t.Fatalf("Lookup(99) = %v, want none", got)
+	}
+	if got := r.Lookup(250, nil); len(got) != 0 {
+		t.Fatalf("Lookup(250) = %v, want none", got)
+	}
+}
+
+func TestRegistryRejectsEmptyRange(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Attach(1, 100, 100); err == nil {
+		t.Fatalf("empty range accepted")
+	}
+	if err := r.Attach(1, 200, 100); err == nil {
+		t.Fatalf("inverted range accepted")
+	}
+}
+
+func TestRegistryDetach(t *testing.T) {
+	r := NewRegistry()
+	r.Attach(1, 0, 64)
+	r.Attach(1, 128, 192)
+	r.Attach(2, 0, 64)
+	if n := r.Detach(1); n != 2 {
+		t.Fatalf("Detach removed %d, want 2", n)
+	}
+	if got := r.Lookup(32, nil); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after detach, Lookup(32) = %v", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after detach", r.Len())
+	}
+}
+
+func TestRegistryCovers(t *testing.T) {
+	r := NewRegistry()
+	r.Attach(3, 1000, 2000)
+	if !r.Covers(1000) || !r.Covers(1999) {
+		t.Fatalf("Covers missed in-range addresses")
+	}
+	if r.Covers(999) || r.Covers(2000) {
+		t.Fatalf("Covers matched out-of-range addresses")
+	}
+}
+
+func TestRegistryLookupAfterLateAttach(t *testing.T) {
+	// Attach after a lookup must re-sort, not serve stale results.
+	r := NewRegistry()
+	r.Attach(1, 500, 600)
+	r.Lookup(550, nil)
+	r.Attach(2, 100, 200)
+	if got := r.Lookup(150, nil); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Lookup(150) after late attach = %v", got)
+	}
+}
+
+func TestRegistryLookupProperty(t *testing.T) {
+	// Lookup must agree with a brute-force scan for arbitrary attachments.
+	f := func(ranges []struct{ Lo, Span uint8 }, probe uint8) bool {
+		r := NewRegistry()
+		for i, rg := range ranges {
+			lo := mem.Addr(rg.Lo)
+			hi := lo + mem.Addr(rg.Span%32) + 1
+			r.Attach(ThreadID(i), lo, hi)
+		}
+		got := r.Lookup(mem.Addr(probe), nil)
+		want := 0
+		for i, rg := range ranges {
+			lo := mem.Addr(rg.Lo)
+			hi := lo + mem.Addr(rg.Span%32) + 1
+			if mem.Addr(probe) >= lo && mem.Addr(probe) < hi {
+				want++
+				found := false
+				for _, id := range got {
+					if id == ThreadID(i) {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryManyRangesStress(t *testing.T) {
+	// Hundreds of overlapping attachments with interleaved detaches:
+	// Lookup must always agree with a brute-force scan.
+	r := NewRegistry()
+	type att struct {
+		id     ThreadID
+		lo, hi mem.Addr
+	}
+	var live []att
+	rng := uint64(99)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 400; step++ {
+		switch next(4) {
+		case 0, 1, 2:
+			lo := mem.Addr(next(4096))
+			hi := lo + mem.Addr(next(256)+1)
+			id := ThreadID(next(16))
+			if err := r.Attach(id, lo, hi); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, att{id, lo, hi})
+		case 3:
+			id := ThreadID(next(16))
+			r.Detach(id)
+			kept := live[:0]
+			for _, a := range live {
+				if a.id != id {
+					kept = append(kept, a)
+				}
+			}
+			live = kept
+		}
+		probe := mem.Addr(next(4500))
+		got := r.Lookup(probe, nil)
+		want := 0
+		for _, a := range live {
+			if probe >= a.lo && probe < a.hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("step %d: Lookup(%d) = %d matches, want %d", step, probe, len(got), want)
+		}
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewThreadQueue(4, DedupPerAddress)
+	q.Enqueue(1, 0x10)
+	q.Enqueue(2, 0x20)
+	q.Enqueue(3, 0x30)
+	for want := ThreadID(1); want <= 3; want++ {
+		e, ok := q.Dequeue()
+		if !ok || e.Thread != want {
+			t.Fatalf("Dequeue = %v,%v, want thread %d", e, ok, want)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatalf("Dequeue from empty queue succeeded")
+	}
+}
+
+func TestQueueDedupPerAddress(t *testing.T) {
+	q := NewThreadQueue(8, DedupPerAddress)
+	if s := q.Enqueue(1, 0x10); s != Enqueued {
+		t.Fatalf("first enqueue: %v", s)
+	}
+	if s := q.Enqueue(1, 0x10); s != Squashed {
+		t.Fatalf("duplicate (thread,addr): %v, want squashed", s)
+	}
+	if s := q.Enqueue(1, 0x18); s != Enqueued {
+		t.Fatalf("same thread, new addr: %v, want enqueued", s)
+	}
+	q.Dequeue()
+	if s := q.Enqueue(1, 0x10); s != Enqueued {
+		t.Fatalf("re-enqueue after dequeue: %v, want enqueued", s)
+	}
+}
+
+func TestQueueDedupPerLine(t *testing.T) {
+	q := NewThreadQueue(8, DedupPerLine)
+	q.Enqueue(1, 0x100)
+	if s := q.Enqueue(1, 0x108); s != Squashed {
+		t.Fatalf("same-line different word gave %v, want squashed", s)
+	}
+	if s := q.Enqueue(1, 0x140); s != Enqueued {
+		t.Fatalf("next line gave %v, want enqueued", s)
+	}
+	q.Dequeue()
+	if s := q.Enqueue(1, 0x118); s != Enqueued {
+		t.Fatalf("re-enqueue after line dequeued gave %v", s)
+	}
+}
+
+func TestQueueDedupPerThread(t *testing.T) {
+	q := NewThreadQueue(8, DedupPerThread)
+	q.Enqueue(1, 0x10)
+	if s := q.Enqueue(1, 0x999); s != Squashed {
+		t.Fatalf("per-thread dedup: different addr gave %v, want squashed", s)
+	}
+	if s := q.Enqueue(2, 0x10); s != Enqueued {
+		t.Fatalf("different thread squashed")
+	}
+}
+
+func TestQueueDedupNone(t *testing.T) {
+	q := NewThreadQueue(8, DedupNone)
+	for i := 0; i < 3; i++ {
+		if s := q.Enqueue(1, 0x10); s != Enqueued {
+			t.Fatalf("enqueue %d: %v", i, s)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	q := NewThreadQueue(2, DedupPerAddress)
+	q.Enqueue(1, 0x10)
+	q.Enqueue(2, 0x20)
+	if s := q.Enqueue(3, 0x30); s != Overflowed {
+		t.Fatalf("full queue: %v, want overflowed", s)
+	}
+	// A squash is detected before overflow: a duplicate of a pending entry
+	// must not count as overflow even when the queue is full.
+	if s := q.Enqueue(1, 0x10); s != Squashed {
+		t.Fatalf("duplicate on full queue: %v, want squashed", s)
+	}
+	_, _, overflowed, _, peak := q.Counters()
+	if overflowed != 1 || peak != 2 {
+		t.Fatalf("overflowed=%d peak=%d", overflowed, peak)
+	}
+}
+
+func TestQueueSquash(t *testing.T) {
+	q := NewThreadQueue(8, DedupPerAddress)
+	q.Enqueue(1, 0x10)
+	q.Enqueue(2, 0x20)
+	q.Enqueue(1, 0x18)
+	if n := q.Squash(1); n != 2 {
+		t.Fatalf("Squash removed %d, want 2", n)
+	}
+	if q.Pending(1) {
+		t.Fatalf("thread 1 still pending after squash")
+	}
+	// After squashing, the key must be free again.
+	if s := q.Enqueue(1, 0x10); s != Enqueued {
+		t.Fatalf("enqueue after squash: %v", s)
+	}
+	e, ok := q.Dequeue()
+	if !ok || e.Thread != 2 {
+		t.Fatalf("surviving entry = %v,%v, want thread 2", e, ok)
+	}
+}
+
+func TestQueueCountersConsistent(t *testing.T) {
+	q := NewThreadQueue(4, DedupPerAddress)
+	f := func(ops []struct {
+		T uint8
+		A uint8
+	}) bool {
+		for _, op := range ops {
+			q.Enqueue(ThreadID(op.T%4), mem.Addr(op.A)*8)
+			if op.A%3 == 0 {
+				q.Dequeue()
+			}
+		}
+		enq, sq, ov, deq, peak := q.Counters()
+		// Conservation: everything offered is enqueued, squashed or overflowed;
+		// the queue holds what was enqueued minus dequeued.
+		return enq >= deq && int(enq-deq) == q.Len() && sq >= 0 && ov >= 0 && peak <= q.Cap()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueDequeueFirst(t *testing.T) {
+	q := NewThreadQueue(8, DedupPerAddress)
+	q.Enqueue(1, 0x10)
+	q.Enqueue(2, 0x20)
+	q.Enqueue(1, 0x18)
+	// Skip thread 1: the first match is thread 2, mid-queue.
+	e, ok := q.DequeueFirst(func(e Entry) bool { return e.Thread != 1 })
+	if !ok || e.Thread != 2 {
+		t.Fatalf("DequeueFirst = %v,%v, want thread 2", e, ok)
+	}
+	// Remaining order preserved.
+	e, _ = q.Dequeue()
+	if e.Thread != 1 || e.Addr != 0x10 {
+		t.Fatalf("order disturbed: %v", e)
+	}
+	// No match: queue untouched.
+	if _, ok := q.DequeueFirst(func(Entry) bool { return false }); ok {
+		t.Fatalf("DequeueFirst matched nothing but returned ok")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after failed DequeueFirst", q.Len())
+	}
+	// The dedup key must be freed by DequeueFirst too.
+	q.Dequeue()
+	q.Enqueue(2, 0x20)
+	if s := q.Enqueue(2, 0x20); s != Squashed {
+		t.Fatalf("dedup bookkeeping broken after DequeueFirst: %v", s)
+	}
+}
+
+func TestRegistryAccessors(t *testing.T) {
+	r := NewRegistry()
+	r.Attach(1, 0, 64)
+	r.Attach(2, 32, 96)
+	atts := r.Attachments()
+	if len(atts) != 2 {
+		t.Fatalf("Attachments = %v", atts)
+	}
+	// The returned slice is a copy.
+	atts[0].Thread = 99
+	if r.Attachments()[0].Thread == 99 {
+		t.Fatalf("Attachments aliases internal state")
+	}
+	r.Lookup(40, nil) // 2 matches
+	r.Lookup(0, nil)  // 1 match
+	if r.Lookups() != 2 || r.Matches() != 3 {
+		t.Fatalf("Lookups=%d Matches=%d, want 2/3", r.Lookups(), r.Matches())
+	}
+}
+
+func TestTQSTUnknownThreadAccessors(t *testing.T) {
+	tb := NewTQST()
+	if tb.Executed(42) != 0 {
+		t.Fatalf("Executed of unknown thread not 0")
+	}
+	if p, r := tb.InFlight(42); p != 0 || r != 0 {
+		t.Fatalf("InFlight of unknown thread = %d,%d", p, r)
+	}
+}
+
+func TestQueuePendingAndStatusStrings(t *testing.T) {
+	q := NewThreadQueue(4, DedupPerAddress)
+	if q.Pending(7) {
+		t.Fatalf("empty queue has pending thread")
+	}
+	q.Enqueue(7, 0x8)
+	if !q.Pending(7) || q.Pending(8) {
+		t.Fatalf("Pending wrong")
+	}
+	if DedupPolicy(42).String() == "" || OverflowPolicy(42).String() == "" || EnqueueStatus(42).String() == "" {
+		t.Fatalf("unknown enum formatting empty")
+	}
+}
+
+func TestQueuePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewThreadQueue(0) did not panic")
+		}
+	}()
+	NewThreadQueue(0, DedupPerAddress)
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if DedupPerAddress.String() != "per-address" || DedupPerLine.String() != "per-line" ||
+		DedupPerThread.String() != "per-thread" || DedupNone.String() != "none" {
+		t.Fatalf("dedup names: %v %v %v %v", DedupPerAddress, DedupPerLine, DedupPerThread, DedupNone)
+	}
+	if DedupPolicy(9).String() != "DedupPolicy(9)" {
+		t.Fatalf("unknown dedup formatting: %v", DedupPolicy(9))
+	}
+	if OverflowInline.String() != "inline" || OverflowDrop.String() != "drop" {
+		t.Fatalf("overflow names: %v %v", OverflowInline, OverflowDrop)
+	}
+	if Enqueued.String() != "enqueued" || Squashed.String() != "squashed" || Overflowed.String() != "overflowed" {
+		t.Fatalf("status names: %v %v %v", Enqueued, Squashed, Overflowed)
+	}
+}
+
+func TestTQSTLifecycle(t *testing.T) {
+	tb := NewTQST()
+	id := ThreadID(5)
+	if tb.Get(id) != StatusIdle || !tb.Quiet(id) {
+		t.Fatalf("fresh thread not idle")
+	}
+	tb.MarkPending(id)
+	if tb.Get(id) != StatusPending {
+		t.Fatalf("after MarkPending: %v", tb.Get(id))
+	}
+	tb.MarkRunning(id)
+	if tb.Get(id) != StatusRunning {
+		t.Fatalf("after MarkRunning: %v", tb.Get(id))
+	}
+	tb.MarkDone(id)
+	if !tb.Quiet(id) {
+		t.Fatalf("after MarkDone not quiet")
+	}
+	if tb.Executed(id) != 1 {
+		t.Fatalf("Executed = %d", tb.Executed(id))
+	}
+}
+
+func TestTQSTRunningDominatesPending(t *testing.T) {
+	tb := NewTQST()
+	tb.MarkPending(1)
+	tb.MarkPending(1)
+	tb.MarkRunning(1)
+	if tb.Get(1) != StatusRunning {
+		t.Fatalf("status = %v with 1 running + 1 pending, want running", tb.Get(1))
+	}
+	p, r := tb.InFlight(1)
+	if p != 1 || r != 1 {
+		t.Fatalf("InFlight = %d,%d", p, r)
+	}
+}
+
+func TestTQSTAllQuiet(t *testing.T) {
+	tb := NewTQST()
+	if !tb.AllQuiet() {
+		t.Fatalf("empty table not AllQuiet")
+	}
+	tb.MarkPending(1)
+	if tb.AllQuiet() {
+		t.Fatalf("AllQuiet with a pending instance")
+	}
+	tb.Cancel(1, 1)
+	if !tb.AllQuiet() {
+		t.Fatalf("not AllQuiet after cancel")
+	}
+}
+
+func TestTQSTPanicsOnProtocolViolation(t *testing.T) {
+	for name, f := range map[string]func(*TQST){
+		"running-without-pending": func(tb *TQST) { tb.MarkRunning(1) },
+		"done-without-running":    func(tb *TQST) { tb.MarkDone(1) },
+		"cancel-too-many":         func(tb *TQST) { tb.MarkPending(1); tb.Cancel(1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f(NewTQST())
+		}()
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusIdle.String() != "idle" || StatusPending.String() != "pending" || StatusRunning.String() != "running" {
+		t.Fatalf("status names wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Fatalf("unknown status formatting: %v", Status(9))
+	}
+}

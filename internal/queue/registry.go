@@ -1,0 +1,123 @@
+// Package queue implements the hardware structures the DTT paper adds to
+// the processor: the thread registry (trigger address range -> thread), the
+// fixed-capacity thread queue with duplicate squashing, and the thread queue
+// status table (TQST) that synchronisation instructions consult.
+//
+// These structures carry no locking of their own: the runtime in
+// internal/core serialises access, just as the hardware structures are
+// accessed from a single pipeline.
+package queue
+
+import (
+	"fmt"
+	"sort"
+
+	"dtt/internal/mem"
+)
+
+// ThreadID names a registered data-triggered thread. IDs are dense small
+// integers assigned by the runtime.
+type ThreadID int
+
+// Attachment associates a thread with a trigger address range.
+type Attachment struct {
+	Thread ThreadID
+	Lo, Hi mem.Addr // half-open byte range [Lo, Hi)
+}
+
+// Registry maps trigger addresses to the threads attached to them. It
+// corresponds to the paper's thread registry, filled by tspawn and drained
+// by tcancel. Ranges may overlap: a store can trigger several threads.
+type Registry struct {
+	atts   []Attachment
+	sorted bool
+	// lookups and matches drive the T3 characterisation table.
+	lookups int64
+	matches int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Attach records that thread t triggers on stores to [lo, hi). It returns an
+// error for an empty or inverted range.
+func (r *Registry) Attach(t ThreadID, lo, hi mem.Addr) error {
+	if hi <= lo {
+		return fmt.Errorf("queue: attach thread %d: empty trigger range [%#x, %#x)", t, lo, hi)
+	}
+	r.atts = append(r.atts, Attachment{Thread: t, Lo: lo, Hi: hi})
+	r.sorted = false
+	return nil
+}
+
+// Detach removes every attachment of thread t (tcancel) and returns how many
+// were removed.
+func (r *Registry) Detach(t ThreadID) int {
+	kept := r.atts[:0]
+	removed := 0
+	for _, a := range r.atts {
+		if a.Thread == t {
+			removed++
+			continue
+		}
+		kept = append(kept, a)
+	}
+	r.atts = kept
+	return removed
+}
+
+func (r *Registry) sortAtts() {
+	sort.Slice(r.atts, func(i, j int) bool { return r.atts[i].Lo < r.atts[j].Lo })
+	r.sorted = true
+}
+
+// Lookup appends to dst the threads attached to addr and returns the
+// extended slice. Passing a reused dst avoids allocation on the store fast
+// path. Each matching thread appears once per matching attachment.
+func (r *Registry) Lookup(addr mem.Addr, dst []ThreadID) []ThreadID {
+	r.lookups++
+	if !r.sorted {
+		r.sortAtts()
+	}
+	// All attachments with Lo <= addr are candidates; they are contiguous
+	// at the front of the sorted slice.
+	n := sort.Search(len(r.atts), func(i int) bool { return r.atts[i].Lo > addr })
+	for i := 0; i < n; i++ {
+		if addr < r.atts[i].Hi {
+			dst = append(dst, r.atts[i].Thread)
+			r.matches++
+		}
+	}
+	return dst
+}
+
+// Covers reports whether any attachment covers addr, without recording a
+// lookup. The triggering-store fast path uses it to skip silent-store work.
+func (r *Registry) Covers(addr mem.Addr) bool {
+	if !r.sorted {
+		r.sortAtts()
+	}
+	n := sort.Search(len(r.atts), func(i int) bool { return r.atts[i].Lo > addr })
+	for i := 0; i < n; i++ {
+		if addr < r.atts[i].Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Attachments returns a copy of the current attachments.
+func (r *Registry) Attachments() []Attachment {
+	out := make([]Attachment, len(r.atts))
+	copy(out, r.atts)
+	return out
+}
+
+// Len returns the number of attachments.
+func (r *Registry) Len() int { return len(r.atts) }
+
+// Lookups returns the number of Lookup calls served.
+func (r *Registry) Lookups() int64 { return r.lookups }
+
+// Matches returns the total threads returned across all lookups.
+func (r *Registry) Matches() int64 { return r.matches }

@@ -1,0 +1,135 @@
+package queue
+
+import "fmt"
+
+// Status is a thread's state in the thread queue status table.
+type Status int
+
+// TQST states. A thread may have several in-flight instances; the table
+// tracks instance counts and reports the "most active" state, which is what
+// twait spins on.
+const (
+	// StatusIdle means no pending or running instance.
+	StatusIdle Status = iota
+	// StatusPending means at least one instance is queued but not started.
+	StatusPending
+	// StatusRunning means at least one instance is executing.
+	StatusRunning
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "idle"
+	case StatusPending:
+		return "pending"
+	case StatusRunning:
+		return "running"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+type tqstEntry struct {
+	pending  int
+	running  int
+	executed int64
+}
+
+// TQST is the thread queue status table. twait consults it to decide
+// whether the main thread may proceed past a consumption point.
+type TQST struct {
+	entries map[ThreadID]*tqstEntry
+}
+
+// NewTQST returns an empty status table.
+func NewTQST() *TQST { return &TQST{entries: make(map[ThreadID]*tqstEntry)} }
+
+func (t *TQST) entry(id ThreadID) *tqstEntry {
+	e := t.entries[id]
+	if e == nil {
+		e = &tqstEntry{}
+		t.entries[id] = e
+	}
+	return e
+}
+
+// MarkPending records that an instance of id entered the thread queue.
+func (t *TQST) MarkPending(id ThreadID) { t.entry(id).pending++ }
+
+// MarkRunning records that a pending instance of id started executing.
+// It panics if no instance is pending: that indicates a runtime bug, not a
+// recoverable condition.
+func (t *TQST) MarkRunning(id ThreadID) {
+	e := t.entry(id)
+	if e.pending <= 0 {
+		panic(fmt.Sprintf("queue: TQST MarkRunning(%d) with no pending instance", id))
+	}
+	e.pending--
+	e.running++
+}
+
+// MarkDone records that a running instance of id completed.
+func (t *TQST) MarkDone(id ThreadID) {
+	e := t.entry(id)
+	if e.running <= 0 {
+		panic(fmt.Sprintf("queue: TQST MarkDone(%d) with no running instance", id))
+	}
+	e.running--
+	e.executed++
+}
+
+// Cancel drops n pending instances of id (tcancel squashing queue entries).
+func (t *TQST) Cancel(id ThreadID, n int) {
+	e := t.entry(id)
+	if n > e.pending {
+		panic(fmt.Sprintf("queue: TQST Cancel(%d, %d) with only %d pending", id, n, e.pending))
+	}
+	e.pending -= n
+}
+
+// Get returns the current status of id.
+func (t *TQST) Get(id ThreadID) Status {
+	e := t.entries[id]
+	switch {
+	case e == nil:
+		return StatusIdle
+	case e.running > 0:
+		return StatusRunning
+	case e.pending > 0:
+		return StatusPending
+	default:
+		return StatusIdle
+	}
+}
+
+// Quiet reports whether id has neither pending nor running instances —
+// the twait release condition.
+func (t *TQST) Quiet(id ThreadID) bool { return t.Get(id) == StatusIdle }
+
+// AllQuiet reports whether every thread is idle — the tbarrier release
+// condition.
+func (t *TQST) AllQuiet() bool {
+	for _, e := range t.entries {
+		if e.pending > 0 || e.running > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Executed returns how many instances of id have completed.
+func (t *TQST) Executed(id ThreadID) int64 {
+	if e := t.entries[id]; e != nil {
+		return e.executed
+	}
+	return 0
+}
+
+// InFlight returns the pending and running instance counts for id.
+func (t *TQST) InFlight(id ThreadID) (pending, running int) {
+	if e := t.entries[id]; e != nil {
+		return e.pending, e.running
+	}
+	return 0, 0
+}

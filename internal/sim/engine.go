@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dtt/internal/mem"
+	"dtt/internal/trace"
+)
+
+// Result summarises one simulated run.
+type Result struct {
+	// Cycles is the time at which the last task completed.
+	Cycles float64
+	// Instructions is the committed dynamic instruction count.
+	Instructions int64
+	// MainInstructions and SupportInstructions split Instructions by kind.
+	MainInstructions    int64
+	SupportInstructions int64
+	// Tasks and SupportTasks count scheduled units.
+	Tasks        int
+	SupportTasks int
+	// BusyContextCycles integrates (active contexts) over time; divide by
+	// Cycles for average occupancy.
+	BusyContextCycles float64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / r.Cycles
+}
+
+// AvgActiveContexts returns the time-averaged number of busy contexts.
+func (r Result) AvgActiveContexts() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.BusyContextCycles / r.Cycles
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return base.Cycles / r.Cycles
+}
+
+type taskState int
+
+const (
+	statePending taskState = iota
+	stateReady
+	stateRunning
+	stateDone
+)
+
+type simTask struct {
+	t         *trace.Task
+	state     taskState
+	unmetDeps int
+	children  []int
+
+	// issueLeft is the remaining instruction-issue work; stallLeft the
+	// remaining stall cycles. A task issues first, then stalls.
+	issueLeft float64
+	stallLeft float64
+	core      int
+	ctx       int
+	started   float64
+}
+
+type engine struct {
+	cfg    Config
+	onSpan func(Span)
+	tasks  []*simTask
+	// ctxBusy[core][ctx] is the index of the running task, or -1.
+	ctxBusy [][]int
+	ready   []int // FIFO of ready support tasks awaiting a context
+	running []int
+	now     float64
+	busyInt float64
+	latency [mem.LevelMem + 1]float64
+}
+
+// Run schedules tr on the machine described by cfg.
+func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	return runEngine(tr, cfg, nil)
+}
+
+// runEngine is the shared simulation core; onSpan, when non-nil, receives
+// a Span per completed task.
+func runEngine(tr *trace.Trace, cfg Config, onSpan func(Span)) (Result, error) {
+	e := &engine{cfg: cfg, onSpan: onSpan}
+	e.latency[mem.LevelL1] = 0 // pipelined L1 hits beyond the issue slot
+	e.latency[mem.LevelL2] = float64(cfg.Hier.L2.Latency) / cfg.MLP
+	e.latency[mem.LevelL3] = float64(cfg.Hier.L3.Latency) / cfg.MLP
+	e.latency[mem.LevelMem] = float64(cfg.Hier.MemLatency) / cfg.MLP
+
+	e.tasks = make([]*simTask, len(tr.Tasks))
+	for i, t := range tr.Tasks {
+		st := &simTask{t: t, unmetDeps: len(t.Deps)}
+		st.issueLeft = float64(t.Ops + t.Stores + t.TotalLoads() + t.TStores*tstoreLat() + t.Mgmt)
+		for lv := mem.LevelL1; lv <= mem.LevelMem; lv++ {
+			st.stallLeft += float64(t.Loads[lv]) * e.latency[lv]
+		}
+		e.tasks[i] = st
+	}
+	for i, t := range tr.Tasks {
+		for _, d := range t.Deps {
+			e.tasks[d].children = append(e.tasks[d].children, i)
+		}
+	}
+	e.ctxBusy = make([][]int, cfg.Cores)
+	for c := range e.ctxBusy {
+		e.ctxBusy[c] = make([]int, cfg.ContextsPerCore)
+		for x := range e.ctxBusy[c] {
+			e.ctxBusy[c][x] = -1
+		}
+	}
+
+	for i, st := range e.tasks {
+		if st.unmetDeps == 0 {
+			e.release(i)
+		}
+	}
+
+	remaining := len(e.tasks)
+	for remaining > 0 {
+		if len(e.running) == 0 {
+			return Result{}, fmt.Errorf("sim: deadlock with %d tasks unfinished", remaining)
+		}
+		finished := e.step()
+		remaining -= finished
+	}
+
+	res := Result{Cycles: e.now, Tasks: len(tr.Tasks), BusyContextCycles: e.busyInt}
+	for _, t := range tr.Tasks {
+		n := t.Instructions()
+		res.Instructions += n
+		if t.Kind == trace.KindSupport {
+			res.SupportInstructions += n
+			res.SupportTasks++
+		} else {
+			res.MainInstructions += n
+		}
+	}
+	return res, nil
+}
+
+// release moves a dependency-free task towards execution: main tasks go
+// straight onto the reserved context, support tasks take a free context or
+// join the ready queue.
+func (e *engine) release(i int) {
+	st := e.tasks[i]
+	st.state = stateReady
+	if st.t.Kind == trace.KindMain {
+		// Context (0,0) is reserved for the main chain, and the chain
+		// guarantees at most one main task is ready at a time.
+		if e.ctxBusy[0][0] != -1 {
+			panic("sim: two main-chain tasks ready at once; trace is not a chain")
+		}
+		e.start(i, 0, 0)
+		return
+	}
+	if core, ctx, ok := e.freeContext(); ok {
+		e.start(i, core, ctx)
+		return
+	}
+	e.ready = append(e.ready, i)
+}
+
+// freeContext returns a non-reserved idle context according to placement.
+func (e *engine) freeContext() (core, ctx int, ok bool) {
+	order := make([]int, 0, e.cfg.Cores)
+	if e.cfg.Placement == PlaceIdleCore {
+		for c := 1; c < e.cfg.Cores; c++ {
+			order = append(order, c)
+		}
+		order = append(order, 0)
+	} else {
+		for c := 0; c < e.cfg.Cores; c++ {
+			order = append(order, c)
+		}
+	}
+	for _, c := range order {
+		for x := 0; x < e.cfg.ContextsPerCore; x++ {
+			if c == 0 && x == 0 {
+				continue // reserved for the main chain
+			}
+			if e.ctxBusy[c][x] == -1 {
+				return c, x, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (e *engine) start(i, core, ctx int) {
+	st := e.tasks[i]
+	st.state = stateRunning
+	st.core, st.ctx = core, ctx
+	st.started = e.now
+	e.ctxBusy[core][ctx] = i
+	e.running = append(e.running, i)
+}
+
+// issueRate returns the current instruction-issue rate for a running task:
+// the core's width shared among its issuing contexts, capped by the
+// per-context width. Tasks in their stall phase hold no bandwidth.
+func (e *engine) issueRate(st *simTask) float64 {
+	issuing := 0
+	for _, x := range e.ctxBusy[st.core] {
+		if x == -1 {
+			continue
+		}
+		if e.tasks[x].issueLeft > 0 {
+			issuing++
+		}
+	}
+	if issuing == 0 {
+		issuing = 1
+	}
+	share := float64(e.cfg.IssueWidth) / float64(issuing)
+	return math.Min(share, float64(e.cfg.CtxIssueWidth))
+}
+
+// step advances time to the next task phase-change or completion and
+// processes completions. It returns the number of tasks finished.
+func (e *engine) step() int {
+	// Time until each running task's next boundary at current rates.
+	dt := math.Inf(1)
+	for _, i := range e.running {
+		st := e.tasks[i]
+		var d float64
+		if st.issueLeft > 0 {
+			d = st.issueLeft / e.issueRate(st)
+		} else {
+			d = st.stallLeft
+		}
+		if d < dt {
+			dt = d
+		}
+	}
+	if dt < 0 || math.IsInf(dt, 1) {
+		dt = 0
+	}
+
+	// Advance every running task by dt.
+	e.busyInt += dt * float64(len(e.running))
+	e.now += dt
+	const eps = 1e-9
+	for _, i := range e.running {
+		st := e.tasks[i]
+		if st.issueLeft > 0 {
+			st.issueLeft -= dt * e.issueRate(st)
+			if st.issueLeft < eps {
+				st.issueLeft = 0
+			}
+		} else {
+			st.stallLeft -= dt
+			if st.stallLeft < eps {
+				st.stallLeft = 0
+			}
+		}
+	}
+
+	// Collect completions.
+	finished := 0
+	stillRunning := e.running[:0]
+	var completed []int
+	for _, i := range e.running {
+		st := e.tasks[i]
+		if st.issueLeft == 0 && st.stallLeft == 0 {
+			completed = append(completed, i)
+			continue
+		}
+		stillRunning = append(stillRunning, i)
+	}
+	e.running = stillRunning
+	for _, i := range completed {
+		st := e.tasks[i]
+		st.state = stateDone
+		e.ctxBusy[st.core][st.ctx] = -1
+		if e.onSpan != nil {
+			e.onSpan(Span{Task: st.t.ID, Kind: st.t.Kind, Label: st.t.Label,
+				Core: st.core, Ctx: st.ctx, Start: st.started, End: e.now})
+		}
+		finished++
+		for _, c := range st.children {
+			ch := e.tasks[c]
+			ch.unmetDeps--
+			if ch.unmetDeps == 0 {
+				e.release(c)
+			}
+		}
+	}
+	// Completions freed contexts: drain the ready queue.
+	for len(e.ready) > 0 {
+		core, ctx, ok := e.freeContext()
+		if !ok {
+			break
+		}
+		i := e.ready[0]
+		e.ready = e.ready[1:]
+		e.start(i, core, ctx)
+	}
+	return finished
+}

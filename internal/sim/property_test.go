@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtt/internal/mem"
+	"dtt/internal/trace"
+)
+
+// randomTrace builds a structurally valid trace from fuzz input: a main
+// chain with support tasks fanned out and joined at random points.
+func randomTrace(spec []struct {
+	Ops     uint16
+	Fan     uint8
+	SupOps  uint16
+	MemLds  uint8
+	JoinNow bool
+}) *trace.Trace {
+	var tasks []*trace.Task
+	var main []trace.TaskID
+	newID := func() trace.TaskID { return trace.TaskID(len(tasks)) }
+	prev := trace.NoTask
+	var pending []trace.TaskID
+
+	appendMain := func(ops int64, extraDeps []trace.TaskID) *trace.Task {
+		deps := append([]trace.TaskID{}, extraDeps...)
+		if prev != trace.NoTask {
+			deps = append(deps, prev)
+		}
+		t := &trace.Task{ID: newID(), Kind: trace.KindMain, Ops: ops, Deps: deps}
+		tasks = append(tasks, t)
+		main = append(main, t.ID)
+		prev = t.ID
+		return t
+	}
+
+	appendMain(1, nil)
+	for _, s := range spec {
+		m := appendMain(int64(s.Ops%2000)+1, nil)
+		for f := 0; f < int(s.Fan%4); f++ {
+			st := &trace.Task{ID: newID(), Kind: trace.KindSupport,
+				Ops: int64(s.SupOps%1000) + 1, Deps: []trace.TaskID{m.ID}}
+			st.Loads[mem.LevelMem] = int64(s.MemLds % 8)
+			tasks = append(tasks, st)
+			pending = append(pending, st.ID)
+		}
+		if s.JoinNow && len(pending) > 0 {
+			appendMain(1, pending)
+			pending = nil
+		}
+	}
+	if len(pending) > 0 {
+		appendMain(1, pending)
+	}
+	return &trace.Trace{Tasks: tasks, Main: main}
+}
+
+// TestRandomDAGsTerminateWithinBounds is the simulator's core property
+// test: any valid DAG completes without deadlock, takes at least the
+// issue-bandwidth lower bound and at least the critical-path lower bound,
+// and never exceeds the fully-serial upper bound.
+func TestRandomDAGsTerminateWithinBounds(t *testing.T) {
+	cfg := Default()
+	f := func(spec []struct {
+		Ops     uint16
+		Fan     uint8
+		SupOps  uint16
+		MemLds  uint8
+		JoinNow bool
+	}) bool {
+		tr := randomTrace(spec)
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		res, err := Run(tr, cfg)
+		if err != nil {
+			return false
+		}
+		// Lower bound: peak issue bandwidth across the machine.
+		if res.Cycles < float64(res.Instructions)/float64(cfg.Cores*cfg.IssueWidth)-1e-6 {
+			return false
+		}
+		// Upper bound: everything serial at the slowest per-context rate,
+		// stalls included.
+		serial, err := Run(tr.Serialize(), cfg)
+		if err != nil {
+			return false
+		}
+		if res.Cycles > serial.Cycles+1e-6 {
+			return false
+		}
+		// Occupancy bound.
+		return res.AvgActiveContexts() <= float64(cfg.Contexts())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMachineScalingNeverHurts checks monotonicity on random DAGs: adding
+// cores or widening issue never slows a run down.
+func TestMachineScalingNeverHurts(t *testing.T) {
+	f := func(spec []struct {
+		Ops     uint16
+		Fan     uint8
+		SupOps  uint16
+		MemLds  uint8
+		JoinNow bool
+	}) bool {
+		tr := randomTrace(spec)
+		small := Default()
+		small.Cores = 1
+		small.ContextsPerCore = 2
+		big := Default()
+		big.Cores = 4
+		big.ContextsPerCore = 4
+		rs, err := Run(tr, small)
+		if err != nil {
+			return false
+		}
+		rb, err := Run(tr, big)
+		if err != nil {
+			return false
+		}
+		return rb.Cycles <= rs.Cycles+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstructionCountIndependentOfMachine: the machine changes timing,
+// never the committed work.
+func TestInstructionCountIndependentOfMachine(t *testing.T) {
+	tr := randomTrace([]struct {
+		Ops     uint16
+		Fan     uint8
+		SupOps  uint16
+		MemLds  uint8
+		JoinNow bool
+	}{{Ops: 100, Fan: 3, SupOps: 50, MemLds: 2, JoinNow: true}, {Ops: 7, Fan: 1, SupOps: 9}})
+	a, err := Run(tr, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := Default()
+	narrow.IssueWidth = 1
+	narrow.CtxIssueWidth = 1
+	b, err := Run(tr, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instructions != b.Instructions {
+		t.Fatalf("instructions differ across machines: %d vs %d", a.Instructions, b.Instructions)
+	}
+	if !(b.Cycles > a.Cycles) {
+		t.Fatalf("1-wide machine not slower: %v vs %v", b.Cycles, a.Cycles)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtt/internal/trace"
+)
+
+// Span records when one task ran and where.
+type Span struct {
+	Task       trace.TaskID
+	Kind       trace.Kind
+	Label      string
+	Core, Ctx  int
+	Start, End float64
+}
+
+// Timeline is a per-context schedule of one simulated run, produced by
+// RunTimeline. It exists for visual debugging of overlap: the experiments
+// use Run, which skips span collection.
+type Timeline struct {
+	Result Result
+	Spans  []Span
+}
+
+// RunTimeline simulates tr like Run and additionally records a Span per
+// task.
+func RunTimeline(tr *trace.Trace, cfg Config) (*Timeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	tl := &Timeline{}
+	res, err := runEngine(tr, cfg, func(s Span) { tl.Spans = append(tl.Spans, s) })
+	if err != nil {
+		return nil, err
+	}
+	tl.Result = res
+	return tl, nil
+}
+
+// String renders the timeline as one row per hardware context, time
+// bucketed into a fixed number of columns: 'M' marks main-thread
+// execution, 's' support-thread execution, '.' idle.
+func (tl *Timeline) String() string {
+	const cols = 72
+	if tl.Result.Cycles <= 0 || len(tl.Spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	type key struct{ core, ctx int }
+	rows := map[key][]byte{}
+	var keys []key
+	rowFor := func(k key) []byte {
+		if r, ok := rows[k]; ok {
+			return r
+		}
+		r := make([]byte, cols)
+		for i := range r {
+			r[i] = '.'
+		}
+		rows[k] = r
+		keys = append(keys, k)
+		return r
+	}
+	scale := float64(cols) / tl.Result.Cycles
+	for _, s := range tl.Spans {
+		row := rowFor(key{s.Core, s.Ctx})
+		lo := int(s.Start * scale)
+		hi := int(s.End * scale)
+		if hi >= cols {
+			hi = cols - 1
+		}
+		mark := byte('s')
+		if s.Kind == trace.KindMain {
+			mark = 'M'
+		}
+		for i := lo; i <= hi; i++ {
+			// Main-thread marks win ties so the chain stays visible.
+			if row[i] == '.' || mark == 'M' {
+				row[i] = mark
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].core != keys[j].core {
+			return keys[i].core < keys[j].core
+		}
+		return keys[i].ctx < keys[j].ctx
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %.0f cycles, %d tasks (M=main, s=support, .=idle)\n", tl.Result.Cycles, len(tl.Spans))
+	for _, k := range keys {
+		fmt.Fprintf(&b, "core %d ctx %d |%s|\n", k.core, k.ctx, rows[k])
+	}
+	return b.String()
+}

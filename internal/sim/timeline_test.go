@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dtt/internal/trace"
+)
+
+func timelineTrace() *trace.Trace {
+	return buildTrace([]*trace.Task{
+		{ID: 0, Kind: trace.KindMain, Ops: 400},
+		{ID: 1, Kind: trace.KindSupport, Label: "sup", Ops: 400, Deps: []trace.TaskID{0}},
+		{ID: 2, Kind: trace.KindMain, Ops: 400, Deps: []trace.TaskID{0}},
+		{ID: 3, Kind: trace.KindMain, Ops: 40, Deps: []trace.TaskID{2, 1}},
+	})
+}
+
+func TestRunTimelineMatchesRun(t *testing.T) {
+	tr := timelineTrace()
+	cfg := Default()
+	plain, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := RunTimeline(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Result.Cycles != plain.Cycles || tl.Result.Instructions != plain.Instructions {
+		t.Fatalf("timeline result diverges: %+v vs %+v", tl.Result, plain)
+	}
+	if len(tl.Spans) != len(tr.Tasks) {
+		t.Fatalf("spans = %d, want %d", len(tl.Spans), len(tr.Tasks))
+	}
+}
+
+func TestTimelineSpansConsistent(t *testing.T) {
+	tl, err := RunTimeline(timelineTrace(), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tl.Spans {
+		if s.Start > s.End {
+			t.Fatalf("span %d runs backwards: %v > %v", s.Task, s.Start, s.End)
+		}
+		if s.End > tl.Result.Cycles+1e-9 {
+			t.Fatalf("span %d ends after the run: %v > %v", s.Task, s.End, tl.Result.Cycles)
+		}
+	}
+	// The support task must overlap the concurrent main segment.
+	var sup, mid Span
+	for _, s := range tl.Spans {
+		switch s.Task {
+		case 1:
+			sup = s
+		case 2:
+			mid = s
+		}
+	}
+	if sup.End <= mid.Start || mid.End <= sup.Start {
+		t.Fatalf("support %v and main %v do not overlap", sup, mid)
+	}
+	if sup.Core == mid.Core && sup.Ctx == mid.Ctx {
+		t.Fatalf("overlapping tasks share a context")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tl, err := RunTimeline(timelineTrace(), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tl.String()
+	if !strings.Contains(out, "core 0 ctx 0") {
+		t.Fatalf("missing main context row:\n%s", out)
+	}
+	if !strings.Contains(out, "M") || !strings.Contains(out, "s") {
+		t.Fatalf("missing task marks:\n%s", out)
+	}
+	empty := &Timeline{}
+	if !strings.Contains(empty.String(), "empty") {
+		t.Fatalf("empty timeline rendering: %q", empty.String())
+	}
+}

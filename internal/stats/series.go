@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a labelled sequence of (name, value) points — one bar group of
+// a paper figure. Figures with several series (e.g. speedup with and
+// without parallelism) hold one Series per line.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Value returns the value for label, with ok reporting presence.
+func (s *Series) Value(label string) (v float64, ok bool) {
+	for i, l := range s.Labels {
+		if l == label {
+			return s.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a rendered experiment figure: one or more series over a shared
+// label axis, drawn as horizontal ASCII bars so the shape is visible in a
+// terminal.
+type Figure struct {
+	Title  string
+	Unit   string
+	series []*Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, unit string) *Figure { return &Figure{Title: title, Unit: unit} }
+
+// AddSeries appends a series and returns it for population.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.series = append(f.series, s)
+	return s
+}
+
+// Series returns the figure's series.
+func (f *Figure) Series() []*Series { return f.series }
+
+// barWidth is the maximum bar length in characters.
+const barWidth = 40
+
+// String renders the figure: grouped bars per label, one row per series.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", f.Title)
+	if f.Unit != "" {
+		fmt.Fprintf(&b, " [%s]", f.Unit)
+	}
+	b.WriteByte('\n')
+	if len(f.series) == 0 {
+		return b.String()
+	}
+
+	maxVal := 0.0
+	labelW, nameW := 0, 0
+	for _, s := range f.series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+		for i, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+			if len(s.Labels[i]) > labelW {
+				labelW = len(s.Labels[i])
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+
+	labels := f.series[0].Labels
+	multi := len(f.series) > 1
+	for _, label := range labels {
+		if multi {
+			fmt.Fprintf(&b, "%s\n", label)
+		}
+		for _, s := range f.series {
+			v, ok := s.Value(label)
+			if !ok {
+				continue
+			}
+			n := int(v / maxVal * barWidth)
+			if n < 0 {
+				n = 0
+			}
+			bar := strings.Repeat("#", n)
+			if multi {
+				fmt.Fprintf(&b, "  %-*s %-*s %.3f\n", nameW, s.Name, barWidth, bar, v)
+			} else {
+				fmt.Fprintf(&b, "%-*s %-*s %.3f\n", labelW, label, barWidth, bar, v)
+			}
+		}
+	}
+	return b.String()
+}

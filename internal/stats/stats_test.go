@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Geomean = %v, want 2", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("Geomean(nil) = %v", got)
+	}
+	if got := Geomean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Fatalf("Geomean with negative input = %v, want NaN", got)
+	}
+}
+
+func TestGeomeanLeqMaxGeqMinProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9 && g <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatalf("empty Min/Max not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1: test", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 10)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Table 1") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("missing headers: %q", lines[1])
+	}
+	// Columns must align: "value" starts at the same offset in all rows.
+	off := strings.Index(lines[1], "value")
+	if !strings.Contains(lines[3][off:], "1.5") {
+		t.Fatalf("misaligned value column:\n%s", out)
+	}
+	if strings.Contains(out, " \n") {
+		t.Fatalf("trailing spaces in output")
+	}
+}
+
+func TestTableCellAccess(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x", 2)
+	if tb.Cell(0, 0) != "x" || tb.Cell(0, 1) != "2" {
+		t.Fatalf("cells: %q %q", tb.Cell(0, 0), tb.Cell(0, 1))
+	}
+	if tb.Cell(5, 5) != "" {
+		t.Fatalf("out-of-range cell not empty")
+	}
+	if tb.Rows() != 1 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableWideRow(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRowf("1", "2", "3")
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("extra columns dropped:\n%s", out)
+	}
+}
+
+func TestSeriesValue(t *testing.T) {
+	var s Series
+	s.Add("mcf", 5.9)
+	s.Add("art", 2.0)
+	if v, ok := s.Value("mcf"); !ok || v != 5.9 {
+		t.Fatalf("Value(mcf) = %v,%v", v, ok)
+	}
+	if _, ok := s.Value("nope"); ok {
+		t.Fatalf("missing label found")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestFigureSingleSeries(t *testing.T) {
+	f := NewFigure("Figure 3: speedup", "x")
+	s := f.AddSeries("dtt")
+	s.Add("mcf", 4.0)
+	s.Add("gzip", 1.0)
+	out := f.String()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "[x]") {
+		t.Fatalf("title/unit missing:\n%s", out)
+	}
+	// The larger value must render the longer bar.
+	lines := strings.Split(out, "\n")
+	var mcfBar, gzipBar int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "mcf") {
+			mcfBar = strings.Count(l, "#")
+		}
+		if strings.HasPrefix(l, "gzip") {
+			gzipBar = strings.Count(l, "#")
+		}
+	}
+	if mcfBar <= gzipBar {
+		t.Fatalf("bar lengths not ordered: mcf=%d gzip=%d\n%s", mcfBar, gzipBar, out)
+	}
+}
+
+func TestFigureMultiSeriesGroupsByLabel(t *testing.T) {
+	f := NewFigure("Figure 4", "")
+	a := f.AddSeries("elim-only")
+	b := f.AddSeries("full-dtt")
+	a.Add("mcf", 2)
+	b.Add("mcf", 4)
+	out := f.String()
+	if !strings.Contains(out, "elim-only") || !strings.Contains(out, "full-dtt") {
+		t.Fatalf("series names missing:\n%s", out)
+	}
+	if !strings.Contains(out, "mcf\n") {
+		t.Fatalf("group label missing:\n%s", out)
+	}
+	if len(f.Series()) != 2 {
+		t.Fatalf("Series() = %d", len(f.Series()))
+	}
+}
+
+func TestFigureEmptyAndZero(t *testing.T) {
+	f := NewFigure("empty", "")
+	if out := f.String(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty figure: %q", out)
+	}
+	f2 := NewFigure("zeros", "")
+	f2.AddSeries("s").Add("a", 0)
+	if out := f2.String(); !strings.Contains(out, "0.000") {
+		t.Fatalf("zero rendering:\n%s", out)
+	}
+}

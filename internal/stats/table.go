@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an aligned text table, used to regenerate the paper's tables.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v. Short rows are padded
+// with empty cells, long rows are accepted as-is (the renderer widens).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of pre-formatted strings.
+func (t *Table) AddRowf(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted contents of row r, column c ("" if absent).
+func (t *Table) Cell(r, c int) string {
+	if r < 0 || r >= len(t.rows) || c < 0 || c >= len(t.rows[r]) {
+		return ""
+	}
+	return t.rows[r][c]
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		var line strings.Builder
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], cell)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, ncols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

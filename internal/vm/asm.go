@@ -1,0 +1,397 @@
+// Package vm is a small word-addressed virtual machine whose instruction
+// set includes the paper's DTT extensions. The rest of the repository
+// exposes data-triggered threads as a Go API; this package demonstrates
+// them at the level the paper proposes them — as instructions. Programs
+// are written in a tiny assembly dialect, assembled to an instruction
+// slice, and executed against a core.Runtime: a tst instruction is a real
+// triggering store, tspawn fills the real thread registry, and support
+// threads are assembly subroutines executed by the runtime.
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a VM opcode.
+type Op int
+
+// The instruction set. The DTT extension opcodes mirror internal/isa.
+const (
+	OpNop     Op = iota
+	OpLi         // li rd, imm
+	OpAdd        // add rd, rs, rt
+	OpSub        // sub rd, rs, rt
+	OpMul        // mul rd, rs, rt
+	OpAddi       // addi rd, rs, imm
+	OpSlt        // slt rd, rs, rt (rd = rs < rt)
+	OpAnd        // and rd, rs, rt
+	OpOr         // or rd, rs, rt
+	OpXor        // xor rd, rs, rt
+	OpShl        // shl rd, rs, rt (shift amount masked to 63)
+	OpShr        // shr rd, rs, rt (logical)
+	OpDiv        // div rd, rs, rt (0 when rt is 0)
+	OpMod        // mod rd, rs, rt (0 when rt is 0)
+	OpLd         // ld rd, imm(rs)
+	OpSt         // st rs, imm(rb)
+	OpTst        // tst rs, imm(rb) — triggering store
+	OpBeq        // beq rs, rt, label
+	OpBne        // bne rs, rt, label
+	OpBlt        // blt rs, rt, label
+	OpJmp        // jmp label
+	OpTspawn     // tspawn thread, rlo, rhi
+	OpTcancel    // tcancel thread
+	OpTwait      // twait thread
+	OpTbarrier
+	OpTstatus // tstatus rd, thread
+	OpPrint   // print rs — appends to the machine's output
+	OpTret    // return from a support-thread body
+	OpHalt
+)
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt int
+	Imm        int64
+	Target     int    // resolved branch/jump target
+	Sym        string // thread name for DTT instructions
+	Line       int    // source line, for diagnostics
+}
+
+// ThreadDecl is a .thread directive: a named support thread whose body
+// starts at Entry and runs until tret.
+type ThreadDecl struct {
+	Name  string
+	Entry int
+}
+
+// Program is an assembled program.
+type Program struct {
+	Instrs  []Instr
+	Entry   int // index of label "main", or 0
+	Threads []ThreadDecl
+}
+
+// NumRegs is the register file size; r0 is hardwired to zero.
+const NumRegs = 16
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e asmError) Error() string { return fmt.Sprintf("vm: line %d: %s", e.line, e.msg) }
+
+func errf(line int, format string, args ...any) error {
+	return asmError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses src into a Program. The dialect:
+//
+//	; comment
+//	label:
+//	.thread name entrylabel
+//	li r1, 42
+//	ld r2, 4(r1)
+//	tst r2, 0(r3)
+//	tspawn name, r4, r5
+//	beq r1, r2, label
+//
+// Registers are r0..r15. Immediates are decimal or 0x-hex.
+func Assemble(src string) (*Program, error) {
+	type pendingThread struct {
+		name, entry string
+		line        int
+	}
+	var (
+		prog     Program
+		labels   = map[string]int{}
+		fixups   []int // instruction indexes whose Sym is an unresolved label
+		pthreads []pendingThread
+	)
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := ln + 1
+		text := raw
+		if i := strings.IndexByte(text, ';'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Labels may share a line with an instruction: "loop: addi ..."
+		for {
+			i := strings.IndexByte(text, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, errf(line, "malformed label %q", label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, errf(line, "duplicate label %q", label)
+			}
+			labels[label] = len(prog.Instrs)
+			text = strings.TrimSpace(text[i+1:])
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".thread") {
+			fields := strings.Fields(text)
+			if len(fields) != 3 {
+				return nil, errf(line, ".thread wants: .thread name entrylabel")
+			}
+			pthreads = append(pthreads, pendingThread{name: fields[1], entry: fields[2], line: line})
+			continue
+		}
+
+		ins, needsFixup, err := parseInstr(text, line)
+		if err != nil {
+			return nil, err
+		}
+		if needsFixup {
+			fixups = append(fixups, len(prog.Instrs))
+		}
+		prog.Instrs = append(prog.Instrs, ins)
+	}
+
+	// Resolve branch targets.
+	for _, idx := range fixups {
+		ins := &prog.Instrs[idx]
+		t, ok := labels[ins.Sym]
+		if !ok {
+			return nil, errf(ins.Line, "undefined label %q", ins.Sym)
+		}
+		ins.Target = t
+		ins.Sym = ""
+	}
+	// Resolve thread entries.
+	seen := map[string]bool{}
+	for _, pt := range pthreads {
+		if seen[pt.name] {
+			return nil, errf(pt.line, "duplicate thread %q", pt.name)
+		}
+		seen[pt.name] = true
+		entry, ok := labels[pt.entry]
+		if !ok {
+			return nil, errf(pt.line, "thread %q: undefined entry label %q", pt.name, pt.entry)
+		}
+		prog.Threads = append(prog.Threads, ThreadDecl{Name: pt.name, Entry: entry})
+	}
+	if e, ok := labels["main"]; ok {
+		prog.Entry = e
+	}
+	if len(prog.Instrs) == 0 {
+		return nil, errf(0, "empty program")
+	}
+	return &prog, nil
+}
+
+// parseInstr decodes one instruction line. needsFixup reports that Sym
+// holds a label to resolve into Target.
+func parseInstr(text string, line int) (ins Instr, needsFixup bool, err error) {
+	ins.Line = line
+	sp := strings.IndexAny(text, " \t")
+	mnem := text
+	rest := ""
+	if sp >= 0 {
+		mnem, rest = text[:sp], strings.TrimSpace(text[sp+1:])
+	}
+	args := splitArgs(rest)
+	argc := func(n int) error {
+		if len(args) != n {
+			return errf(line, "%s wants %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		ins.Op = OpNop
+		err = argc(0)
+	case "halt":
+		ins.Op = OpHalt
+		err = argc(0)
+	case "tret":
+		ins.Op = OpTret
+		err = argc(0)
+	case "tbarrier":
+		ins.Op = OpTbarrier
+		err = argc(0)
+	case "li":
+		ins.Op = OpLi
+		if err = argc(2); err == nil {
+			ins.Rd, err = reg(args[0], line)
+			if err == nil {
+				ins.Imm, err = imm(args[1], line)
+			}
+		}
+	case "add", "sub", "mul", "slt", "and", "or", "xor", "shl", "shr", "div", "mod":
+		switch mnem {
+		case "add":
+			ins.Op = OpAdd
+		case "sub":
+			ins.Op = OpSub
+		case "mul":
+			ins.Op = OpMul
+		case "slt":
+			ins.Op = OpSlt
+		case "and":
+			ins.Op = OpAnd
+		case "or":
+			ins.Op = OpOr
+		case "xor":
+			ins.Op = OpXor
+		case "shl":
+			ins.Op = OpShl
+		case "shr":
+			ins.Op = OpShr
+		case "div":
+			ins.Op = OpDiv
+		case "mod":
+			ins.Op = OpMod
+		}
+		if err = argc(3); err == nil {
+			ins.Rd, err = reg(args[0], line)
+			if err == nil {
+				ins.Rs, err = reg(args[1], line)
+			}
+			if err == nil {
+				ins.Rt, err = reg(args[2], line)
+			}
+		}
+	case "addi":
+		ins.Op = OpAddi
+		if err = argc(3); err == nil {
+			ins.Rd, err = reg(args[0], line)
+			if err == nil {
+				ins.Rs, err = reg(args[1], line)
+			}
+			if err == nil {
+				ins.Imm, err = imm(args[2], line)
+			}
+		}
+	case "ld", "st", "tst":
+		switch mnem {
+		case "ld":
+			ins.Op = OpLd
+		case "st":
+			ins.Op = OpSt
+		default:
+			ins.Op = OpTst
+		}
+		if err = argc(2); err == nil {
+			ins.Rd, err = reg(args[0], line) // data register (dest for ld, src for st/tst)
+			if err == nil {
+				ins.Imm, ins.Rs, err = memOperand(args[1], line)
+			}
+		}
+	case "beq", "bne", "blt":
+		switch mnem {
+		case "beq":
+			ins.Op = OpBeq
+		case "bne":
+			ins.Op = OpBne
+		default:
+			ins.Op = OpBlt
+		}
+		if err = argc(3); err == nil {
+			ins.Rs, err = reg(args[0], line)
+			if err == nil {
+				ins.Rt, err = reg(args[1], line)
+			}
+			ins.Sym = args[2]
+			needsFixup = true
+		}
+	case "jmp":
+		ins.Op = OpJmp
+		if err = argc(1); err == nil {
+			ins.Sym = args[0]
+			needsFixup = true
+		}
+	case "tspawn":
+		ins.Op = OpTspawn
+		if err = argc(3); err == nil {
+			ins.Sym = args[0]
+			ins.Rs, err = reg(args[1], line)
+			if err == nil {
+				ins.Rt, err = reg(args[2], line)
+			}
+		}
+	case "tcancel", "twait":
+		if mnem == "tcancel" {
+			ins.Op = OpTcancel
+		} else {
+			ins.Op = OpTwait
+		}
+		if err = argc(1); err == nil {
+			ins.Sym = args[0]
+		}
+	case "tstatus":
+		ins.Op = OpTstatus
+		if err = argc(2); err == nil {
+			ins.Rd, err = reg(args[0], line)
+			ins.Sym = args[1]
+		}
+	case "print":
+		ins.Op = OpPrint
+		if err = argc(1); err == nil {
+			ins.Rs, err = reg(args[0], line)
+		}
+	default:
+		err = errf(line, "unknown mnemonic %q", mnem)
+	}
+	return ins, needsFixup, err
+}
+
+func splitArgs(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func reg(s string, line int) (int, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, errf(line, "expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, errf(line, "bad register %q", s)
+	}
+	return n, nil
+}
+
+func imm(s string, line int) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, errf(line, "bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "imm(rN)" or "(rN)".
+func memOperand(s string, line int) (off int64, base int, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "expected imm(reg) operand, got %q", s)
+	}
+	if open > 0 {
+		off, err = imm(s[:open], line)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = reg(s[open+1:len(s)-1], line)
+	return off, base, err
+}

@@ -1,0 +1,101 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders one instruction in assembler syntax. Branch targets print
+// as absolute instruction indexes (labels are not preserved through
+// assembly).
+func (i Instr) String() string {
+	r := func(n int) string { return fmt.Sprintf("r%d", n) }
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return "halt"
+	case OpTret:
+		return "tret"
+	case OpTbarrier:
+		return "tbarrier"
+	case OpLi:
+		return fmt.Sprintf("li %s, %d", r(i.Rd), i.Imm)
+	case OpAdd, OpSub, OpMul, OpSlt, OpAnd, OpOr, OpXor, OpShl, OpShr, OpDiv, OpMod:
+		return fmt.Sprintf("%s %s, %s, %s", mnemonicOf(i.Op), r(i.Rd), r(i.Rs), r(i.Rt))
+	case OpAddi:
+		return fmt.Sprintf("addi %s, %s, %d", r(i.Rd), r(i.Rs), i.Imm)
+	case OpLd:
+		return fmt.Sprintf("ld %s, %d(%s)", r(i.Rd), i.Imm, r(i.Rs))
+	case OpSt:
+		return fmt.Sprintf("st %s, %d(%s)", r(i.Rd), i.Imm, r(i.Rs))
+	case OpTst:
+		return fmt.Sprintf("tst %s, %d(%s)", r(i.Rd), i.Imm, r(i.Rs))
+	case OpBeq, OpBne, OpBlt:
+		return fmt.Sprintf("%s %s, %s, @%d", mnemonicOf(i.Op), r(i.Rs), r(i.Rt), i.Target)
+	case OpJmp:
+		return fmt.Sprintf("jmp @%d", i.Target)
+	case OpTspawn:
+		return fmt.Sprintf("tspawn %s, %s, %s", i.Sym, r(i.Rs), r(i.Rt))
+	case OpTcancel:
+		return fmt.Sprintf("tcancel %s", i.Sym)
+	case OpTwait:
+		return fmt.Sprintf("twait %s", i.Sym)
+	case OpTstatus:
+		return fmt.Sprintf("tstatus %s, %s", r(i.Rd), i.Sym)
+	case OpPrint:
+		return fmt.Sprintf("print %s", r(i.Rs))
+	}
+	return fmt.Sprintf("op(%d)", int(i.Op))
+}
+
+func mnemonicOf(op Op) string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpMul:
+		return "mul"
+	case OpSlt:
+		return "slt"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpXor:
+		return "xor"
+	case OpShl:
+		return "shl"
+	case OpShr:
+		return "shr"
+	case OpDiv:
+		return "div"
+	case OpMod:
+		return "mod"
+	case OpBeq:
+		return "beq"
+	case OpBne:
+		return "bne"
+	case OpBlt:
+		return "blt"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Disassemble renders the whole program, one instruction per line with its
+// index, plus the thread directory.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, td := range p.Threads {
+		fmt.Fprintf(&b, ".thread %s @%d\n", td.Name, td.Entry)
+	}
+	for i, ins := range p.Instrs {
+		marker := "  "
+		if i == p.Entry {
+			marker = "=>"
+		}
+		fmt.Fprintf(&b, "%s %4d  %s\n", marker, i, ins.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,370 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"dtt/internal/core"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := New(assemble(t, src), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	m := run(t, `
+main:
+	li r1, 6
+	li r2, 7
+	mul r3, r1, r2
+	addi r3, r3, -2
+	print r3
+	halt
+`)
+	out := m.Output()
+	if len(out) != 1 || out[0] != 40 {
+		t.Fatalf("output = %v, want [40]", out)
+	}
+}
+
+func TestLoadStoreAndBranches(t *testing.T) {
+	// Sum memory[0..9] written by a loop.
+	m := run(t, `
+main:
+	li r1, 0        ; i
+	li r2, 10       ; n
+fill:
+	st r1, 0(r1)    ; mem[i] = i
+	addi r1, r1, 1
+	blt r1, r2, fill
+	li r1, 0
+	li r3, 0        ; sum
+sum:
+	ld r4, 0(r1)
+	add r3, r3, r4
+	addi r1, r1, 1
+	blt r1, r2, sum
+	print r3
+	halt
+`)
+	if out := m.Output(); len(out) != 1 || out[0] != 45 {
+		t.Fatalf("output = %v, want [45]", out)
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	m := run(t, `
+main:
+	li r0, 99
+	print r0
+	halt
+`)
+	if out := m.Output(); out[0] != 0 {
+		t.Fatalf("r0 = %d, want 0", out[0])
+	}
+}
+
+// The canonical DTT program: a support thread maintains mem[10+i] =
+// mem[i]*2 for the trigger range [0, 4). Silent tst instructions must not
+// fire it.
+const dttProgram = `
+	.thread double dbl
+
+main:
+	li r3, 0
+	li r4, 4
+	tspawn double, r3, r4
+
+	li r5, 7
+	tst r5, 0(r3)    ; fires: 0 -> 7
+	tst r5, 0(r3)    ; silent
+	li r5, 9
+	tst r5, 1(r3)    ; fires: 0 -> 9
+	twait double
+
+	ld r6, 10(r0)
+	print r6         ; 14
+	ld r6, 11(r0)
+	print r6         ; 18
+	tstatus r7, double
+	print r7         ; 0 = idle after twait
+	halt
+
+dbl:                     ; r1 = trigger index, r2 = value
+	add r8, r2, r2
+	addi r9, r1, 10
+	st r8, 0(r9)
+	tret
+`
+
+func TestDTTInstructions(t *testing.T) {
+	m := run(t, dttProgram)
+	out := m.Output()
+	want := []int64{14, 18, StatusIdle}
+	if len(out) != len(want) {
+		t.Fatalf("output = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	s := m.Stats()
+	if s.TStores != 3 || s.Silent != 1 {
+		t.Fatalf("stats = %+v, want 3 tstores with 1 silent", s)
+	}
+	if s.Executed+s.InlineRuns != 2 {
+		t.Fatalf("support instances = %d, want 2", s.Executed+s.InlineRuns)
+	}
+}
+
+func TestDTTOnImmediateBackend(t *testing.T) {
+	rt, err := core.New(core.Config{Backend: core.BackendImmediate, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	m, err := New(assemble(t, dttProgram), Config{Runtime: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	if len(out) != 3 || out[0] != 14 || out[1] != 18 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestTcancelStopsTriggers(t *testing.T) {
+	m := run(t, `
+	.thread bump body
+main:
+	li r3, 0
+	li r4, 1
+	tspawn bump, r3, r4
+	li r5, 1
+	tst r5, 0(r3)
+	tbarrier
+	tcancel bump
+	li r5, 2
+	tst r5, 0(r3)    ; no longer attached
+	tbarrier
+	ld r6, 5(r0)
+	print r6         ; only the first trigger bumped
+	halt
+body:
+	ld r8, 5(r0)
+	addi r8, r8, 1
+	st r8, 5(r0)
+	tret
+`)
+	if out := m.Output(); out[0] != 1 {
+		t.Fatalf("counter = %d, want 1 (tcancel must stop triggers)", out[0])
+	}
+}
+
+func TestCascadeBetweenThreads(t *testing.T) {
+	m := run(t, `
+	.thread first f
+	.thread second s
+main:
+	li r3, 0
+	li r4, 1
+	tspawn first, r3, r4
+	li r3, 1
+	li r4, 2
+	tspawn second, r3, r4
+	li r5, 5
+	tst r5, 0(r0)
+	tbarrier
+	ld r6, 2(r0)
+	print r6         ; (5*10)+1 = 51
+	halt
+f:
+	li r9, 10
+	mul r8, r2, r9
+	tst r8, 1(r0)    ; cascades into second
+	tret
+s:
+	addi r8, r2, 1
+	st r8, 2(r0)
+	tret
+`)
+	if out := m.Output(); out[0] != 51 {
+		t.Fatalf("cascade result = %d, want 51", out[0])
+	}
+}
+
+// TestDTTExecutesFewerInstructions is the ISA-level form of the paper's
+// committed-instruction claim: a baseline that recomputes a derived value
+// every round executes strictly more VM instructions than a DTT program
+// whose silent triggering stores skip the recomputation.
+func TestDTTExecutesFewerInstructions(t *testing.T) {
+	baseline := `
+main:
+	li r10, 0
+round:
+	li r5, 7
+	st r5, 0(r0)     ; same input every round
+	ld r5, 0(r0)     ; recompute derived = input*input, every round
+	mul r6, r5, r5
+	st r6, 1(r0)
+	addi r10, r10, 1
+	li r9, 20
+	blt r10, r9, round
+	ld r6, 1(r0)
+	print r6
+	halt
+`
+	dttProg := `
+	.thread dv body
+main:
+	li r3, 0
+	li r4, 1
+	tspawn dv, r3, r4
+	li r10, 0
+round:
+	li r5, 7
+	tst r5, 0(r0)    ; silent after the first round
+	twait dv
+	addi r10, r10, 1
+	li r9, 20
+	blt r10, r9, round
+	ld r6, 1(r0)
+	print r6
+	halt
+body:
+	mul r6, r2, r2
+	st r6, 1(r0)
+	tret
+`
+	mb, err := New(assemble(t, baseline), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	if err := mb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	md, err := New(assemble(t, dttProg), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer md.Close()
+	if err := md.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mb.Output()[0] != md.Output()[0] || mb.Output()[0] != 49 {
+		t.Fatalf("outputs differ: %v vs %v", mb.Output(), md.Output())
+	}
+	if !(md.FuelUsed() < mb.FuelUsed()) {
+		t.Fatalf("DTT executed %d instructions vs baseline %d; nothing skipped", md.FuelUsed(), mb.FuelUsed())
+	}
+	if s := md.Stats(); s.Silent != 19 {
+		t.Fatalf("silent tstores = %d, want 19 of 20", s.Silent)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	m, err := New(assemble(t, "main:\n jmp main\n"), Config{Fuel: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "fuel") {
+		t.Fatalf("runaway loop not stopped: %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		"oob-load":          "main:\n li r1, 9999999\n ld r2, 0(r1)\n halt\n",
+		"halt-in-thread":    "\t.thread t b\nmain:\n li r3,0\n li r4,1\n tspawn t, r3, r4\n li r5,1\n tst r5, 0(r0)\n tbarrier\n halt\nb:\n halt\n",
+		"tret-in-main":      "main:\n tret\n",
+		"twait-in-thread":   "\t.thread t b\nmain:\n li r3,0\n li r4,1\n tspawn t, r3, r4\n li r5,1\n tst r5, 0(r0)\n tbarrier\n halt\nb:\n twait t\n tret\n",
+		"tspawn-undeclared": "main:\n tspawn nope, r1, r2\n halt\n",
+		"pc-off-end":        "main:\n nop\n",
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			m, err := New(assemble(t, src), Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if err := m.Run(); err == nil {
+				t.Fatalf("expected runtime error")
+			}
+		})
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "  \n ; just a comment\n",
+		"bad-mnemonic":    "main:\n frobnicate r1\n",
+		"bad-register":    "main:\n li r99, 1\n halt\n",
+		"bad-immediate":   "main:\n li r1, banana\n halt\n",
+		"bad-operands":    "main:\n add r1, r2\n halt\n",
+		"undefined-label": "main:\n jmp nowhere\n halt\n",
+		"dup-label":       "a:\n nop\na:\n halt\n",
+		"bad-thread":      ".thread t\nmain:\n halt\n",
+		"thread-no-entry": ".thread t nowhere\nmain:\n halt\n",
+		"dup-thread":      ".thread t main\n.thread t main\nmain:\n halt\n",
+		"bad-mem-operand": "main:\n ld r1, r2\n halt\n",
+		"bad-label":       "a b:\n halt\n",
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			if _, err := Assemble(src); err == nil {
+				t.Fatalf("assembled invalid program")
+			}
+		})
+	}
+}
+
+func TestAssemblerDetails(t *testing.T) {
+	p := assemble(t, `
+; leading comment
+start: main: li r1, 0x10   ; two labels, hex immediate
+	print r1
+	halt
+`)
+	if p.Entry != 0 {
+		t.Fatalf("entry = %d", p.Entry)
+	}
+	if p.Instrs[0].Imm != 16 {
+		t.Fatalf("hex immediate = %d", p.Instrs[0].Imm)
+	}
+}
+
+func TestNewRejectsEmptyProgram(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatalf("nil program accepted")
+	}
+	if _, err := New(&Program{}, Config{}); err == nil {
+		t.Fatalf("empty program accepted")
+	}
+}

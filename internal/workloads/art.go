@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// artWorkload models 179.art, the Adaptive Resonance Theory image
+// recogniser.
+//
+// art's training loop recomputes the bottom-up activation of every F2
+// neuron against every input in the batch on each epoch, although an epoch
+// updates the weights of only the winning neuron's neighbourhood — the
+// activations of untouched neurons are recomputed to identical values. The
+// DTT transform guards each neuron's weight row with a per-row trigger
+// word: a support thread recomputes a neuron's activations only when its
+// row actually changed.
+type artWorkload struct{}
+
+func init() { register(artWorkload{}) }
+
+func (artWorkload) Name() string  { return "art" }
+func (artWorkload) Suite() string { return "SPEC CPU2000 fp (179.art)" }
+func (artWorkload) Description() string {
+	return "neural-net activations: recompute a neuron's batch activations only when its weight row changed"
+}
+
+// art dimensions.
+const (
+	artNeuronsBase = 128
+	artDims        = 48
+	artBatch       = 24
+	artSelected    = 128 // neurons touched by one epoch's weight update
+	artMACCost     = 2   // ALU ops per multiply-accumulate
+)
+
+type artState struct {
+	sys     *mem.System
+	neurons int
+	w       *mem.Buffer // weights, row-major [neuron][dim]
+	y       *mem.Buffer // activations, [neuron][batch]
+	inputs  [][]int64   // static batch inputs
+}
+
+// activate recomputes neuron i's activation against every batch input.
+func (st *artState) activate(i int) {
+	for b, x := range st.inputs {
+		var acc int64
+		for j := 0; j < artDims; j++ {
+			acc += signed(st.w.Load(i*artDims+j)) * x[j]
+			st.sys.Compute(artMACCost)
+		}
+		st.y.Store(i*artBatch+b, word(acc))
+	}
+}
+
+// winner scans activations for the epoch's best (neuron, input) pair.
+func (st *artState) winner() (best int, bestVal int64) {
+	bestVal = -(int64(1) << 62)
+	for i := 0; i < st.neurons; i++ {
+		for b := 0; b < artBatch; b++ {
+			v := signed(st.y.Load(i*artBatch + b))
+			st.sys.Compute(1)
+			if v > bestVal {
+				bestVal, best = v, i
+			}
+		}
+	}
+	return best, bestVal
+}
+
+// epochUpdate applies the epoch's weight update around the winner. About a
+// third of the selected neurons receive an all-zero adjustment — art's
+// redundant weight writes. After each row, onRow (if non-nil) is told
+// whether any weight in that row actually changed; the DTT variant uses it
+// to advance the row's trigger word.
+func (st *artState) epochUpdate(epoch, winner int, onRow func(i int, changed bool)) {
+	h := uint64(epoch)*0x9e3779b97f4a7c15 + uint64(winner)
+	for s := 0; s < artSelected; s++ {
+		i := (winner + s*7) % st.neurons
+		h ^= h >> 31
+		h *= 0xbf58476d1ce4e5b9
+		frozen := h%3 == 0
+		rowChanged := false
+		for j := 0; j < artDims; j++ {
+			delta := int64((h>>uint(j%32))%3) - 1
+			if frozen {
+				delta = 0
+			}
+			v := signed(st.w.Load(i*artDims+j)) + delta
+			if st.w.Store(i*artDims+j, word(v)) {
+				rowChanged = true
+			}
+			st.sys.Compute(1)
+		}
+		if onRow != nil {
+			onRow(i, rowChanged)
+		}
+	}
+}
+
+func newArtState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *artState {
+	size = size.withDefaults()
+	n := artNeuronsBase * size.Scale
+	st := &artState{
+		sys:     sys,
+		neurons: n,
+		w:       alloc("art.w", n*artDims),
+		y:       alloc("art.y", n*artBatch),
+	}
+	rng := NewRNG(size.Seed ^ 0xa47)
+	for i := 0; i < n*artDims; i++ {
+		st.w.Poke(i, word(int64(rng.Intn(16))))
+	}
+	st.inputs = make([][]int64, artBatch)
+	for b := range st.inputs {
+		st.inputs[b] = make([]int64, artDims)
+		for j := range st.inputs[b] {
+			st.inputs[b][j] = int64(rng.Intn(8))
+		}
+	}
+	for i := 0; i < n; i++ {
+		st.activate(i)
+	}
+	return st
+}
+
+func artChecksum(sum uint64, st *artState) uint64 {
+	for i := 0; i < st.neurons*artBatch; i++ {
+		sum = checksum(sum, uint64(st.y.Peek(i)))
+	}
+	for i := 0; i < st.neurons*artDims; i++ {
+		sum = checksum(sum, uint64(st.w.Peek(i)))
+	}
+	return sum
+}
+
+func (artWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newArtState(env.Sys, size, env.Sys.Alloc)
+	sum := uint64(0)
+	for epoch := 0; epoch < size.Iters; epoch++ {
+		if epoch > 0 {
+			// Recompute every neuron's activations, touched or not.
+			for i := 0; i < st.neurons; i++ {
+				st.activate(i)
+			}
+		}
+		win, val := st.winner()
+		sum = checksum(sum, uint64(win))
+		sum = checksum(sum, uint64(val))
+		st.epochUpdate(epoch, win, nil)
+	}
+	for i := 0; i < st.neurons; i++ {
+		st.activate(i)
+	}
+	return Result{Checksum: artChecksum(sum, st)}, nil
+}
+
+func (artWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("art: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	st := newArtState(env.Sys, size, env.Sys.Alloc)
+
+	// One guard word per neuron row: it only advances when a weight in
+	// the row really changed, making it the canonical trigger word for the
+	// row — the paper's one-trigger-per-computation idiom, packaged by
+	// core.GuardSet.
+	rowGuards := core.NewGuardSet(rt, "art.rowGen", st.neurons)
+
+	refresh := rt.Register("art.activate", func(tg core.Trigger) {
+		st.activate(tg.Index)
+	})
+	if err := rt.Attach(refresh, rowGuards.Region(), 0, st.neurons); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for epoch := 0; epoch < size.Iters; epoch++ {
+		if epoch > 0 {
+			rt.Wait(refresh)
+		}
+		win, val := st.winner()
+		sum = checksum(sum, uint64(win))
+		sum = checksum(sum, uint64(val))
+		st.epochUpdate(epoch, win, func(i int, changed bool) {
+			// An all-zero update leaves the guard alone and the tstore is
+			// silent, skipping the neuron's reactivation entirely.
+			rowGuards.Update(i, changed)
+		})
+	}
+	rt.Barrier()
+	return Result{Checksum: artChecksum(sum, st), Triggers: st.neurons}, nil
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// craftyWorkload models 186.crafty's position evaluation.
+//
+// crafty evaluates the board after every move, recomputing per-file pawn
+// structure and piece placement terms although a move disturbs at most two
+// squares. The kernel keeps a 64-square board; moves write both squares
+// (null moves and shuffles rewrite unchanged squares — silent); a support
+// thread attached to the board refreshes the evaluation terms of the
+// affected files. The search bookkeeping around each move — the dominant
+// main-thread cost in crafty — is identical in both variants, so the DTT
+// gain is small, as it is for crafty in the paper's control-heavy codes.
+type craftyWorkload struct{}
+
+func init() { register(craftyWorkload{}) }
+
+func (craftyWorkload) Name() string  { return "crafty" }
+func (craftyWorkload) Suite() string { return "SPEC CPU2000 int (186.crafty)" }
+func (craftyWorkload) Description() string {
+	return "board evaluation: refresh only the files disturbed by the last move"
+}
+
+// crafty dimensions. The board is 8x8 squares; square s is file s%8.
+const (
+	craftySquares   = 64
+	craftyFiles     = 8
+	craftyPieces    = 12   // piece kinds + empty encoded per square
+	craftyTermCost  = 4    // ALU ops per square scored
+	craftySearchOps = 1500 // move-generation/search bookkeeping per ply
+	craftyPlies     = 48   // moves per iteration
+)
+
+type craftyState struct {
+	sys      *mem.System
+	board    *mem.Buffer // piece code per square
+	fileEval *mem.Buffer // per-file structure score
+	total    *mem.Buffer // [0] = summed evaluation
+	pieceVal [craftyPieces]int64
+}
+
+// refreshFile rescores one file from its eight squares and folds the delta
+// into the total evaluation.
+func (st *craftyState) refreshFile(file int) {
+	var score int64
+	for rank := 0; rank < 8; rank++ {
+		p := st.board.Load(rank*craftyFiles + file)
+		score += st.pieceVal[p%craftyPieces] * int64(rank+1)
+		st.sys.Compute(craftyTermCost)
+	}
+	old := signed(st.fileEval.Load(file))
+	if score != old {
+		st.fileEval.Store(file, word(score))
+		st.total.Store(0, word(signed(st.total.Load(0))+score-old))
+		st.sys.Compute(1)
+	}
+}
+
+// ply derives one move: source and destination squares plus the piece
+// codes written there. A third of the plies are null-ish moves that write
+// squares back unchanged.
+func craftyPly(st *craftyState, iter, p int) (from, to int, fromV, toV mem.Word) {
+	h := uint64(iter)*0x9e3779b97f4a7c15 + uint64(p)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	from = int(h % craftySquares)
+	to = int((h >> 12) % craftySquares)
+	st.sys.Compute(craftySearchOps)
+	if (h>>24)%3 == 0 {
+		return from, to, st.board.Load(from), st.board.Load(to)
+	}
+	mover := st.board.Load(from)
+	return from, to, mem.Word(0), mover
+}
+
+func newCraftyState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *craftyState {
+	size = size.withDefaults()
+	st := &craftyState{sys: sys}
+	st.board = alloc("crafty.board", craftySquares)
+	st.fileEval = alloc("crafty.fileEval", craftyFiles)
+	st.total = alloc("crafty.total", 1)
+	rng := NewRNG(size.Seed ^ 0xcf7)
+	for i := range st.pieceVal {
+		st.pieceVal[i] = int64(rng.Intn(900) - 400)
+	}
+	for s := 0; s < craftySquares; s++ {
+		st.board.Poke(s, mem.Word(rng.Intn(craftyPieces)))
+	}
+	var total int64
+	for f := 0; f < craftyFiles; f++ {
+		var score int64
+		for rank := 0; rank < 8; rank++ {
+			p := st.board.Peek(rank*craftyFiles + f)
+			score += st.pieceVal[p%craftyPieces] * int64(rank+1)
+		}
+		st.fileEval.Poke(f, word(score))
+		total += score
+	}
+	st.total.Poke(0, word(total))
+	return st
+}
+
+func craftyChecksum(sum uint64, st *craftyState) uint64 {
+	sum = checksum(sum, uint64(st.total.Peek(0)))
+	for f := 0; f < craftyFiles; f++ {
+		sum = checksum(sum, uint64(st.fileEval.Peek(f)))
+	}
+	for s := 0; s < craftySquares; s++ {
+		sum = checksum(sum, uint64(st.board.Peek(s)))
+	}
+	return sum
+}
+
+func (craftyWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newCraftyState(env.Sys, size, env.Sys.Alloc)
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		for p := 0; p < craftyPlies*size.Scale; p++ {
+			from, to, fromV, toV := craftyPly(st, iter, p)
+			st.board.Store(from, fromV)
+			st.board.Store(to, toV)
+			// Full evaluation after every move, disturbed or not.
+			for f := 0; f < craftyFiles; f++ {
+				st.refreshFile(f)
+			}
+			sum = checksum(sum, uint64(st.total.Load(0)))
+		}
+	}
+	return Result{Checksum: sum ^ craftyChecksum(0, st)}, nil
+}
+
+func (craftyWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("crafty: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var boardRegion *core.Region
+	st := newCraftyState(env.Sys, size, func(name string, n int) *mem.Buffer {
+		if name == "crafty.board" {
+			boardRegion = rt.NewRegion(name, n)
+			return boardRegion.Buffer()
+		}
+		return env.Sys.Alloc(name, n)
+	})
+
+	eval := rt.Register("crafty.eval", func(tg core.Trigger) {
+		st.refreshFile(tg.Index % craftyFiles)
+	})
+	if err := rt.Attach(eval, boardRegion, 0, craftySquares); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		for p := 0; p < craftyPlies*size.Scale; p++ {
+			from, to, fromV, toV := craftyPly(st, iter, p)
+			boardRegion.TStore(from, fromV)
+			boardRegion.TStore(to, toV)
+			rt.Wait(eval)
+			sum = checksum(sum, uint64(st.total.Load(0)))
+		}
+	}
+	rt.Barrier()
+	return Result{Checksum: sum ^ craftyChecksum(0, st), Triggers: craftySquares}, nil
+}

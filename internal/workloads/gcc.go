@@ -1,0 +1,229 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// gccWorkload models 176.gcc's dataflow analysis.
+//
+// gcc re-runs whole-function dataflow passes after every transformation,
+// although an edit perturbs the GEN/KILL sets of a handful of basic blocks
+// and most block solutions come out unchanged. The kernel solves a
+// reaching-definitions-style problem over an acyclic CFG: the baseline
+// re-evaluates every block in topological order each round; the DTT
+// version seeds triggers at the edited blocks and lets *cascading*
+// triggering stores on the OUT sets implement the worklist — a block's
+// support thread re-evaluates its successors, whose OUT tstores fire the
+// thread again, and propagation dies out exactly where solutions stop
+// changing.
+type gccWorkload struct{}
+
+func init() { register(gccWorkload{}) }
+
+func (gccWorkload) Name() string  { return "gcc" }
+func (gccWorkload) Suite() string { return "SPEC CPU2000 int (176.gcc)" }
+func (gccWorkload) Description() string {
+	return "dataflow fixpoint: cascading triggers propagate only from blocks whose solution changed"
+}
+
+// gcc dimensions.
+const (
+	gccBlocksBase = 640
+	gccMaxPreds   = 3
+	gccEvalCost   = 4 // ALU ops per block evaluation beyond the pred scan
+	gccEdits      = 10
+	gccCodegenOps = 12 // ALU ops per block in the downstream codegen scan
+)
+
+// gccCFG is an acyclic control-flow graph: edges go from lower to higher
+// block ids, so the dataflow solution is unique and one topological pass
+// computes it exactly.
+type gccCFG struct {
+	blocks int
+	preds  [][]int
+	succs  [][]int
+}
+
+func buildGccCFG(size Size) *gccCFG {
+	size = size.withDefaults()
+	g := &gccCFG{blocks: gccBlocksBase * size.Scale}
+	g.preds = make([][]int, g.blocks)
+	g.succs = make([][]int, g.blocks)
+	rng := NewRNG(size.Seed ^ 0x6cc)
+	for b := 1; b < g.blocks; b++ {
+		npred := 1 + rng.Intn(gccMaxPreds)
+		window := 12
+		for p := 0; p < npred; p++ {
+			lo := b - window
+			if lo < 0 {
+				lo = 0
+			}
+			pred := lo + rng.Intn(b-lo)
+			g.preds[b] = append(g.preds[b], pred)
+			g.succs[pred] = append(g.succs[pred], b)
+		}
+	}
+	return g
+}
+
+type gccState struct {
+	sys *mem.System
+	cfg *gccCFG
+	// genKill packs each block's GEN (low 32 bits) and KILL (high 32
+	// bits) sets; out holds the block's OUT bitset.
+	genKill *mem.Buffer
+	out     *mem.Buffer
+}
+
+// evalBlock recomputes OUT[b] = GEN[b] | (IN[b] &^ KILL[b]) with IN the
+// union of predecessor OUTs, and returns whether it changed. The store
+// goes through the supplied writer so the DTT variant can make it a
+// cascading triggering store.
+func (st *gccState) evalBlock(b int, storeOut func(b int, v mem.Word) bool) bool {
+	var in uint64
+	for _, p := range st.cfg.preds[b] {
+		in |= uint64(st.out.Load(p))
+		st.sys.Compute(1)
+	}
+	gk := uint64(st.genKill.Load(b))
+	gen := gk & 0xffffffff
+	kill := gk >> 32
+	st.sys.Compute(gccEvalCost)
+	return storeOut(b, mem.Word(gen|(in&^kill)))
+}
+
+// gccEditSet derives the round's GEN/KILL edits; roughly a third rewrite
+// the block's current value (silent).
+func gccEditSet(st *gccState, round int) (blocks []int, vals []mem.Word) {
+	h := uint64(round)*0x9e3779b97f4a7c15 + 0x6cc
+	for e := 0; e < gccEdits; e++ {
+		h ^= h >> 31
+		h *= 0xbf58476d1ce4e5b9
+		b := int(h % uint64(st.cfg.blocks))
+		v := mem.Word(h >> 16)
+		if (h>>8)%3 == 0 {
+			v = st.genKill.Load(b)
+		}
+		st.sys.Compute(2)
+		blocks = append(blocks, b)
+		vals = append(vals, v)
+	}
+	return blocks, vals
+}
+
+func newGccState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *gccState {
+	cfg := buildGccCFG(size)
+	st := &gccState{
+		sys:     sys,
+		cfg:     cfg,
+		genKill: alloc("gcc.genKill", cfg.blocks),
+		out:     alloc("gcc.out", cfg.blocks),
+	}
+	rng := NewRNG(size.Seed ^ 0x777)
+	for b := 0; b < cfg.blocks; b++ {
+		st.genKill.Poke(b, mem.Word(rng.Uint64()))
+	}
+	// Initial exact solution, one topological pass.
+	for b := 0; b < cfg.blocks; b++ {
+		st.evalBlock(b, func(b int, v mem.Word) bool { return st.out.Store(b, v) })
+	}
+	return st
+}
+
+// codegen is the downstream pass that consumes the dataflow solution: a
+// scan over all blocks' OUT sets, identical in both variants.
+func (st *gccState) codegen() uint64 {
+	acc := uint64(0)
+	for b := 0; b < st.cfg.blocks; b++ {
+		acc = (acc ^ uint64(st.out.Load(b))) * 0x01000193
+		st.sys.Compute(gccCodegenOps)
+	}
+	return acc
+}
+
+func gccChecksum(sum uint64, st *gccState) uint64 {
+	for b := 0; b < st.cfg.blocks; b++ {
+		sum = checksum(sum, uint64(st.out.Peek(b)))
+		sum = checksum(sum, uint64(st.genKill.Peek(b)))
+	}
+	return sum
+}
+
+func (gccWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newGccState(env.Sys, size, env.Sys.Alloc)
+	plainStore := func(b int, v mem.Word) bool { return st.out.Store(b, v) }
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		blocks, vals := gccEditSet(st, round)
+		for i, b := range blocks {
+			st.genKill.Store(b, vals[i])
+		}
+		// Re-run the whole pass, block by block, edited or not.
+		for b := 0; b < st.cfg.blocks; b++ {
+			st.evalBlock(b, plainStore)
+		}
+		sum = checksum(sum, st.codegen())
+	}
+	return Result{Checksum: gccChecksum(sum, st)}, nil
+}
+
+func (gccWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("gcc: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var genKill, out *core.Region
+	st := newGccState(env.Sys, size, func(name string, n int) *mem.Buffer {
+		switch name {
+		case "gcc.genKill":
+			genKill = rt.NewRegion(name, n)
+			return genKill.Buffer()
+		case "gcc.out":
+			out = rt.NewRegion(name, n)
+			return out.Buffer()
+		default:
+			return env.Sys.Alloc(name, n)
+		}
+	})
+	// OUT writes go through triggering stores so changed solutions cascade.
+	tstoreOut := func(b int, v mem.Word) bool { return out.TStore(b, v) }
+
+	// One thread, two trigger regions: instances of a single thread run
+	// serially, so block evaluations never race, and because every changed
+	// OUT re-triggers its successors the drained state is the unique DAG
+	// fixpoint regardless of queue order.
+	dataflow := rt.Register("gcc.dataflow", func(tg core.Trigger) {
+		if tg.Region == genKill {
+			// A block's GEN/KILL changed: re-evaluate it.
+			st.evalBlock(tg.Index, tstoreOut)
+			return
+		}
+		// A block's OUT changed: re-evaluate its successors; their own
+		// OUT tstores keep the cascade going.
+		for _, s := range st.cfg.succs[tg.Index] {
+			st.evalBlock(s, tstoreOut)
+		}
+	})
+	if err := rt.Attach(dataflow, genKill, 0, st.cfg.blocks); err != nil {
+		return Result{}, err
+	}
+	if err := rt.Attach(dataflow, out, 0, st.cfg.blocks); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		blocks, vals := gccEditSet(st, round)
+		for i, b := range blocks {
+			genKill.TStore(b, vals[i])
+		}
+		rt.Barrier() // drain the whole cascade
+		sum = checksum(sum, st.codegen())
+	}
+	return Result{Checksum: gccChecksum(sum, st), Triggers: 2 * st.cfg.blocks}, nil
+}

@@ -1,0 +1,320 @@
+package workloads
+
+// Focused tests of each kernel's internal invariants, beyond the shared
+// baseline/DTT equivalence property.
+
+import (
+	"testing"
+
+	"dtt/internal/mem"
+)
+
+func testSize() Size { return Size{Scale: 1, Iters: 6, Seed: 11} }
+
+// --- mcf ---
+
+// TestMCFAffectedSetComplete verifies the support thread's affected-set
+// logic: after changing one potential and refreshing only the affected
+// tails, every nodeMin must equal a from-scratch recomputation.
+func TestMCFAffectedSetComplete(t *testing.T) {
+	sys := mem.NewSystem()
+	net := buildMCFNet(testSize())
+	st := &mcfState{sys: sys, net: net,
+		pot:     sys.Alloc("pot", net.nodes),
+		nodeMin: sys.Alloc("min", net.nodes)}
+	seedPotentials(st.pot, 11)
+	for n := 0; n < net.nodes; n++ {
+		st.recomputeNodeMin(n)
+	}
+
+	// Change one potential and apply the support thread's refresh rule.
+	victim := 37
+	st.pot.Store(victim, word(signed(st.pot.Load(victim))+5))
+	st.recomputeNodeMin(victim)
+	for _, a := range net.inArcs[victim] {
+		st.recomputeNodeMin(net.tail[a])
+	}
+	got := st.nodeMin.Snapshot()
+
+	// From-scratch reference.
+	for n := 0; n < net.nodes; n++ {
+		st.recomputeNodeMin(n)
+	}
+	want := st.nodeMin.Snapshot()
+	for n := range want {
+		if got[n] != want[n] {
+			t.Fatalf("nodeMin[%d] stale after incremental refresh: %d vs %d", n, got[n], want[n])
+		}
+	}
+}
+
+// --- equake ---
+
+// TestEquakeIncrementalEqualsRebuild checks the delta update of a column
+// against rebuilding all products and row sums from scratch.
+func TestEquakeIncrementalEqualsRebuild(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newEquakeState(sys, testSize(), sys.Alloc)
+	// Mutate a few displacements and rebuild only those columns.
+	for _, j := range []int{3, 100, 701} {
+		st.disp.Store(j, word(signed(st.disp.Load(j))+7))
+		st.rebuildColumn(j)
+	}
+	gotOut := st.out.Snapshot()
+
+	// Reference: recompute every row sum from the matrix directly.
+	n := st.m.n
+	want := make([]int64, n)
+	for j := 0; j < n; j++ {
+		d := signed(st.disp.Load(j))
+		for c, r := range st.m.colRow[j] {
+			want[r] += st.m.colVal[j][c] * d
+		}
+	}
+	for r := 0; r < n; r++ {
+		if signed(gotOut[r]) != want[r] {
+			t.Fatalf("out[%d] = %d, want %d", r, signed(gotOut[r]), want[r])
+		}
+	}
+}
+
+// --- gcc ---
+
+// TestGccCFGIsAcyclic verifies the topological property the fixpoint
+// argument rests on.
+func TestGccCFGIsAcyclic(t *testing.T) {
+	g := buildGccCFG(testSize())
+	for b := 0; b < g.blocks; b++ {
+		for _, p := range g.preds[b] {
+			if p >= b {
+				t.Fatalf("edge %d -> %d breaks topological order", p, b)
+			}
+		}
+		for _, s := range g.succs[b] {
+			if s <= b {
+				t.Fatalf("succ edge %d -> %d breaks topological order", b, s)
+			}
+		}
+	}
+}
+
+// TestGccTopoPassIsFixpoint: after one topological pass, re-evaluating any
+// block changes nothing.
+func TestGccTopoPassIsFixpoint(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newGccState(sys, testSize(), sys.Alloc)
+	for b := 0; b < st.cfg.blocks; b++ {
+		if st.evalBlock(b, func(b int, v mem.Word) bool { return st.out.Store(b, v) }) {
+			t.Fatalf("block %d changed on re-evaluation: not a fixpoint", b)
+		}
+	}
+}
+
+// --- gzip / bzip2 ---
+
+// TestGzipSignatureDetectsAnyWordChange: flipping any single word of a
+// block must change its signature (the DTT correctness hinge).
+func TestGzipSignatureDetectsAnyWordChange(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newGzipState(sys, testSize(), sys.Alloc)
+	st.writeRound(0, 0)
+	orig := st.signature(0)
+	for i := 0; i < gzipBlockWords; i++ {
+		old := st.data.Load(i)
+		st.data.Store(i, old+1)
+		if st.signature(0) == orig {
+			t.Fatalf("signature blind to change at word %d", i)
+		}
+		st.data.Store(i, old)
+	}
+	if st.signature(0) != orig {
+		t.Fatalf("signature not a pure function of content")
+	}
+}
+
+func TestBzip2TransformDeterministic(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newBzip2State(sys, testSize(), sys.Alloc)
+	st.writeRound(3, 1)
+	st.transform(1)
+	first := st.rank.Load(1)
+	st.transform(1)
+	if st.rank.Load(1) != first {
+		t.Fatalf("transform not deterministic")
+	}
+}
+
+// --- art ---
+
+// TestArtFrozenRowsStayPut: an epoch update with a frozen (all-zero) delta
+// must leave the row's weights bit-identical.
+func TestArtFrozenRowsStayPut(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newArtState(sys, testSize(), sys.Alloc)
+	before := st.w.Snapshot()
+	frozen := 0
+	st.epochUpdate(1, 0, func(i int, changed bool) {
+		if changed {
+			return
+		}
+		frozen++
+		for j := 0; j < artDims; j++ {
+			if st.w.Peek(i*artDims+j) != before[i*artDims+j] {
+				t.Fatalf("frozen row %d mutated at dim %d", i, j)
+			}
+		}
+	})
+	if frozen == 0 {
+		t.Fatalf("no frozen rows in the update; redundancy mechanism missing")
+	}
+}
+
+// --- crafty ---
+
+// TestCraftyMoveDisturbsAtMostTwoFiles: re-scoring only the two touched
+// files must restore the full-evaluation invariant total == sum(fileEval).
+func TestCraftyMoveDisturbsAtMostTwoFiles(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newCraftyState(sys, testSize(), sys.Alloc)
+	for p := 0; p < 20; p++ {
+		from, to, fromV, toV := craftyPly(st, 0, p)
+		st.board.Store(from, fromV)
+		st.board.Store(to, toV)
+		st.refreshFile(from % craftyFiles)
+		st.refreshFile(to % craftyFiles)
+		var sum int64
+		for f := 0; f < craftyFiles; f++ {
+			sum += signed(st.fileEval.Load(f))
+		}
+		if sum != signed(st.total.Load(0)) {
+			t.Fatalf("ply %d: total %d != sum of files %d", p, signed(st.total.Load(0)), sum)
+		}
+	}
+}
+
+// --- vortex ---
+
+// TestVortexBucketLocality: a field write perturbs exactly one bucket's
+// digest.
+func TestVortexBucketLocality(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newVortexState(sys, testSize(), sys.Alloc)
+	before := st.digest.Snapshot()
+	obj := 123
+	st.fields.Store(obj*vortexFields+2, 0xdead)
+	for b := 0; b < vortexBuckets; b++ {
+		st.redigest(b)
+	}
+	changed := 0
+	for b := 0; b < vortexBuckets; b++ {
+		if st.digest.Peek(b) != before[b] {
+			changed++
+			if b != st.bucketOf(obj) {
+				t.Fatalf("bucket %d changed but object lives in %d", b, st.bucketOf(obj))
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("%d buckets changed, want exactly 1", changed)
+	}
+}
+
+// --- ammp / vpr / twolf: delta-maintained totals ---
+
+// TestAmmpTotalMatchesPairSum: the delta-maintained total energy equals
+// the sum of pair energies after arbitrary refreshes.
+func TestAmmpTotalMatchesPairSum(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newAmmpState(sys, testSize(), sys.Alloc)
+	for step := 0; step < 5; step++ {
+		for a := 0; a < st.tp.atoms; a++ {
+			st.pos.Store(a, ammpStepPosition(st.tp, st, step, a))
+		}
+		for p := range st.tp.pairA {
+			st.refreshPair(p)
+		}
+	}
+	var sum int64
+	for p := range st.tp.pairA {
+		sum += signed(st.pairE.Peek(p))
+	}
+	if sum != signed(st.total.Peek(0)) {
+		t.Fatalf("total %d != pair sum %d", signed(st.total.Peek(0)), sum)
+	}
+}
+
+func TestVPRTotalMatchesNetSum(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newVPRState(sys, testSize(), sys.Alloc)
+	for iter := 0; iter < 10; iter++ {
+		block := iter * 13 % st.nl.blocks
+		st.pos.Store(block, packXY(iter*31%vprGrid, iter*17%vprGrid))
+		for _, n := range st.nl.blockNets[block] {
+			st.refreshNet(n)
+		}
+	}
+	var sum int64
+	for n := 0; n < st.nl.nets; n++ {
+		sum += signed(st.netCost.Peek(n))
+	}
+	if sum != signed(st.total.Peek(0)) {
+		t.Fatalf("total %d != net sum %d", signed(st.total.Peek(0)), sum)
+	}
+}
+
+func TestTwolfRowPenaltyNonNegative(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newTwolfState(sys, testSize(), sys.Alloc)
+	for r := 0; r < st.rows; r++ {
+		if p := st.rowPenalty(r); p < 0 {
+			t.Fatalf("row %d penalty %d negative", r, p)
+		}
+	}
+}
+
+// --- mesa ---
+
+// TestMesaTransformPureFunctionOfPosition: retransforming an unmoved
+// vertex must be a no-op on screen coordinates.
+func TestMesaTransformPureFunctionOfPosition(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newMesaState(sys, testSize(), sys.Alloc)
+	before := st.screen.Snapshot()
+	for v := 0; v < st.verts; v += 7 {
+		st.transform(v)
+		if st.screen.Peek(v) != before[v] {
+			t.Fatalf("vertex %d moved without a position change", v)
+		}
+	}
+}
+
+// --- parser ---
+
+// TestParserDeriveDependsOnlyOnDictEntry: deriving twice from the same
+// entry is stable; changing the entry changes the derived cost.
+func TestParserDeriveDependsOnlyOnDictEntry(t *testing.T) {
+	sys := mem.NewSystem()
+	st := newParserState(sys, testSize(), sys.Alloc)
+	st.derive(5)
+	first := st.wordCost.Load(5)
+	st.derive(5)
+	if st.wordCost.Load(5) != first {
+		t.Fatalf("derive not deterministic")
+	}
+	st.dict.Store(5, mem.Word(uint64(st.dict.Load(5))+1))
+	st.derive(5)
+	if st.wordCost.Load(5) == first {
+		t.Fatalf("derive blind to dictionary change")
+	}
+}
+
+// TestPackUnpackRoundTrip covers the packed-coordinate helpers shared by
+// vpr, ammp and mesa.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, xy := range [][2]int{{0, 0}, {1, 2}, {1023, 1023}, {512, 7}} {
+		x, y := unpackXY(packXY(xy[0], xy[1]))
+		if x != xy[0] || y != xy[1] {
+			t.Fatalf("pack/unpack(%v) = %d,%d", xy, x, y)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// mcfWorkload models 429.mcf / 181.mcf, the paper's headline benchmark.
+//
+// mcf's network-simplex inner loop recomputes the reduced cost of every arc
+// (cost + potential[tail] - potential[head]) to find the next pivot, but a
+// pivot changes the potentials of only a small subtree — almost all reduced
+// costs are recomputed to the same value. The DTT transform attaches a
+// support thread to the node-potential array: when a potential actually
+// changes, the thread recomputes the per-node minimum reduced cost for the
+// affected tails only, and the main thread just scans the per-node minima.
+type mcfWorkload struct{}
+
+func init() { register(mcfWorkload{}) }
+
+func (mcfWorkload) Name() string  { return "mcf" }
+func (mcfWorkload) Suite() string { return "SPEC CPU2006 int (429.mcf)" }
+func (mcfWorkload) Description() string {
+	return "network simplex price updates: recompute per-node min reduced cost only for nodes whose potential changed"
+}
+
+// mcf problem dimensions.
+const (
+	mcfNodesBase  = 1024
+	mcfOutDegree  = 8
+	mcfUpdates    = 16 // potential updates attempted per pivot
+	mcfArcCost    = 3  // ALU ops per reduced-cost evaluation
+	mcfSelectCost = 2  // ALU ops per update-target selection
+)
+
+// mcfNet is the static network: arrays of arc endpoints and costs plus
+// adjacency indexes. The static structure lives outside simulated memory —
+// mcf never writes it, and the redundancy story is entirely about the
+// potential and minimum arrays.
+type mcfNet struct {
+	nodes   int
+	tail    []int
+	head    []int
+	cost    []int64
+	outArcs [][]int // arcs with this node as tail
+	inArcs  [][]int // arcs with this node as head
+}
+
+func buildMCFNet(size Size) *mcfNet {
+	size = size.withDefaults()
+	n := mcfNodesBase * size.Scale
+	rng := NewRNG(size.Seed)
+	net := &mcfNet{
+		nodes:   n,
+		outArcs: make([][]int, n),
+		inArcs:  make([][]int, n),
+	}
+	for t := 0; t < n; t++ {
+		for d := 0; d < mcfOutDegree; d++ {
+			h := rng.Intn(n - 1)
+			if h >= t {
+				h++ // no self loops
+			}
+			a := len(net.tail)
+			net.tail = append(net.tail, t)
+			net.head = append(net.head, h)
+			net.cost = append(net.cost, int64(rng.Intn(1000)))
+			net.outArcs[t] = append(net.outArcs[t], a)
+			net.inArcs[h] = append(net.inArcs[h], a)
+		}
+	}
+	return net
+}
+
+// mcfState is the mutable simulated-memory state shared by both variants.
+// pot holds node potentials; nodeMin the per-node minimum reduced cost.
+type mcfState struct {
+	sys     *mem.System
+	net     *mcfNet
+	pot     *mem.Buffer // written via Region in the DTT variant
+	nodeMin *mem.Buffer
+}
+
+func word(v int64) mem.Word   { return mem.Word(uint64(v)) }
+func signed(w mem.Word) int64 { return int64(w) }
+
+// recomputeNodeMin recomputes nodeMin[t] from current potentials: the mcf
+// "implicit computation" for one node.
+func (st *mcfState) recomputeNodeMin(t int) {
+	potT := signed(st.pot.Load(t))
+	best := int64(1) << 62
+	for _, a := range st.net.outArcs[t] {
+		rc := st.net.cost[a] + potT - signed(st.pot.Load(st.net.head[a]))
+		st.sys.Compute(mcfArcCost)
+		if rc < best {
+			best = rc
+		}
+	}
+	st.nodeMin.Store(t, word(best))
+}
+
+// selectPivot scans nodeMin for the arg-minimum, mcf's pivot selection.
+func (st *mcfState) selectPivot() (pivot int, min int64) {
+	min = int64(1) << 62
+	for t := 0; t < st.net.nodes; t++ {
+		v := signed(st.nodeMin.Load(t))
+		st.sys.Compute(1)
+		if v < min {
+			min, pivot = v, t
+		}
+	}
+	return pivot, min
+}
+
+// mcfUpdate describes one potential update attempt. Deltas may be zero:
+// those writes are silent and model mcf's redundant stores.
+type mcfUpdate struct {
+	node  int
+	delta int64
+}
+
+// mcfUpdates derives the iteration's update set deterministically from the
+// pivot, so baseline and DTT runs follow identical trajectories.
+func mcfUpdateSet(iter, pivot, nodes int, sys *mem.System) []mcfUpdate {
+	ups := make([]mcfUpdate, mcfUpdates)
+	h := uint64(iter)*0x9e3779b97f4a7c15 + uint64(pivot)*0xbf58476d1ce4e5b9
+	for j := range ups {
+		h ^= h >> 29
+		h *= 0x94d049bb133111eb
+		ups[j].node = int((h ^ uint64(j)) % uint64(nodes))
+		ups[j].delta = int64((h>>32)%6) - 2 // in [-2, 3]
+		// Force a sizeable fraction of zero deltas: mcf's price updates
+		// frequently store the value already in memory.
+		if (h>>48)%3 == 0 {
+			ups[j].delta = 0
+		}
+		sys.Compute(mcfSelectCost)
+	}
+	return ups
+}
+
+func (mcfWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	net := buildMCFNet(size)
+	st := &mcfState{
+		sys:     env.Sys,
+		net:     net,
+		pot:     env.Sys.Alloc("mcf.pot", net.nodes),
+		nodeMin: env.Sys.Alloc("mcf.nodeMin", net.nodes),
+	}
+	seedPotentials(st.pot, size.Seed)
+
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		// The implicit computation: recompute every node's minimum
+		// reduced cost, whether or not anything feeding it changed.
+		for t := 0; t < net.nodes; t++ {
+			st.recomputeNodeMin(t)
+		}
+		pivot, min := st.selectPivot()
+		sum = checksum(sum, uint64(pivot))
+		sum = checksum(sum, uint64(min))
+		for _, up := range mcfUpdateSet(iter, pivot, net.nodes, env.Sys) {
+			v := signed(st.pot.Load(up.node)) + up.delta
+			st.pot.Store(up.node, word(v))
+		}
+	}
+	// Final refresh so the printed state reflects the last updates, as the
+	// DTT variant's closing barrier does.
+	for t := 0; t < net.nodes; t++ {
+		st.recomputeNodeMin(t)
+	}
+	sum = finishMCF(sum, st)
+	return Result{Checksum: sum}, nil
+}
+
+func (mcfWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("mcf: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	net := buildMCFNet(size)
+	rt := env.RT
+	pot := rt.NewRegion("mcf.pot", net.nodes)
+	st := &mcfState{
+		sys:     env.Sys,
+		net:     net,
+		pot:     pot.Buffer(),
+		nodeMin: env.Sys.Alloc("mcf.nodeMin", net.nodes),
+	}
+	seedPotentials(st.pot, size.Seed)
+
+	// The support thread: a potential changed, so recompute the minimum
+	// reduced cost of every tail whose arcs see that potential.
+	refresh := rt.Register("mcf.refresh", func(tg core.Trigger) {
+		n := tg.Index
+		st.recomputeNodeMin(n)
+		for _, a := range net.inArcs[n] {
+			st.recomputeNodeMin(net.tail[a])
+		}
+	})
+	if err := rt.Attach(refresh, pot, 0, net.nodes); err != nil {
+		return Result{}, err
+	}
+
+	// Initialisation pass, charged identically in both variants.
+	for t := 0; t < net.nodes; t++ {
+		st.recomputeNodeMin(t)
+	}
+
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		if iter > 0 {
+			rt.Wait(refresh)
+		}
+		pivot, min := st.selectPivot()
+		sum = checksum(sum, uint64(pivot))
+		sum = checksum(sum, uint64(min))
+		for _, up := range mcfUpdateSet(iter, pivot, net.nodes, env.Sys) {
+			v := signed(pot.Load(up.node)) + up.delta
+			pot.TStore(up.node, word(v))
+		}
+	}
+	rt.Barrier()
+	sum = finishMCF(sum, st)
+	return Result{Checksum: sum, Triggers: net.nodes}, nil
+}
+
+// seedPotentials writes the deterministic initial potentials without
+// generating memory events (input setup).
+func seedPotentials(pot *mem.Buffer, seed uint64) {
+	rng := NewRNG(seed ^ 0xabcd)
+	for i := 0; i < pot.Len(); i++ {
+		pot.Poke(i, word(int64(rng.Intn(500))))
+	}
+}
+
+// finishMCF folds the final state into the checksum.
+func finishMCF(sum uint64, st *mcfState) uint64 {
+	for t := 0; t < st.net.nodes; t++ {
+		sum = checksum(sum, uint64(st.pot.Peek(t)))
+		sum = checksum(sum, uint64(st.nodeMin.Peek(t)))
+	}
+	return sum
+}

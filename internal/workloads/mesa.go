@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// mesaWorkload models 177.mesa's vertex pipeline.
+//
+// mesa retransforms every vertex of the scene each frame, but in the SPEC
+// input most geometry is static frame to frame. The kernel stores packed
+// vertex coordinates through triggering stores; a support thread
+// retransforms only the vertices that moved, while the per-frame raster
+// pass over transformed coordinates stays on the main thread in both
+// variants.
+type mesaWorkload struct{}
+
+func init() { register(mesaWorkload{}) }
+
+func (mesaWorkload) Name() string  { return "mesa" }
+func (mesaWorkload) Suite() string { return "SPEC CPU2000 fp (177.mesa)" }
+func (mesaWorkload) Description() string {
+	return "vertex transforms: retransform only vertices that moved between frames"
+}
+
+// mesa dimensions.
+const (
+	mesaVertsBase     = 1536
+	mesaTransformCost = 10 // ALU ops per vertex transform
+	mesaRasterCost    = 2  // ALU ops per vertex in the raster pass
+	mesaMoveFrac      = 2  // 1/frac of the vertices move per frame
+)
+
+type mesaState struct {
+	sys    *mem.System
+	verts  int
+	pos    *mem.Buffer // packed model-space coordinates
+	screen *mem.Buffer // packed transformed coordinates
+	m      [4]int64    // the (static) transform matrix
+}
+
+// transform retransforms vertex v: a 2x2 integer matrix multiply plus
+// perspective-flavoured shift, standing in for mesa's 4x4 pipeline.
+func (st *mesaState) transform(v int) {
+	x, y := unpackXY(st.pos.Load(v))
+	sx := (st.m[0]*int64(x) + st.m[1]*int64(y)) >> 8
+	sy := (st.m[2]*int64(x) + st.m[3]*int64(y)) >> 8
+	st.sys.Compute(mesaTransformCost)
+	st.screen.Store(v, packXY(int(sx&0xfffff), int(sy&0xfffff)))
+}
+
+// raster is the main-thread consumption pass: accumulate a scene statistic
+// over the transformed coordinates.
+func (st *mesaState) raster() int64 {
+	var acc int64
+	for v := 0; v < st.verts; v++ {
+		x, y := unpackXY(st.screen.Load(v))
+		acc += int64(x ^ y)
+		st.sys.Compute(mesaRasterCost)
+	}
+	return acc
+}
+
+// framePosition returns vertex v's position in a frame; most vertices keep
+// their previous position.
+func mesaFramePosition(st *mesaState, frame, v int) mem.Word {
+	h := uint64(frame)*0xbf58476d1ce4e5b9 + uint64(v)*0x9e3779b97f4a7c15
+	h ^= h >> 30
+	if h%mesaMoveFrac != 0 {
+		return st.pos.Load(v)
+	}
+	x, y := unpackXY(st.pos.Load(v))
+	x = (x + int(h>>33)%9 - 4 + 1<<20) % (1 << 20)
+	y = (y + int(h>>47)%9 - 4 + 1<<20) % (1 << 20)
+	return packXY(x, y)
+}
+
+func newMesaState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *mesaState {
+	size = size.withDefaults()
+	st := &mesaState{sys: sys, verts: mesaVertsBase * size.Scale}
+	st.pos = alloc("mesa.pos", st.verts)
+	st.screen = alloc("mesa.screen", st.verts)
+	rng := NewRNG(size.Seed ^ 0x3e5)
+	st.m = [4]int64{int64(rng.Intn(512) + 1), int64(rng.Intn(512)), int64(rng.Intn(512)), int64(rng.Intn(512) + 1)}
+	for v := 0; v < st.verts; v++ {
+		st.pos.Poke(v, packXY(rng.Intn(1<<16), rng.Intn(1<<16)))
+	}
+	for v := 0; v < st.verts; v++ {
+		st.transform(v)
+	}
+	return st
+}
+
+func mesaChecksum(sum uint64, st *mesaState) uint64 {
+	for v := 0; v < st.verts; v++ {
+		sum = checksum(sum, uint64(st.screen.Peek(v)))
+		sum = checksum(sum, uint64(st.pos.Peek(v)))
+	}
+	return sum
+}
+
+func (mesaWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newMesaState(env.Sys, size, env.Sys.Alloc)
+	sum := uint64(0)
+	for frame := 0; frame < size.Iters; frame++ {
+		for v := 0; v < st.verts; v++ {
+			st.pos.Store(v, mesaFramePosition(st, frame, v))
+		}
+		// Retransform every vertex, moved or not.
+		for v := 0; v < st.verts; v++ {
+			st.transform(v)
+		}
+		sum = checksum(sum, uint64(st.raster()))
+	}
+	return Result{Checksum: mesaChecksum(sum, st)}, nil
+}
+
+func (mesaWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("mesa: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var posRegion *core.Region
+	st := newMesaState(env.Sys, size, func(name string, n int) *mem.Buffer {
+		if name == "mesa.pos" {
+			posRegion = rt.NewRegion(name, n)
+			return posRegion.Buffer()
+		}
+		return env.Sys.Alloc(name, n)
+	})
+
+	xform := rt.Register("mesa.transform", func(tg core.Trigger) {
+		st.transform(tg.Index)
+	})
+	if err := rt.Attach(xform, posRegion, 0, st.verts); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for frame := 0; frame < size.Iters; frame++ {
+		for v := 0; v < st.verts; v++ {
+			posRegion.TStore(v, mesaFramePosition(st, frame, v))
+		}
+		rt.Wait(xform)
+		sum = checksum(sum, uint64(st.raster()))
+	}
+	rt.Barrier()
+	return Result{Checksum: mesaChecksum(sum, st), Triggers: st.verts}, nil
+}

@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// parserWorkload models 197.parser, the link-grammar parser.
+//
+// parser derives per-word connector costs from its dictionary and then
+// reuses them across every sentence; the dictionary barely changes while
+// the parse loop re-derives word costs wholesale. The kernel keeps a
+// dictionary of entries and a long token stream: each round updates a
+// handful of dictionary entries (some updates rewrite the same value) and
+// then scores the stream. The DTT transform recomputes a word's derived
+// cost only when its dictionary entry actually changed.
+type parserWorkload struct{}
+
+func init() { register(parserWorkload{}) }
+
+func (parserWorkload) Name() string  { return "parser" }
+func (parserWorkload) Suite() string { return "SPEC CPU2000 int (197.parser)" }
+func (parserWorkload) Description() string {
+	return "dictionary-derived word costs: re-derive only entries whose dictionary word changed"
+}
+
+// parser dimensions.
+const (
+	parserVocabBase  = 512
+	parserTextBase   = 24576
+	parserDeriveCost = 32 // ALU ops to derive one word's cost (morphology)
+	parserUpdates    = 40 // dictionary updates attempted per round
+)
+
+type parserState struct {
+	sys      *mem.System
+	vocab    int
+	dict     *mem.Buffer // dictionary entries (trigger words in DTT)
+	wordCost *mem.Buffer // derived per-word costs
+	text     []int       // static token stream
+}
+
+// derive recomputes word v's cost from its dictionary entry: an iterated
+// mixing loop standing in for parser's morphology and connector expansion.
+func (st *parserState) derive(v int) {
+	e := st.dict.Load(v)
+	c := uint64(e)
+	for k := 0; k < parserDeriveCost; k++ {
+		c = c*6364136223846793005 + 1442695040888963407
+		st.sys.Compute(1)
+	}
+	st.wordCost.Store(v, mem.Word(c>>32))
+}
+
+// score walks the token stream accumulating word costs — the parse loop
+// proper, identical in both variants.
+func (st *parserState) score() int64 {
+	var total int64
+	for _, tok := range st.text {
+		total += signed(st.wordCost.Load(tok)) & 0xffff
+		st.sys.Compute(1)
+	}
+	return total
+}
+
+// updateDict applies the round's dictionary updates through store. Half of
+// the attempted updates rewrite the entry's current value.
+func (st *parserState) updateDict(round int, store func(v int, w mem.Word)) {
+	h := uint64(round)*0x9e3779b97f4a7c15 + 0x515
+	for u := 0; u < parserUpdates; u++ {
+		h ^= h >> 29
+		h *= 0x94d049bb133111eb
+		v := int(h % uint64(st.vocab))
+		nw := mem.Word(h >> 32)
+		if (h>>16)%2 == 0 {
+			nw = mem.Word(st.dict.Load(v)) // rewrite same value: silent
+		}
+		st.sys.Compute(2)
+		store(v, nw)
+	}
+}
+
+func newParserState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *parserState {
+	size = size.withDefaults()
+	st := &parserState{sys: sys, vocab: parserVocabBase * size.Scale}
+	st.dict = alloc("parser.dict", st.vocab)
+	st.wordCost = alloc("parser.wordCost", st.vocab)
+	rng := NewRNG(size.Seed ^ 0x9a1)
+	for v := 0; v < st.vocab; v++ {
+		st.dict.Poke(v, mem.Word(rng.Uint64()>>16))
+	}
+	st.text = make([]int, parserTextBase*size.Scale)
+	for i := range st.text {
+		// Zipf-flavoured token distribution: low word ids dominate, as
+		// real text does.
+		r := rng.Intn(st.vocab * 4)
+		if r >= st.vocab {
+			r = rng.Intn(st.vocab / 8)
+		}
+		st.text[i] = r
+	}
+	for v := 0; v < st.vocab; v++ {
+		st.derive(v)
+	}
+	return st
+}
+
+func parserChecksum(sum uint64, st *parserState) uint64 {
+	for v := 0; v < st.vocab; v++ {
+		sum = checksum(sum, uint64(st.wordCost.Peek(v)))
+		sum = checksum(sum, uint64(st.dict.Peek(v)))
+	}
+	return sum
+}
+
+func (parserWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newParserState(env.Sys, size, env.Sys.Alloc)
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		if round > 0 {
+			// Re-derive every word cost, changed or not.
+			for v := 0; v < st.vocab; v++ {
+				st.derive(v)
+			}
+		}
+		sum = checksum(sum, uint64(st.score()))
+		st.updateDict(round, func(v int, w mem.Word) { st.dict.Store(v, w) })
+	}
+	for v := 0; v < st.vocab; v++ {
+		st.derive(v)
+	}
+	return Result{Checksum: parserChecksum(sum, st)}, nil
+}
+
+func (parserWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("parser: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var dictRegion *core.Region
+	st := newParserState(env.Sys, size, func(name string, n int) *mem.Buffer {
+		if name == "parser.dict" {
+			dictRegion = rt.NewRegion(name, n)
+			return dictRegion.Buffer()
+		}
+		return env.Sys.Alloc(name, n)
+	})
+
+	rederive := rt.Register("parser.derive", func(tg core.Trigger) {
+		st.derive(tg.Index)
+	})
+	if err := rt.Attach(rederive, dictRegion, 0, st.vocab); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		if round > 0 {
+			rt.Wait(rederive)
+		}
+		sum = checksum(sum, uint64(st.score()))
+		st.updateDict(round, func(v int, w mem.Word) { dictRegion.TStore(v, w) })
+	}
+	rt.Barrier()
+	return Result{Checksum: parserChecksum(sum, st), Triggers: st.vocab}, nil
+}

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// Synthetic is the controlled microbenchmark behind the when-does-DTT-pay-
+// off characterisation (experiment F14). Unlike the SPEC kernels, every
+// quantity that determines DTT's profit is a dial:
+//
+//   - ChangeFraction: the probability that a round's write to an input
+//     actually changes it (1 - redundancy);
+//   - ThreadOps: the cost of the computation guarded by each trigger;
+//   - ConsumeOps: the main thread's per-round fixed work.
+//
+// The baseline recomputes every derived entry every round; the DTT variant
+// recomputes only changed entries. It is deliberately not part of the
+// SPEC-named registry: it models no program, it maps the design space.
+type Synthetic struct {
+	// Inputs is the number of trigger words.
+	Inputs int
+	// ChangeFraction in [0, 1] is the per-round probability an input's
+	// rewrite changes its value.
+	ChangeFraction float64
+	// ThreadOps is the ALU cost of recomputing one derived entry.
+	ThreadOps int
+	// ConsumeOps is the main thread's fixed per-round work.
+	ConsumeOps int
+}
+
+// DefaultSynthetic returns a middle-of-the-road configuration.
+func DefaultSynthetic() Synthetic {
+	return Synthetic{Inputs: 256, ChangeFraction: 0.25, ThreadOps: 64, ConsumeOps: 512}
+}
+
+func (sy Synthetic) validate() error {
+	switch {
+	case sy.Inputs <= 0:
+		return fmt.Errorf("workloads: synthetic with %d inputs", sy.Inputs)
+	case sy.ChangeFraction < 0 || sy.ChangeFraction > 1:
+		return fmt.Errorf("workloads: synthetic change fraction %v outside [0,1]", sy.ChangeFraction)
+	case sy.ThreadOps < 1 || sy.ConsumeOps < 0:
+		return fmt.Errorf("workloads: synthetic costs %d/%d invalid", sy.ThreadOps, sy.ConsumeOps)
+	}
+	return nil
+}
+
+type synthState struct {
+	sys     *mem.System
+	sy      Synthetic
+	in, out *mem.Buffer
+}
+
+// inputAt derives input i's value in a round: it changes with probability
+// ChangeFraction, deterministically from (round, i, seed).
+func (st *synthState) inputAt(round, i int, seed uint64) mem.Word {
+	h := uint64(round)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + seed
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	threshold := uint64(st.sy.ChangeFraction * (1 << 32))
+	if (h&0xffffffff) < threshold || round == 0 {
+		return mem.Word(h>>32 | 1) // fresh value (never the zero word)
+	}
+	return st.in.Load(i) // rewrite of the current value: silent
+}
+
+// derive recomputes derived entry i: ThreadOps of integer mixing.
+func (st *synthState) derive(i int) {
+	v := uint64(st.in.Load(i))
+	for k := 0; k < st.sy.ThreadOps; k++ {
+		v = v*6364136223846793005 + 1442695040888963407
+	}
+	st.sys.Compute(int64(st.sy.ThreadOps))
+	st.out.Store(i, mem.Word(v))
+}
+
+// consume is the main thread's fixed work plus a fold of the derived table.
+func (st *synthState) consume(sum uint64) uint64 {
+	st.sys.Compute(int64(st.sy.ConsumeOps))
+	for i := 0; i < st.sy.Inputs; i += 16 {
+		sum = checksum(sum, uint64(st.out.Load(i)))
+	}
+	return sum
+}
+
+func newSynthState(sys *mem.System, sy Synthetic, alloc func(string, int) *mem.Buffer) *synthState {
+	st := &synthState{sys: sys, sy: sy}
+	st.in = alloc("synthetic.in", sy.Inputs)
+	st.out = alloc("synthetic.out", sy.Inputs)
+	return st
+}
+
+// RunBaseline executes the recompute-everything variant.
+func (sy Synthetic) RunBaseline(env *Env, size Size) (Result, error) {
+	if err := sy.validate(); err != nil {
+		return Result{}, err
+	}
+	size = size.withDefaults()
+	st := newSynthState(env.Sys, sy, env.Sys.Alloc)
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		for i := 0; i < sy.Inputs; i++ {
+			st.in.Store(i, st.inputAt(round, i, size.Seed))
+		}
+		for i := 0; i < sy.Inputs; i++ {
+			st.derive(i)
+		}
+		sum = st.consume(sum)
+	}
+	return Result{Checksum: sum}, nil
+}
+
+// RunDTT executes the data-triggered variant.
+func (sy Synthetic) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("synthetic: DTT run without a runtime")
+	}
+	if err := sy.validate(); err != nil {
+		return Result{}, err
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var inRegion *core.Region
+	st := newSynthState(env.Sys, sy, func(name string, n int) *mem.Buffer {
+		if name == "synthetic.in" {
+			inRegion = rt.NewRegion(name, n)
+			return inRegion.Buffer()
+		}
+		return env.Sys.Alloc(name, n)
+	})
+	rederive := rt.Register("synthetic.derive", func(tg core.Trigger) {
+		st.derive(tg.Index)
+	})
+	if err := rt.Attach(rederive, inRegion, 0, sy.Inputs); err != nil {
+		return Result{}, err
+	}
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		for i := 0; i < sy.Inputs; i++ {
+			inRegion.TStore(i, st.inputAt(round, i, size.Seed))
+		}
+		rt.Wait(rederive)
+		sum = st.consume(sum)
+	}
+	rt.Barrier()
+	return Result{Checksum: sum, Triggers: sy.Inputs}, nil
+}

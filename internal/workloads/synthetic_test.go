@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"testing"
+
+	"dtt/internal/core"
+)
+
+func TestSyntheticEquivalence(t *testing.T) {
+	size := Size{Scale: 1, Iters: 10, Seed: 9}
+	for _, change := range []float64{0, 0.3, 1} {
+		sy := DefaultSynthetic()
+		sy.ChangeFraction = change
+		base, err := sy.RunBaseline(NewBaselineEnv(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, backend := range []core.Backend{core.BackendDeferred, core.BackendImmediate} {
+			rt, err := core.New(core.Config{Backend: backend, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sy.RunDTT(NewDTTEnv(rt), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt.Close()
+			if got.Checksum != base.Checksum {
+				t.Fatalf("change=%v backend=%v: checksum %#x != %#x", change, backend, got.Checksum, base.Checksum)
+			}
+		}
+	}
+}
+
+func TestSyntheticChangeFractionControlsSilence(t *testing.T) {
+	size := Size{Scale: 1, Iters: 20, Seed: 9}
+	measure := func(change float64) float64 {
+		sy := DefaultSynthetic()
+		sy.ChangeFraction = change
+		rt, err := core.New(core.Config{Backend: core.BackendDeferred})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		if _, err := sy.RunDTT(NewDTTEnv(rt), size); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().SilentFraction()
+	}
+	low := measure(0.9)  // almost everything changes: few silent
+	high := measure(0.1) // almost nothing changes: mostly silent
+	if !(high > low+0.3) {
+		t.Fatalf("silent fraction not controlled by ChangeFraction: high=%v low=%v", high, low)
+	}
+	if all := measure(1); all > 0.1 {
+		t.Fatalf("ChangeFraction=1 still %v silent", all)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := []Synthetic{
+		{Inputs: 0, ChangeFraction: 0.5, ThreadOps: 1},
+		{Inputs: 8, ChangeFraction: -0.1, ThreadOps: 1},
+		{Inputs: 8, ChangeFraction: 1.5, ThreadOps: 1},
+		{Inputs: 8, ChangeFraction: 0.5, ThreadOps: 0},
+		{Inputs: 8, ChangeFraction: 0.5, ThreadOps: 1, ConsumeOps: -1},
+	}
+	for i, sy := range bad {
+		if _, err := sy.RunBaseline(NewBaselineEnv(), DefaultSize()); err == nil {
+			t.Errorf("config %d accepted: %+v", i, sy)
+		}
+	}
+	rt, _ := core.New(core.Config{Backend: core.BackendDeferred})
+	defer rt.Close()
+	if _, err := bad[0].RunDTT(NewDTTEnv(rt), DefaultSize()); err == nil {
+		t.Errorf("DTT accepted invalid config")
+	}
+	if _, err := DefaultSynthetic().RunDTT(NewBaselineEnv(), DefaultSize()); err == nil {
+		t.Errorf("DTT without runtime accepted")
+	}
+}

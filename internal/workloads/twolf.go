@@ -1,0 +1,189 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// twolfWorkload models 300.twolf's standard-cell placement.
+//
+// twolf evaluates row penalties — overlap between neighbouring cells in a
+// row — for the whole design after every accepted move, although a move
+// perturbs only one row. The DTT transform stores cell x-coordinates
+// through triggering stores; a support thread recomputes the penalty of the
+// moved cell's row. Rejected moves write the old coordinate back, which the
+// triggering store detects as silent.
+type twolfWorkload struct{}
+
+func init() { register(twolfWorkload{}) }
+
+func (twolfWorkload) Name() string  { return "twolf" }
+func (twolfWorkload) Suite() string { return "SPEC CPU2000 int (300.twolf)" }
+func (twolfWorkload) Description() string {
+	return "row overlap penalties: recompute only the row whose cell moved"
+}
+
+// twolf dimensions.
+const (
+	twolfRowsBase    = 96
+	twolfCellsPerRow = 24
+	twolfRowSpan     = 4096
+	twolfCellWidth   = 96
+	twolfOverlapCost = 3   // ALU ops per neighbour comparison
+	twolfAccept      = 20  // ALU ops of acceptance bookkeeping per move
+	twolfCandidates  = 110 // candidate x-positions scored per move
+)
+
+type twolfState struct {
+	sys    *mem.System
+	rows   int
+	x      *mem.Buffer // cell x-coordinates, [row*cellsPerRow + slot]
+	rowPen *mem.Buffer // per-row overlap penalty
+	total  *mem.Buffer // [0] = sum of penalties
+}
+
+func (st *twolfState) cells() int { return st.rows * twolfCellsPerRow }
+
+// rowPenalty recomputes the overlap penalty of a row: the summed pairwise
+// overlap of its cells in slot order.
+func (st *twolfState) rowPenalty(row int) int64 {
+	base := row * twolfCellsPerRow
+	var pen int64
+	prev := signed(st.x.Load(base))
+	for s := 1; s < twolfCellsPerRow; s++ {
+		cur := signed(st.x.Load(base + s))
+		overlap := prev + twolfCellWidth - cur
+		st.sys.Compute(twolfOverlapCost)
+		if overlap > 0 {
+			pen += overlap
+		}
+		prev = cur
+	}
+	return pen
+}
+
+// refreshRow recomputes a row's penalty and folds the delta into the total.
+func (st *twolfState) refreshRow(row int) {
+	old := signed(st.rowPen.Load(row))
+	nw := st.rowPenalty(row)
+	if nw != old {
+		st.rowPen.Store(row, word(nw))
+		st.total.Store(0, word(signed(st.total.Load(0))+nw-old))
+		st.sys.Compute(1)
+	}
+}
+
+// proposeMove picks the iteration's cell and its new x-coordinate by
+// scoring candidate positions against the cell's row — the annealer's
+// main-thread work, identical in both variants. A third of the proposals
+// end in rejection and keep the old coordinate.
+func (st *twolfState) proposeMove(iter int) (cell int, newX int64) {
+	h := uint64(iter)*0x9e3779b97f4a7c15 + 0x1234
+	h ^= h >> 31
+	h *= 0xbf58476d1ce4e5b9
+	cell = int(h % uint64(st.cells()))
+	row := cell / twolfCellsPerRow
+	bestScore := int64(1) << 62
+	var bestX int64
+	for c := 0; c < twolfCandidates; c++ {
+		h ^= h >> 29
+		h *= 0x94d049bb133111eb
+		x := int64(h % twolfRowSpan)
+		// Hypothetical penalty of the row with the candidate position:
+		// score the row plus a position-dependent bias.
+		score := st.rowPenalty(row) + (x-int64(twolfRowSpan/2))*(x-int64(twolfRowSpan/2))/twolfRowSpan
+		st.sys.Compute(4)
+		if score < bestScore {
+			bestScore, bestX = score, x
+		}
+	}
+	st.sys.Compute(twolfAccept)
+	if (h>>40)%3 == 0 {
+		return cell, signed(st.x.Load(cell)) // rejected: silent store
+	}
+	return cell, bestX
+}
+
+func newTwolfState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *twolfState {
+	size = size.withDefaults()
+	st := &twolfState{sys: sys, rows: twolfRowsBase * size.Scale}
+	st.x = alloc("twolf.x", st.cells())
+	st.rowPen = alloc("twolf.rowPen", st.rows)
+	st.total = alloc("twolf.total", 1)
+	rng := NewRNG(size.Seed ^ 0x2f0)
+	for c := 0; c < st.cells(); c++ {
+		st.x.Poke(c, word(int64(rng.Intn(twolfRowSpan))))
+	}
+	var total int64
+	for r := 0; r < st.rows; r++ {
+		p := st.rowPenalty(r)
+		st.rowPen.Poke(r, word(p))
+		total += p
+	}
+	st.total.Poke(0, word(total))
+	return st
+}
+
+func twolfChecksum(sum uint64, st *twolfState) uint64 {
+	sum = checksum(sum, uint64(st.total.Peek(0)))
+	for r := 0; r < st.rows; r++ {
+		sum = checksum(sum, uint64(st.rowPen.Peek(r)))
+	}
+	for c := 0; c < st.cells(); c++ {
+		sum = checksum(sum, uint64(st.x.Peek(c)))
+	}
+	return sum
+}
+
+func (twolfWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newTwolfState(env.Sys, size, env.Sys.Alloc)
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		for r := 0; r < st.rows; r++ {
+			st.refreshRow(r)
+		}
+		sum = checksum(sum, uint64(st.total.Load(0)))
+		cell, newX := st.proposeMove(iter)
+		st.x.Store(cell, word(newX))
+	}
+	for r := 0; r < st.rows; r++ {
+		st.refreshRow(r)
+	}
+	return Result{Checksum: twolfChecksum(sum, st)}, nil
+}
+
+func (twolfWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("twolf: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var xRegion *core.Region
+	st := newTwolfState(env.Sys, size, func(name string, n int) *mem.Buffer {
+		if name == "twolf.x" {
+			xRegion = rt.NewRegion(name, n)
+			return xRegion.Buffer()
+		}
+		return env.Sys.Alloc(name, n)
+	})
+
+	refresh := rt.Register("twolf.refresh", func(tg core.Trigger) {
+		st.refreshRow(tg.Index / twolfCellsPerRow)
+	})
+	if err := rt.Attach(refresh, xRegion, 0, st.cells()); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		rt.Wait(refresh)
+		sum = checksum(sum, uint64(st.total.Load(0)))
+		cell, newX := st.proposeMove(iter)
+		xRegion.TStore(cell, word(newX))
+	}
+	rt.Barrier()
+	return Result{Checksum: twolfChecksum(sum, st), Triggers: st.cells()}, nil
+}

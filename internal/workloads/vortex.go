@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// vortexWorkload models 255.vortex, the object-oriented database.
+//
+// vortex mutates objects through transactions and then rebuilds derived
+// structures wholesale, although most transactions rewrite fields with the
+// values they already hold — vortex has one of the highest silent-store
+// rates in SPEC. The kernel keeps a table of objects hashed into buckets
+// with a per-bucket digest index; the DTT transform attaches the digest
+// recomputation to the object fields, so only buckets holding genuinely
+// mutated objects are re-digested.
+type vortexWorkload struct{}
+
+func init() { register(vortexWorkload{}) }
+
+func (vortexWorkload) Name() string  { return "vortex" }
+func (vortexWorkload) Suite() string { return "SPEC CPU2000 int (255.vortex)" }
+func (vortexWorkload) Description() string {
+	return "database index: re-digest only buckets whose objects actually changed"
+}
+
+// vortex dimensions.
+const (
+	vortexObjectsBase = 512
+	vortexFields      = 6
+	vortexBuckets     = 64
+	vortexDigestCost  = 3   // ALU ops per field digested
+	vortexTxns        = 48  // object updates per round
+	vortexLookups     = 800 // index lookups per round (main-thread work)
+)
+
+type vortexState struct {
+	sys     *mem.System
+	objects int
+	fields  *mem.Buffer // object fields, [obj*vortexFields + f]
+	digest  *mem.Buffer // per-bucket digest
+	members [][]int     // bucket -> object ids (static hashing)
+}
+
+func (st *vortexState) bucketOf(obj int) int { return obj % vortexBuckets }
+
+// redigest recomputes the digest of one bucket from its members' fields.
+func (st *vortexState) redigest(bucket int) {
+	h := uint64(0x811c9dc5)
+	for _, obj := range st.members[bucket] {
+		for f := 0; f < vortexFields; f++ {
+			h = (h ^ uint64(st.fields.Load(obj*vortexFields+f))) * 0x01000193
+			st.sys.Compute(vortexDigestCost)
+		}
+	}
+	st.digest.Store(bucket, mem.Word(h))
+}
+
+// vortexTxnSet derives the round's transactions. Half of the field writes
+// store the value already present.
+func vortexTxnSet(st *vortexState, round int) (objs []int, fields []int, vals []mem.Word) {
+	h := uint64(round)*0x9e3779b97f4a7c15 + 0x70f
+	for t := 0; t < vortexTxns; t++ {
+		h ^= h >> 30
+		h *= 0x94d049bb133111eb
+		obj := int(h % uint64(st.objects))
+		field := int((h >> 20) % vortexFields)
+		v := mem.Word(h >> 32)
+		if (h>>12)%2 == 0 {
+			v = st.fields.Load(obj*vortexFields + field)
+		}
+		st.sys.Compute(2)
+		objs = append(objs, obj)
+		fields = append(fields, field)
+		vals = append(vals, v)
+	}
+	return
+}
+
+func newVortexState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *vortexState {
+	size = size.withDefaults()
+	st := &vortexState{sys: sys, objects: vortexObjectsBase * size.Scale}
+	st.fields = alloc("vortex.fields", st.objects*vortexFields)
+	st.digest = alloc("vortex.digest", vortexBuckets)
+	st.members = make([][]int, vortexBuckets)
+	rng := NewRNG(size.Seed ^ 0x70e)
+	for obj := 0; obj < st.objects; obj++ {
+		st.members[st.bucketOf(obj)] = append(st.members[st.bucketOf(obj)], obj)
+		for f := 0; f < vortexFields; f++ {
+			st.fields.Poke(obj*vortexFields+f, mem.Word(rng.Uint64()>>20))
+		}
+	}
+	for b := 0; b < vortexBuckets; b++ {
+		st.redigest(b)
+	}
+	return st
+}
+
+func vortexChecksum(sum uint64, st *vortexState) uint64 {
+	for b := 0; b < vortexBuckets; b++ {
+		sum = checksum(sum, uint64(st.digest.Peek(b)))
+	}
+	for i := 0; i < st.objects*vortexFields; i++ {
+		sum = checksum(sum, uint64(st.fields.Peek(i)))
+	}
+	return sum
+}
+
+// query is the per-round main-thread work: probe a set of buckets and fold
+// their digests.
+func (st *vortexState) query(round int) uint64 {
+	h := uint64(round) * 0x9e3779b97f4a7c15
+	acc := uint64(0)
+	for q := 0; q < vortexLookups; q++ {
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		b := int(h % vortexBuckets)
+		acc = (acc ^ uint64(st.digest.Load(b))) * 0x01000193
+		st.sys.Compute(3)
+	}
+	return acc
+}
+
+func (vortexWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newVortexState(env.Sys, size, env.Sys.Alloc)
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		objs, fields, vals := vortexTxnSet(st, round)
+		for i := range objs {
+			st.fields.Store(objs[i]*vortexFields+fields[i], vals[i])
+		}
+		// Rebuild the whole index, touched or not.
+		for b := 0; b < vortexBuckets; b++ {
+			st.redigest(b)
+		}
+		sum = checksum(sum, st.query(round))
+	}
+	return Result{Checksum: vortexChecksum(sum, st)}, nil
+}
+
+func (vortexWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("vortex: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var fieldsRegion *core.Region
+	st := newVortexState(env.Sys, size, func(name string, n int) *mem.Buffer {
+		if name == "vortex.fields" {
+			fieldsRegion = rt.NewRegion(name, n)
+			return fieldsRegion.Buffer()
+		}
+		return env.Sys.Alloc(name, n)
+	})
+
+	index := rt.Register("vortex.redigest", func(tg core.Trigger) {
+		st.redigest(st.bucketOf(tg.Index / vortexFields))
+	})
+	if err := rt.Attach(index, fieldsRegion, 0, st.objects*vortexFields); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for round := 0; round < size.Iters; round++ {
+		objs, fields, vals := vortexTxnSet(st, round)
+		for i := range objs {
+			fieldsRegion.TStore(objs[i]*vortexFields+fields[i], vals[i])
+		}
+		rt.Wait(index)
+		sum = checksum(sum, st.query(round))
+	}
+	rt.Barrier()
+	return Result{Checksum: vortexChecksum(sum, st), Triggers: st.objects * vortexFields}, nil
+}

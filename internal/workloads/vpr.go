@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// vprWorkload models 175.vpr's placement phase.
+//
+// vpr's annealer moves one block at a time but the reference cost pass
+// recomputes the bounding box of every net, although only the nets
+// containing the moved block can change. The DTT transform stores packed
+// block positions through triggering stores; a support thread recomputes
+// the bounding-box cost of exactly the moved block's nets and folds the
+// delta into the running total. Candidate evaluation — the annealer's
+// dominant fixed cost — stays on the main thread in both variants.
+type vprWorkload struct{}
+
+func init() { register(vprWorkload{}) }
+
+func (vprWorkload) Name() string  { return "vpr" }
+func (vprWorkload) Suite() string { return "SPEC CPU2000 int (175.vpr)" }
+func (vprWorkload) Description() string {
+	return "placement cost: recompute net bounding boxes only for nets of the moved block"
+}
+
+// vpr dimensions.
+const (
+	vprBlocksBase = 256
+	vprNetsBase   = 512
+	vprPinsPerNet = 4
+	vprGrid       = 1 << 10 // coordinate range per axis
+	vprBBoxCost   = 3       // ALU ops per pin visit
+	vprCandidates = 128     // candidate positions evaluated per move
+)
+
+type vprNetlist struct {
+	blocks, nets int
+	netPins      [][]int // nets -> member blocks
+	blockNets    [][]int // blocks -> containing nets
+}
+
+func buildVPRNetlist(size Size) *vprNetlist {
+	size = size.withDefaults()
+	nl := &vprNetlist{blocks: vprBlocksBase * size.Scale, nets: vprNetsBase * size.Scale}
+	rng := NewRNG(size.Seed ^ 0x19f)
+	nl.netPins = make([][]int, nl.nets)
+	nl.blockNets = make([][]int, nl.blocks)
+	for n := range nl.netPins {
+		seen := map[int]bool{}
+		for p := 0; p < vprPinsPerNet; p++ {
+			b := rng.Intn(nl.blocks)
+			for seen[b] {
+				b = rng.Intn(nl.blocks)
+			}
+			seen[b] = true
+			nl.netPins[n] = append(nl.netPins[n], b)
+			nl.blockNets[b] = append(nl.blockNets[b], n)
+		}
+	}
+	return nl
+}
+
+// packXY packs a grid position into one trigger word, so one move is one
+// triggering store rather than two half-triggers.
+func packXY(x, y int) mem.Word { return mem.Word(uint64(x)<<20 | uint64(y)) }
+
+func unpackXY(w mem.Word) (x, y int) { return int(w >> 20), int(w & (1<<20 - 1)) }
+
+type vprState struct {
+	sys     *mem.System
+	nl      *vprNetlist
+	pos     *mem.Buffer // packed block positions
+	netCost *mem.Buffer // per-net half-perimeter wirelength
+	total   *mem.Buffer // [0] = sum of net costs
+}
+
+// netBBox computes the half-perimeter wirelength of net n from current
+// positions.
+func (st *vprState) netBBox(n int) int64 {
+	minX, minY := vprGrid, vprGrid
+	maxX, maxY := 0, 0
+	for _, b := range st.nl.netPins[n] {
+		x, y := unpackXY(st.pos.Load(b))
+		st.sys.Compute(vprBBoxCost)
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return int64(maxX - minX + maxY - minY)
+}
+
+// refreshNet recomputes net n's cost and folds the delta into the total.
+func (st *vprState) refreshNet(n int) {
+	old := signed(st.netCost.Load(n))
+	nw := st.netBBox(n)
+	if nw != old {
+		st.netCost.Store(n, word(nw))
+		st.total.Store(0, word(signed(st.total.Load(0))+nw-old))
+		st.sys.Compute(1)
+	}
+}
+
+// evaluateCandidates is the annealer's main-thread work: score candidate
+// positions for the next block against the nets it belongs to, without
+// committing anything. Identical in both variants.
+func (st *vprState) evaluateCandidates(iter, block int) (bestX, bestY int) {
+	h := uint64(iter)*0x9e3779b97f4a7c15 + uint64(block)
+	bestScore := int64(1) << 62
+	for c := 0; c < vprCandidates; c++ {
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		x := int(h % vprGrid)
+		y := int((h >> 24) % vprGrid)
+		var score int64
+		for _, n := range st.nl.blockNets[block] {
+			// Hypothetical cost: current bbox stretched to include the
+			// candidate point.
+			score += st.netBBox(n) + int64((x+y)%7)
+			st.sys.Compute(2)
+		}
+		if score < bestScore {
+			bestScore, bestX, bestY = score, x, y
+		}
+	}
+	// A slice of moves is rejected: the block is "moved" to its current
+	// position and the position store is silent.
+	if h%4 == 0 {
+		x, y := unpackXY(st.pos.Load(block))
+		return x, y
+	}
+	return bestX, bestY
+}
+
+func newVPRState(sys *mem.System, size Size, alloc func(string, int) *mem.Buffer) *vprState {
+	nl := buildVPRNetlist(size)
+	st := &vprState{
+		sys:     sys,
+		nl:      nl,
+		pos:     alloc("vpr.pos", nl.blocks),
+		netCost: alloc("vpr.netCost", nl.nets),
+		total:   alloc("vpr.total", 1),
+	}
+	rng := NewRNG(size.Seed ^ 0x33d)
+	for b := 0; b < nl.blocks; b++ {
+		st.pos.Poke(b, packXY(rng.Intn(vprGrid), rng.Intn(vprGrid)))
+	}
+	var total int64
+	for n := 0; n < nl.nets; n++ {
+		c := st.netBBox(n)
+		st.netCost.Poke(n, word(c))
+		total += c
+	}
+	st.total.Poke(0, word(total))
+	return st
+}
+
+func vprChecksum(sum uint64, st *vprState) uint64 {
+	sum = checksum(sum, uint64(st.total.Peek(0)))
+	for n := 0; n < st.nl.nets; n++ {
+		sum = checksum(sum, uint64(st.netCost.Peek(n)))
+	}
+	for b := 0; b < st.nl.blocks; b++ {
+		sum = checksum(sum, uint64(st.pos.Peek(b)))
+	}
+	return sum
+}
+
+func (vprWorkload) RunBaseline(env *Env, size Size) (Result, error) {
+	size = size.withDefaults()
+	st := newVPRState(env.Sys, size, env.Sys.Alloc)
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		// Reference cost pass: recompute every net.
+		for n := 0; n < st.nl.nets; n++ {
+			st.refreshNet(n)
+		}
+		sum = checksum(sum, uint64(st.total.Load(0)))
+		block := int(uint64(iter)*2654435761) % st.nl.blocks
+		x, y := st.evaluateCandidates(iter, block)
+		st.pos.Store(block, packXY(x, y))
+	}
+	for n := 0; n < st.nl.nets; n++ {
+		st.refreshNet(n)
+	}
+	return Result{Checksum: vprChecksum(sum, st)}, nil
+}
+
+func (vprWorkload) RunDTT(env *Env, size Size) (Result, error) {
+	if env.RT == nil {
+		return Result{}, fmt.Errorf("vpr: DTT run without a runtime")
+	}
+	size = size.withDefaults()
+	rt := env.RT
+	var posRegion *core.Region
+	st := newVPRState(env.Sys, size, func(name string, n int) *mem.Buffer {
+		if name == "vpr.pos" {
+			posRegion = rt.NewRegion(name, n)
+			return posRegion.Buffer()
+		}
+		return env.Sys.Alloc(name, n)
+	})
+
+	refresh := rt.Register("vpr.refresh", func(tg core.Trigger) {
+		for _, n := range st.nl.blockNets[tg.Index] {
+			st.refreshNet(n)
+		}
+	})
+	if err := rt.Attach(refresh, posRegion, 0, st.nl.blocks); err != nil {
+		return Result{}, err
+	}
+
+	sum := uint64(0)
+	for iter := 0; iter < size.Iters; iter++ {
+		rt.Wait(refresh)
+		sum = checksum(sum, uint64(st.total.Load(0)))
+		block := int(uint64(iter)*2654435761) % st.nl.blocks
+		x, y := st.evaluateCandidates(iter, block)
+		posRegion.TStore(block, packXY(x, y))
+	}
+	rt.Barrier()
+	return Result{Checksum: vprChecksum(sum, st), Triggers: st.nl.blocks}, nil
+}

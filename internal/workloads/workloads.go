@@ -1,0 +1,139 @@
+// Package workloads provides miniature reimplementations of the C SPEC
+// benchmarks the paper evaluates. SPEC sources and inputs are licensed and
+// unavailable, so each kernel reproduces the *redundancy structure* the
+// paper documents for its namesake — the reason data-triggered threads help
+// that program — rather than its full functionality:
+//
+//	mcf     network price updates touching few node potentials
+//	equake  sparse matrix-vector products over slowly-changing displacements
+//	art     neural-net layer sums over a sliding input window
+//	vpr     incremental placement cost over per-move block positions
+//	twolf   row-overlap placement cost with rarely-moving cells
+//	gzip    block compression of a stream with many repeated blocks
+//	bzip2   block transforms of a stream with many repeated blocks
+//	parser  dictionary-derived word costs with rare dictionary updates
+//	ammp    pairwise force recomputation for slowly-moving atoms
+//	mesa    vertex transforms with sparse per-frame vertex changes
+//
+// Every workload has a baseline variant (recompute everything, the original
+// program) and a DTT variant (triggering stores + support threads). Both
+// must produce bit-identical checksums; all arithmetic is integer/fixed-
+// point so incremental and full recomputation agree exactly.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"dtt/internal/core"
+	"dtt/internal/mem"
+)
+
+// Size scales a workload. Interpretation is per-workload, but Scale=1 is
+// always the experiments' default and larger scales grow the data
+// superlinearly in work.
+type Size struct {
+	// Scale multiplies the data dimensions.
+	Scale int
+	// Iters is the number of outer iterations (time steps, moves, rounds).
+	Iters int
+	// Seed selects the deterministic input instance.
+	Seed uint64
+}
+
+// DefaultSize is the configuration used by all experiments.
+func DefaultSize() Size { return Size{Scale: 1, Iters: 40, Seed: 1} }
+
+func (s Size) withDefaults() Size {
+	if s.Scale <= 0 {
+		s.Scale = 1
+	}
+	if s.Iters <= 0 {
+		s.Iters = 40
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Env is the substrate a run executes against. Baseline runs need only Sys;
+// DTT runs also need RT (whose System must be Sys).
+type Env struct {
+	Sys *mem.System
+	RT  *core.Runtime
+}
+
+// NewBaselineEnv returns an Env for a baseline run on a fresh system.
+func NewBaselineEnv() *Env { return &Env{Sys: mem.NewSystem()} }
+
+// NewDTTEnv wraps a runtime in an Env.
+func NewDTTEnv(rt *core.Runtime) *Env { return &Env{Sys: rt.System(), RT: rt} }
+
+// Result is a run's output fingerprint and work accounting. Baseline and
+// DTT runs of the same workload and size must produce equal Checksums.
+type Result struct {
+	// Checksum fingerprints the program output.
+	Checksum uint64
+	// Triggers is the number of trigger words the DTT variant attaches
+	// (0 for baseline runs); it feeds the T3 characterisation table.
+	Triggers int
+}
+
+// Workload is one mini-SPEC benchmark.
+type Workload interface {
+	// Name is the SPEC namesake, e.g. "mcf".
+	Name() string
+	// Suite names the SPEC suite and class of the namesake.
+	Suite() string
+	// Description states the redundancy mechanism being modelled.
+	Description() string
+	// RunBaseline executes the recompute-everything variant.
+	RunBaseline(env *Env, size Size) (Result, error)
+	// RunDTT executes the data-triggered variant. The caller drives
+	// synchronisation policy through the runtime it supplies in env.
+	RunDTT(env *Env, size Size) (Result, error)
+}
+
+var registry = map[string]Workload{}
+
+// register adds w at package init time.
+func register(w Workload) {
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("workloads: duplicate workload %q", w.Name()))
+	}
+	registry[w.Name()] = w
+}
+
+// All returns every registered workload sorted by name.
+func All() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns the sorted workload names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checksum mixes a value into a running fingerprint (FNV-1a-style).
+func checksum(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}

@@ -1,0 +1,33 @@
+# CI entry points. `make ci` is the gate: vet, build, race-enabled tests
+# (which include the allocs/op regression tests in allocs_test.go, so a
+# fast-path allocation regression fails here, not just in benchmark output),
+# then the fast-path benchmarks with allocation reporting.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-fastpath bench
+
+ci: vet build race bench-fastpath
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Dispatch fast-path microbenchmarks; -benchmem prints allocs/op so the
+# numbers quoted in CHANGES.md can be regenerated. TestTStoreFastPathAllocs
+# (run as part of `make race`/`make test`) is what actually fails the build
+# on a regression.
+bench-fastpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkTStore|BenchmarkQueuePending' -benchmem .
+
+# Full evaluation benchmark sweep (paper tables/figures).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -1,0 +1,78 @@
+package dtt_test
+
+// Allocation regression tests for the triggering-store fast paths. These run
+// in plain `go test`, so an allocs/op regression fails CI loudly rather than
+// only showing up in benchmark output someone has to read.
+
+import (
+	"testing"
+
+	"dtt"
+)
+
+// allocRuntime builds the same shape as the BenchmarkTStore* family: one
+// attached 1024-word region, one unattached region, deferred backend.
+func allocRuntime(t *testing.T) (*dtt.Runtime, *dtt.Region, *dtt.Region) {
+	t.Helper()
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	hot := rt.NewRegion("hot", 1024)
+	cold := rt.NewRegion("cold", 64)
+	id := rt.Register("noop", func(dtt.Trigger) {})
+	if err := rt.Attach(id, hot, 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the runtime's internal structures (queue per-thread counters,
+	// TQST slice, lookup scratch, dedup map buckets) so the measurements
+	// below see the steady state the fast-path contract is about.
+	for i := 0; i < 1024; i++ {
+		hot.TStore(i, 1)
+	}
+	rt.Barrier()
+	return rt, hot, cold
+}
+
+func TestTStoreFastPathAllocs(t *testing.T) {
+	rt, hot, cold := allocRuntime(t)
+
+	// Silent store: value unchanged, thread squashed before dispatch.
+	if got := testing.AllocsPerRun(200, func() { hot.TStore(0, 1) }); got != 0 {
+		t.Errorf("silent tstore allocates %.1f allocs/op, want 0", got)
+	}
+
+	// Changing store: full fire -> lookup -> enqueue -> drain path.
+	var v dtt.Word = 1
+	if got := testing.AllocsPerRun(20, func() {
+		v++
+		for i := 0; i < 1024; i++ {
+			hot.TStore(i, v)
+		}
+		rt.Barrier()
+	}); got != 0 {
+		t.Errorf("changing tstore+drain allocates %.1f allocs/op, want 0", got)
+	}
+
+	// Squash path: a pending entry for the same address already queued.
+	hot.TStore(0, 1_000_000)
+	var w dtt.Word
+	if got := testing.AllocsPerRun(200, func() {
+		w++
+		hot.TStore(0, 2_000_000+w)
+	}); got != 0 {
+		t.Errorf("squashing tstore allocates %.1f allocs/op, want 0", got)
+	}
+	rt.Barrier()
+
+	// Uncovered store: changing value, but no attachment covers the address,
+	// so the registry pre-check must reject it without touching rt.mu.
+	var u dtt.Word
+	if got := testing.AllocsPerRun(200, func() {
+		u++
+		cold.TStore(0, u)
+	}); got != 0 {
+		t.Errorf("uncovered tstore allocates %.1f allocs/op, want 0", got)
+	}
+}

@@ -121,9 +121,9 @@ func BenchmarkAblationDedupPolicy(b *testing.B) {
 					q.Dequeue()
 				}
 			}
-			enq, sq, _, _, _ := q.Counters()
-			if enq+sq > 0 {
-				b.ReportMetric(float64(sq)/float64(enq+sq), "squash-frac")
+			c := q.Counters()
+			if c.Enqueued+c.Squashed > 0 {
+				b.ReportMetric(float64(c.Squashed)/float64(c.Enqueued+c.Squashed), "squash-frac")
 			}
 		})
 	}
@@ -183,41 +183,105 @@ func BenchmarkAblationTriggerGranularity(b *testing.B) {
 	}
 }
 
-// Microbenches of the hot structures.
-func BenchmarkTStoreSilent(b *testing.B) {
-	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred})
+// Microbenches of the hot structures. The BenchmarkTStore* family measures
+// the triggering-store fast paths the runtime promises are allocation-free:
+// silent stores, changing (enqueuing) stores, squashed stores, and stores to
+// addresses with no attachment. Run with -benchmem; allocs/op must be 0 on
+// the silent, changing and squash paths (TestTStoreFastPathAllocs enforces
+// this in plain `go test`).
+func benchRuntime(b *testing.B, cfg dtt.Config) (*dtt.Runtime, *dtt.Region, dtt.ThreadID) {
+	b.Helper()
+	rt, err := dtt.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer rt.Close()
+	b.Cleanup(rt.Close)
 	r := rt.NewRegion("bench", 1024)
 	id := rt.Register("noop", func(dtt.Trigger) {})
 	if err := rt.Attach(id, r, 0, 1024); err != nil {
 		b.Fatal(err)
 	}
+	return rt, r, id
+}
+
+func BenchmarkTStoreSilent(b *testing.B) {
+	_, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred})
 	r.TStore(0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.TStore(0, 1) // always silent
 	}
 }
 
-func BenchmarkTStoreFiring(b *testing.B) {
-	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 4096})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer rt.Close()
-	r := rt.NewRegion("bench", 1024)
-	id := rt.Register("noop", func(dtt.Trigger) {})
-	if err := rt.Attach(id, r, 0, 1024); err != nil {
-		b.Fatal(err)
-	}
+// BenchmarkTStoreChanging is the enqueue fast path: every store changes the
+// value and enqueues an instance; the periodic Barrier drains the queue so
+// its cost is amortised over the 1024 stores that filled it.
+func BenchmarkTStoreChanging(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.TStore(i%1024, dtt.Word(i+1))
 		if i%1024 == 1023 {
 			rt.Barrier()
+		}
+	}
+	b.StopTimer()
+	rt.Barrier()
+}
+
+// BenchmarkTStoreSquash is the duplicate-squash fast path: one instance is
+// pending at the address for the whole run, so every changing store squashes.
+func BenchmarkTStoreSquash(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred})
+	r.TStore(0, 1) // plant the pending entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TStore(0, dtt.Word(i+2)) // always changes, always squashed
+	}
+	b.StopTimer()
+	rt.Barrier()
+}
+
+// BenchmarkTStoreUncovered is a changing store to an address no thread is
+// attached to: the store must be rejected before any dispatch work.
+func BenchmarkTStoreUncovered(b *testing.B) {
+	rt, _, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred})
+	cold := rt.NewRegion("cold", 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold.TStore(0, dtt.Word(i+1)) // always changes, never covered
+	}
+}
+
+func BenchmarkTStoreFiring(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 4096})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TStore(i%1024, dtt.Word(i+1))
+		if i%1024 == 1023 {
+			rt.Barrier()
+		}
+	}
+}
+
+// BenchmarkQueuePending measures the Wait/Barrier wakeup predicate: whether
+// thread t has a pending entry, asked with the queue full of other threads'
+// entries. The ring-buffer queue answers from a per-thread counter in O(1).
+func BenchmarkQueuePending(b *testing.B) {
+	q := queue.NewThreadQueue(4096, queue.DedupPerAddress)
+	for i := 0; i < 4096; i++ {
+		q.Enqueue(queue.ThreadID(1), mem.Addr(i)*8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q.Pending(queue.ThreadID(2)) {
+			b.Fatal("thread 2 never enqueued")
 		}
 	}
 }

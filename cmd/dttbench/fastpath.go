@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"dtt"
+)
+
+// runFastPath measures the triggering-store fast paths with the standard
+// benchmark machinery and prints ns/op plus allocs/op, so the dispatch
+// numbers quoted in CHANGES.md can be regenerated from the CLI without
+// running `go test -bench`.
+func runFastPath() {
+	newRT := func(b *testing.B) (*dtt.Runtime, *dtt.Region, *dtt.Region) {
+		rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hot := rt.NewRegion("hot", 1024)
+		cold := rt.NewRegion("cold", 64)
+		id := rt.Register("noop", func(dtt.Trigger) {})
+		if err := rt.Attach(id, hot, 0, 1024); err != nil {
+			b.Fatal(err)
+		}
+		return rt, hot, cold
+	}
+	benches := []struct {
+		name string
+		f    func(b *testing.B)
+	}{
+		{"silent", func(b *testing.B) {
+			rt, hot, _ := newRT(b)
+			defer rt.Close()
+			hot.TStore(0, 1)
+			rt.Barrier()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hot.TStore(0, 1)
+			}
+		}},
+		{"changing", func(b *testing.B) {
+			rt, hot, _ := newRT(b)
+			defer rt.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hot.TStore(i%1024, dtt.Word(i+1))
+				if i%1024 == 1023 {
+					rt.Barrier()
+				}
+			}
+		}},
+		{"squash", func(b *testing.B) {
+			rt, hot, _ := newRT(b)
+			defer rt.Close()
+			hot.TStore(0, 1) // pending entry every later store squashes into
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hot.TStore(0, dtt.Word(i+2))
+			}
+		}},
+		{"uncovered", func(b *testing.B) {
+			rt, _, cold := newRT(b)
+			defer rt.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cold.TStore(0, dtt.Word(i+1))
+			}
+		}},
+	}
+	fmt.Println("triggering-store fast paths (deferred backend, 1024-word region):")
+	for _, bn := range benches {
+		r := testing.Benchmark(bn.f)
+		fmt.Printf("  %-10s %8d ns/op  %5d B/op  %3d allocs/op\n",
+			bn.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+}

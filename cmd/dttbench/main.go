@@ -6,6 +6,7 @@
 //	dttbench -exp F3,F4      # run selected experiments
 //	dttbench -list           # list experiment IDs and titles
 //	dttbench -iters 80       # scale the workloads
+//	dttbench -fastpath       # microbenchmark the triggering-store fast paths
 //
 // See DESIGN.md for the experiment-to-paper mapping and EXPERIMENTS.md for
 // recorded results.
@@ -28,8 +29,14 @@ func main() {
 		scale = flag.Int("scale", 1, "workload data scale factor")
 		iters = flag.Int("iters", 40, "workload outer iterations")
 		seed  = flag.Uint64("seed", 1, "workload input seed")
+		fast  = flag.Bool("fastpath", false, "microbenchmark the triggering-store fast paths and exit")
 	)
 	flag.Parse()
+
+	if *fast {
+		runFastPath()
+		return
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {

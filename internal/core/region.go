@@ -41,10 +41,18 @@ func (r *Region) StoreF(i int, f float64) bool { return r.buf.StoreF(i, f) }
 // changed it fires the threads attached to that address. It reports whether
 // the value changed; a false return means the store was silent and all
 // downstream computation was skipped.
+//
+// TStore is allocation-free in the steady state on every outcome — silent
+// store, squashed duplicate, and plain enqueue. Silent stores and changing
+// stores to addresses no thread is attached to never take the runtime's
+// dispatch lock: the attachment check is a lock-free read of the registry's
+// published interval index, so unrelated hot stores do not contend with
+// dispatch. allocs_test.go and the BenchmarkTStore* family enforce this.
 func (r *Region) TStore(i int, v mem.Word) bool { return r.rt.tstore(r, i, v) }
 
 // TStoreF is the float64 form of TStore; change detection compares IEEE-754
-// bit patterns, as hardware comparing raw memory would.
+// bit patterns, as hardware comparing raw memory would. It shares TStore's
+// allocation-free fast path.
 func (r *Region) TStoreF(i int, f float64) bool {
 	return r.rt.tstore(r, i, wordOf(f))
 }

@@ -11,15 +11,36 @@ import (
 	"dtt/internal/trace"
 )
 
+type attachment struct {
+	region *Region
+	lo, hi mem.Addr
+}
+
+// threadEntry is the runtime's per-thread record: the registered body, the
+// thread's trigger ranges, and the thread's run token. The token serialises
+// instances of one thread (the paper's one-instance-at-a-time rule) without
+// involving any other thread: workers executing different threads only meet
+// on the dispatch lock for queue operations, never on each other's tokens.
 type threadEntry struct {
 	name string
 	fn   ThreadFunc
-}
+	atts []attachment
 
-type attachment struct {
-	thread ThreadID
-	region *Region
-	lo, hi mem.Addr
+	// running is the run token: true while an instance of this thread is
+	// executing (queue-dispatched or inline). owner is the goroutine id of
+	// the token holder on the immediate backend, so a cascading trigger
+	// that overflows the queue can recognise itself and recurse instead of
+	// deadlocking on its own token.
+	running bool
+	owner   uint64
+
+	// tokenWaiters are closed when no instance of this thread is executing
+	// (the run token is free): inline overflow runners block here.
+	// quietWaiters are closed when the thread is fully quiet (no pending,
+	// no running, token free): Wait blocks here. Both are targeted wakeups
+	// — only goroutines interested in this thread are woken.
+	tokenWaiters []chan struct{}
+	quietWaiters []chan struct{}
 }
 
 type releaseKey struct {
@@ -35,23 +56,48 @@ type releaseKey struct {
 // concurrently on worker goroutines; the programming model requires — as
 // the paper's does — that the main thread not access a support thread's
 // output between the trigger and the matching Wait.
+//
+// # Lock hierarchy
+//
+// The hot path is layered so a triggering store pays only for what it uses
+// (see DESIGN.md "Runtime lock hierarchy"):
+//
+//  1. No lock: the value comparison in mem.Buffer.Store, the stats
+//     counters (atomic), and the Registry.Covers pre-check against the
+//     registry's immutable index snapshot. Silent stores and stores to
+//     unattached addresses finish here and never contend.
+//  2. rt.mu, the dispatch lock: thread queue, TQST, per-thread records and
+//     the lookup scratch buffer. Held only for pointer-sized bookkeeping,
+//     never across a thread body.
+//  3. Per-thread run tokens (threadEntry.running/owner, guarded by rt.mu,
+//     waited on via per-thread channels): serialise instances of one
+//     thread. Thread bodies run with no lock held; only the token marks
+//     them busy.
 type Runtime struct {
 	cfg Config
 	sys *mem.System
 
+	// reg is read lock-free on the store fast path; mutations happen under
+	// rt.mu and publish a fresh snapshot (see queue.Registry).
+	reg *queue.Registry
+
 	mu      sync.Mutex
-	cond    *sync.Cond
-	reg     *queue.Registry
 	tq      *queue.ThreadQueue
 	tqst    *queue.TQST
-	threads []threadEntry
-	atts    []attachment
-	// running serialises instances per thread across workers and inline
-	// overflow execution; owner records which goroutine holds each
-	// thread's run token so a cascading trigger that overflows the queue
-	// can re-enter its own thread recursively instead of deadlocking.
-	running map[ThreadID]bool
-	owner   map[ThreadID]uint64
+	threads []*threadEntry
+	// scratch is the reusable Lookup destination owned by the runtime, so
+	// the enqueue fast path performs no allocation. Guarded by rt.mu.
+	scratch []queue.ThreadID
+	// inlineRunning counts inline overflow executions in flight; they hold
+	// run tokens but are invisible to the TQST, so Barrier must count them
+	// separately.
+	inlineRunning int
+	// barrierWaiters are closed when the runtime is fully quiet.
+	barrierWaiters []chan struct{}
+	// work wakes idle immediate-backend workers: one token per newly
+	// dispatchable entry, dropped when the buffer is full (a full buffer
+	// already wakes every worker). Closed by Close.
+	work chan struct{}
 	// release maps a pending queue entry to the trace task that released
 	// it (BackendRecorded only).
 	release map[releaseKey]trace.TaskID
@@ -73,10 +119,8 @@ func New(cfg Config) (*Runtime, error) {
 		reg:     queue.NewRegistry(),
 		tq:      queue.NewThreadQueue(cfg.QueueCapacity, cfg.Dedup),
 		tqst:    queue.NewTQST(),
-		running: make(map[ThreadID]bool),
-		owner:   make(map[ThreadID]uint64),
+		scratch: make([]queue.ThreadID, 0, 16),
 	}
-	rt.cond = sync.NewCond(&rt.mu)
 	if cfg.Backend == BackendRecorded {
 		rt.release = make(map[releaseKey]trace.TaskID)
 		rt.sys.AttachProbe(cfg.Recorder)
@@ -85,6 +129,7 @@ func New(cfg Config) (*Runtime, error) {
 		if rt.sys.Probed() {
 			return nil, fmt.Errorf("core: BackendImmediate cannot run with probes attached; probes are not safe under concurrency")
 		}
+		rt.work = make(chan struct{}, cfg.Workers)
 		for i := 0; i < cfg.Workers; i++ {
 			rt.wg.Add(1)
 			go rt.worker()
@@ -113,7 +158,7 @@ func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	id := ThreadID(len(rt.threads))
-	rt.threads = append(rt.threads, threadEntry{name: name, fn: fn})
+	rt.threads = append(rt.threads, &threadEntry{name: name, fn: fn})
 	return id
 }
 
@@ -145,7 +190,8 @@ func (rt *Runtime) Attach(t ThreadID, r *Region, lo, hi int) error {
 	if err := rt.reg.Attach(t, loA, hiA); err != nil {
 		return err
 	}
-	rt.atts = append(rt.atts, attachment{thread: t, region: r, lo: loA, hi: hiA})
+	te := rt.threads[t]
+	te.atts = append(te.atts, attachment{region: r, lo: loA, hi: hiA})
 	rt.chargeMgmt(isa.OpTSpawn)
 	return nil
 }
@@ -155,13 +201,9 @@ func (rt *Runtime) Cancel(t ThreadID) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.reg.Detach(t)
-	kept := rt.atts[:0]
-	for _, a := range rt.atts {
-		if a.thread != t {
-			kept = append(kept, a)
-		}
+	if int(t) >= 0 && int(t) < len(rt.threads) {
+		rt.threads[t].atts = nil
 	}
-	rt.atts = kept
 	n := rt.tq.Squash(t)
 	rt.tqst.Cancel(t, n)
 	if rt.release != nil {
@@ -173,6 +215,8 @@ func (rt *Runtime) Cancel(t ThreadID) {
 	}
 	rt.stats.cancels.Add(1)
 	rt.chargeMgmt(isa.OpTCancel)
+	// Squashing may have made t — or the whole runtime — quiet.
+	rt.finishLocked(t)
 }
 
 // chargeMgmt accounts a management instruction in recorded mode. Callers
@@ -187,6 +231,12 @@ func (rt *Runtime) chargeMgmt(op isa.Opcode) {
 
 // tstore is the triggering-store implementation shared by Region.TStore and
 // Region.TStoreF. It returns whether the value changed.
+//
+// The fast paths are allocation-free and ordered cheapest-first: a silent
+// store is one atomic compare-and-swap plus two counters; a changing store
+// to an unattached address adds a lock-free index probe; only a changing
+// store inside a trigger range takes the dispatch lock, and then only for
+// the lookup-and-enqueue bookkeeping.
 func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 	changed := r.buf.Store(i, v)
 	if rt.cfg.Recorder != nil {
@@ -198,22 +248,27 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 		return false
 	}
 	addr := r.buf.Addr(i)
+	if !rt.reg.Covers(addr) {
+		return true
+	}
 
+	var inline []queue.Entry
 	rt.mu.Lock()
-	ids := rt.reg.Lookup(addr, nil)
-	if len(ids) == 0 {
+	rt.scratch = rt.reg.Lookup(addr, rt.scratch[:0])
+	if len(rt.scratch) == 0 {
+		// A concurrent Cancel detached the range between the pre-check and
+		// the lookup.
 		rt.mu.Unlock()
 		return true
 	}
-	rt.stats.fired.Add(int64(len(ids)))
-	var inline []queue.Entry
-	for _, id := range ids {
+	rt.stats.fired.Add(int64(len(rt.scratch)))
+	for _, id := range rt.scratch {
 		switch rt.tq.Enqueue(id, addr) {
 		case queue.Enqueued:
 			rt.tqst.MarkPending(id)
 			rt.stats.enqueued.Add(1)
 			rt.noteRelease(id, addr)
-			rt.cond.Broadcast()
+			rt.signalWorkLocked()
 		case queue.Squashed:
 			rt.stats.squashed.Add(1)
 			rt.noteRelease(id, addr)
@@ -232,6 +287,62 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 		rt.runInline(e)
 	}
 	return true
+}
+
+// signalWorkLocked hands one wake token to an idle worker. Dropping the
+// token when the buffer is full is safe: a full buffer means every worker
+// already has a pending wakeup, and workers re-check the queue under rt.mu
+// before sleeping again. Callers hold rt.mu.
+func (rt *Runtime) signalWorkLocked() {
+	if rt.work == nil || rt.closed {
+		return
+	}
+	select {
+	case rt.work <- struct{}{}:
+	default:
+	}
+}
+
+// finishLocked propagates the consequences of thread t's activity dropping:
+// it frees t's run token waiters, re-offers t's skipped queue entries to
+// workers, and completes Wait/Barrier waiters whose predicate became true.
+// Callers hold rt.mu.
+func (rt *Runtime) finishLocked(t ThreadID) {
+	if int(t) >= 0 && int(t) < len(rt.threads) {
+		te := rt.threads[t]
+		_, running := rt.tqst.InFlight(t)
+		if !te.running && running == 0 {
+			if len(te.tokenWaiters) > 0 {
+				for _, ch := range te.tokenWaiters {
+					close(ch)
+				}
+				te.tokenWaiters = nil
+			}
+			if rt.tq.Pending(t) {
+				// Entries of t skipped while t was running are
+				// dispatchable again.
+				rt.signalWorkLocked()
+			} else if rt.tqst.Quiet(t) && len(te.quietWaiters) > 0 {
+				for _, ch := range te.quietWaiters {
+					close(ch)
+				}
+				te.quietWaiters = nil
+			}
+		}
+	}
+	if len(rt.barrierWaiters) > 0 && rt.quietLocked() {
+		for _, ch := range rt.barrierWaiters {
+			close(ch)
+		}
+		rt.barrierWaiters = nil
+	}
+}
+
+// quietLocked is the tbarrier predicate: nothing pending, nothing running,
+// no inline overflow execution in flight. All three checks are O(1).
+// Callers hold rt.mu.
+func (rt *Runtime) quietLocked() bool {
+	return rt.tq.Len() == 0 && rt.tqst.AllQuiet() && rt.inlineRunning == 0
 }
 
 // noteRelease records the current trace position as the release point of the
@@ -257,16 +368,18 @@ func (rt *Runtime) takeRelease(e queue.Entry) trace.TaskID {
 	return trace.NoTask
 }
 
-// resolve builds the Trigger for a queue entry. Callers hold rt.mu.
-func (rt *Runtime) resolve(e queue.Entry) (Trigger, ThreadFunc) {
-	for _, a := range rt.atts {
-		if a.thread == e.Thread && e.Addr >= a.lo && e.Addr < a.hi {
+// resolveLocked builds the Trigger for a queue entry from the thread's own
+// attachment list. Callers hold rt.mu.
+func (rt *Runtime) resolveLocked(e queue.Entry) (Trigger, ThreadFunc) {
+	te := rt.threads[e.Thread]
+	for _, a := range te.atts {
+		if e.Addr >= a.lo && e.Addr < a.hi {
 			return Trigger{
 				Thread: e.Thread,
 				Region: a.region,
 				Index:  a.region.buf.Index(e.Addr),
 				Addr:   e.Addr,
-			}, rt.threads[e.Thread].fn
+			}, te.fn
 		}
 	}
 	// An entry can only exist for an attached range, and Cancel squashes
@@ -290,76 +403,85 @@ func (rt *Runtime) runInline(e queue.Entry) {
 		g = goid()
 	}
 	rt.mu.Lock()
-	if rt.running[e.Thread] || rt.anyRunningInstance(e.Thread) {
-		recursive := rt.cfg.Backend != BackendImmediate || rt.owner[e.Thread] == g
-		if recursive {
-			tg, fn := rt.resolve(e)
+	te := rt.threads[e.Thread]
+	for te.running || rt.runningInstances(e.Thread) > 0 {
+		if rt.cfg.Backend != BackendImmediate || te.owner == g {
+			// We hold this thread's run token ourselves: recurse.
+			tg, fn := rt.resolveLocked(e)
 			rt.mu.Unlock()
 			fn(tg)
 			rt.stats.inlineRuns.Add(1)
 			return
 		}
-		for rt.running[e.Thread] || rt.anyRunningInstance(e.Thread) {
-			rt.cond.Wait()
-		}
+		ch := make(chan struct{})
+		te.tokenWaiters = append(te.tokenWaiters, ch)
+		rt.mu.Unlock()
+		<-ch
+		rt.mu.Lock()
 	}
-	rt.running[e.Thread] = true
-	if g != 0 {
-		rt.owner[e.Thread] = g
-	}
-	tg, fn := rt.resolve(e)
+	te.running = true
+	te.owner = g
+	rt.inlineRunning++
+	tg, fn := rt.resolveLocked(e)
 	rt.mu.Unlock()
 
 	fn(tg)
 
 	rt.mu.Lock()
-	rt.running[e.Thread] = false
-	delete(rt.owner, e.Thread)
+	te.running = false
+	te.owner = 0
+	rt.inlineRunning--
 	rt.stats.inlineRuns.Add(1)
-	rt.cond.Broadcast()
+	rt.finishLocked(e.Thread)
 	rt.mu.Unlock()
 }
 
-// anyRunningInstance reports whether the TQST shows a dispatched instance of
-// t. Callers hold rt.mu.
-func (rt *Runtime) anyRunningInstance(t ThreadID) bool {
+// runningInstances returns how many queue-dispatched instances of t the
+// TQST shows executing. Callers hold rt.mu.
+func (rt *Runtime) runningInstances(t ThreadID) int {
 	_, r := rt.tqst.InFlight(t)
-	return r > 0
+	return r
 }
 
 // worker is the BackendImmediate dispatch loop: one goroutine per spare
-// hardware context.
+// hardware context. Idle workers block on the work channel rather than a
+// broadcast condition, so an enqueue wakes exactly one of them.
 func (rt *Runtime) worker() {
 	defer rt.wg.Done()
 	// goid is stable for the life of this worker goroutine; computing it
 	// once keeps runtime.Stack off the dispatch fast path.
 	g := goid()
-	rt.mu.Lock()
 	for {
-		e, ok := rt.tq.DequeueFirst(func(e queue.Entry) bool { return !rt.running[e.Thread] })
+		rt.mu.Lock()
+		e, ok := rt.tq.DequeueFirst(func(e queue.Entry) bool { return !rt.threads[e.Thread].running })
 		if !ok {
-			if rt.closed {
-				break
+			closed := rt.closed
+			rt.mu.Unlock()
+			if closed {
+				return
 			}
-			rt.cond.Wait()
+			// Sleep until a new entry is enqueued or a completing thread
+			// re-offers skipped entries. The channel is closed by Close.
+			<-rt.work
 			continue
 		}
+		te := rt.threads[e.Thread]
 		rt.tqst.MarkRunning(e.Thread)
-		rt.running[e.Thread] = true
-		rt.owner[e.Thread] = g
-		tg, fn := rt.resolve(e)
+		te.running = true
+		te.owner = g
+		tg, fn := rt.resolveLocked(e)
 		rt.mu.Unlock()
 
 		fn(tg)
 
 		rt.mu.Lock()
-		rt.running[e.Thread] = false
-		delete(rt.owner, e.Thread)
+		te.running = false
+		te.owner = 0
 		rt.tqst.MarkDone(e.Thread)
 		rt.stats.executed.Add(1)
-		rt.cond.Broadcast()
+		rt.finishLocked(e.Thread)
+		rt.mu.Unlock()
 	}
-	rt.mu.Unlock()
 }
 
 // drainLocked executes queued instances inline until the queue is empty,
@@ -374,7 +496,7 @@ func (rt *Runtime) drainLocked() []trace.TaskID {
 			return done
 		}
 		rt.tqst.MarkRunning(e.Thread)
-		tg, fn := rt.resolve(e)
+		tg, fn := rt.resolveLocked(e)
 		rel := rt.takeRelease(e)
 		name := rt.threads[e.Thread].name
 		rt.mu.Unlock()
@@ -395,28 +517,46 @@ func (rt *Runtime) drainLocked() []trace.TaskID {
 
 // goid returns the current goroutine's id, parsed from the stack header.
 // It is only used on the queue-overflow slow path, where the cost is
-// immaterial next to the thread body about to run.
+// immaterial next to the thread body about to run. A parse failure panics:
+// the id guards the recursive-inline deadlock check, and an unparseable id
+// silently disabling that check (as a zero-valued fallback once did) turns
+// a Go version bump into a runtime hang.
 func goid() uint64 {
-	var buf [32]byte
+	var buf [64]byte
 	n := runtime.Stack(buf[:], false)
-	// Header: "goroutine 123 [".
 	s := buf[:n]
-	var id uint64
-	for i := len("goroutine "); i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+	const header = "goroutine "
+	if len(s) < len(header) || string(s[:len(header)]) != header {
+		panic(fmt.Sprintf("core: goid: unrecognised stack header %q", s))
+	}
+	id, digits := uint64(0), 0
+	for i := len(header); i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
 		id = id*10 + uint64(s[i]-'0')
+		digits++
+	}
+	if digits == 0 || id == 0 {
+		panic(fmt.Sprintf("core: goid: cannot parse goroutine id from header %q", s))
 	}
 	return id
 }
 
 // Wait blocks until thread t has no pending or running instances (twait).
 // With the deferred and recorded backends it executes the queue inline
-// first.
+// first. On the immediate backend the wakeup predicate is three O(1)
+// checks against per-thread counters — it never scans the queue — and the
+// waiter sleeps on t's own channel, so completions of other threads do not
+// wake it.
 func (rt *Runtime) Wait(t ThreadID) {
 	rt.stats.waits.Add(1)
 	rt.mu.Lock()
 	if rt.cfg.Backend == BackendImmediate {
-		for !rt.tqst.Quiet(t) || rt.tq.Pending(t) {
-			rt.cond.Wait()
+		for !rt.quietThreadLocked(t) {
+			te := rt.threads[t]
+			ch := make(chan struct{})
+			te.quietWaiters = append(te.quietWaiters, ch)
+			rt.mu.Unlock()
+			<-ch
+			rt.mu.Lock()
 		}
 		rt.mu.Unlock()
 		return
@@ -426,14 +566,29 @@ func (rt *Runtime) Wait(t ThreadID) {
 	rt.joinTrace(done, isa.OpTWait)
 }
 
+// quietThreadLocked is the twait predicate for t: no pending entry, no
+// TQST instance, run token free. Unregistered threads are trivially quiet.
+// Callers hold rt.mu.
+func (rt *Runtime) quietThreadLocked(t ThreadID) bool {
+	if int(t) < 0 || int(t) >= len(rt.threads) {
+		return true
+	}
+	return !rt.tq.Pending(t) && rt.tqst.Quiet(t) && !rt.threads[t].running
+}
+
 // Barrier blocks until the thread queue is empty and every thread is idle
-// (tbarrier).
+// (tbarrier). On the immediate backend the predicate is O(1): queue length,
+// the TQST's global busy count, and the inline-run count.
 func (rt *Runtime) Barrier() {
 	rt.stats.barriers.Add(1)
 	rt.mu.Lock()
 	if rt.cfg.Backend == BackendImmediate {
-		for rt.tq.Len() > 0 || !rt.tqst.AllQuiet() {
-			rt.cond.Wait()
+		for !rt.quietLocked() {
+			ch := make(chan struct{})
+			rt.barrierWaiters = append(rt.barrierWaiters, ch)
+			rt.mu.Unlock()
+			<-ch
+			rt.mu.Lock()
 		}
 		rt.mu.Unlock()
 		return
@@ -466,6 +621,14 @@ func (rt *Runtime) Executed(t ThreadID) int64 {
 	return rt.tqst.Executed(t)
 }
 
+// QueueCounters returns the thread queue's lifetime counters (see
+// queue.Counters for the invariant they obey).
+func (rt *Runtime) QueueCounters() queue.Counters {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tq.Counters()
+}
+
 // Close stops the worker pool. Pending queue entries are not executed; call
 // Barrier first for a clean drain. Close is idempotent.
 func (rt *Runtime) Close() {
@@ -475,7 +638,9 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
-	rt.cond.Broadcast()
+	if rt.work != nil {
+		close(rt.work)
+	}
 	rt.mu.Unlock()
 	rt.wg.Wait()
 }

@@ -88,11 +88,7 @@ func (rt *Runtime) ThreadStatsFor(t ThreadID) ThreadStats {
 	ts := ThreadStats{Executed: rt.tqst.Executed(t)}
 	if int(t) >= 0 && int(t) < len(rt.threads) {
 		ts.Name = rt.threads[t].name
-	}
-	for _, a := range rt.atts {
-		if a.thread == t {
-			ts.Attachments++
-		}
+		ts.Attachments = len(rt.threads[t].atts)
 	}
 	return ts
 }

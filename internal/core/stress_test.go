@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -160,6 +161,67 @@ func TestCascadeOverflowDoesNotDeadlock(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestOverflowInlineConcurrentCascades hammers the overflow-inline path on
+// the immediate backend: several cascading chains with a capacity-1 queue,
+// so nearly every cascading store overflows while instances of the same and
+// other threads are executing on workers. Run under -race this covers the
+// run-token handoff between workers and inline runners. Afterwards the
+// accounting invariant from internal/core/stats.go must hold exactly:
+// Overflowed = InlineRuns + Dropped.
+func TestOverflowInlineConcurrentCascades(t *testing.T) {
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 4, QueueCapacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	const chains, hops, rounds = 4, 16, 10
+	regions := make([]*Region, chains)
+	for c := 0; c < chains; c++ {
+		regions[c] = rt.NewRegion(fmt.Sprintf("chain%d", c), hops)
+		id := rt.Register(fmt.Sprintf("hop%d", c), func(tg Trigger) {
+			if tg.Index+1 < hops {
+				// Cascading trigger from inside the body; with capacity 1
+				// it almost always overflows and runs inline.
+				tg.Region.TStore(tg.Index+1, tg.Region.Load(tg.Index)+1)
+			}
+		})
+		if err := rt.Attach(id, regions[c], 0, hops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 1; round <= rounds; round++ {
+		base := uint64(round * 1000)
+		for c := 0; c < chains; c++ {
+			regions[c].TStore(0, base+uint64(c*100))
+		}
+		rt.Barrier()
+		for c := 0; c < chains; c++ {
+			for i := 0; i < hops; i++ {
+				if got, want := regions[c].Peek(i), base+uint64(c*100)+uint64(i); got != want {
+					t.Fatalf("round %d chain %d: [%d] = %d, want %d", round, c, i, got, want)
+				}
+			}
+		}
+	}
+	s := rt.Stats()
+	if s.Overflowed == 0 {
+		t.Fatalf("capacity-1 cascade stress never overflowed: %+v", s)
+	}
+	if s.Overflowed != s.InlineRuns+s.Dropped {
+		t.Fatalf("Overflowed %d != InlineRuns %d + Dropped %d", s.Overflowed, s.InlineRuns, s.Dropped)
+	}
+	if s.Dropped != 0 {
+		t.Fatalf("OverflowInline dropped %d triggers", s.Dropped)
+	}
+	if s.Fired != s.Enqueued+s.Squashed+s.Overflowed {
+		t.Fatalf("conservation broken: %+v", s)
+	}
+	qc := rt.QueueCounters()
+	if qc.Enqueued != qc.Dequeued+qc.SquashedOut {
+		t.Fatalf("queue conservation broken after quiesce: %+v", qc)
 	}
 }
 

@@ -106,19 +106,50 @@ type dedupKey struct {
 }
 
 // ThreadQueue is the fixed-capacity pending-trigger queue. Entries enter in
-// trigger order and leave in FIFO order.
+// trigger order and leave in FIFO order. Storage is a ring buffer sized at
+// construction, so Enqueue and Dequeue move no entries and allocate nothing;
+// a per-thread pending count makes the Pending predicate — which the
+// runtime's Wait wakeup condition evaluates under its dispatch lock — O(1)
+// instead of a queue scan.
 type ThreadQueue struct {
-	cap     int
-	dedup   DedupPolicy
-	entries []Entry
-	pending map[dedupKey]int // count of pending entries per key
-	seq     int64
+	cap   int
+	dedup DedupPolicy
+	// ring[(head+i)%cap] for i in [0, n) are the pending entries, oldest
+	// first.
+	ring []Entry
+	head int
+	n    int
+	// pending counts queue occupancy per dedup key. It is nil under
+	// DedupNone: synthesizing fake keys to disable squashing (as an earlier
+	// revision did with seq<<16) risks colliding with real addresses and
+	// wraps, so the no-squash policy simply never consults the map.
+	pending   map[dedupKey]int
+	perThread []int // pending entries per ThreadID, grown on demand
+	seq       int64
 
-	enqueued   int64
-	squashed   int64
-	overflowed int64
-	dequeued   int64
-	peak       int
+	c Counters
+}
+
+// Counters are a ThreadQueue's lifetime statistics. They obey
+//
+//	Enqueued = Dequeued + SquashedOut + Len()
+//
+// at every quiescent point: every entry that entered the ring left it either
+// through a dequeue or through a Squash (tcancel), or is still pending.
+// Squashed and Overflowed count offers that never entered the ring.
+type Counters struct {
+	// Enqueued counts entries admitted to the ring.
+	Enqueued int64
+	// Squashed counts offers absorbed by duplicate squashing.
+	Squashed int64
+	// Overflowed counts offers that found the ring full.
+	Overflowed int64
+	// Dequeued counts entries removed by Dequeue/DequeueFirst.
+	Dequeued int64
+	// SquashedOut counts pending entries removed by Squash (tcancel).
+	SquashedOut int64
+	// Peak is the maximum ring occupancy ever observed.
+	Peak int
 }
 
 // NewThreadQueue returns a queue with the given capacity and dedup policy.
@@ -127,7 +158,11 @@ func NewThreadQueue(capacity int, dedup DedupPolicy) *ThreadQueue {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue: non-positive thread queue capacity %d", capacity))
 	}
-	return &ThreadQueue{cap: capacity, dedup: dedup, pending: make(map[dedupKey]int)}
+	q := &ThreadQueue{cap: capacity, dedup: dedup, ring: make([]Entry, capacity)}
+	if dedup != DedupNone {
+		q.pending = make(map[dedupKey]int)
+	}
+	return q
 }
 
 func (q *ThreadQueue) key(t ThreadID, addr mem.Addr) dedupKey {
@@ -136,33 +171,59 @@ func (q *ThreadQueue) key(t ThreadID, addr mem.Addr) dedupKey {
 		return dedupKey{thread: t, addr: addr &^ (mem.LineBytes - 1)}
 	case DedupPerThread:
 		return dedupKey{thread: t}
-	case DedupNone:
-		// A unique key per enqueue disables squashing.
-		return dedupKey{thread: t, addr: mem.Addr(q.seq) << 16}
 	default:
 		return dedupKey{thread: t, addr: addr}
 	}
 }
 
+func (q *ThreadQueue) at(i int) *Entry { return &q.ring[(q.head+i)%q.cap] }
+
+func (q *ThreadQueue) countUp(t ThreadID) {
+	if int(t) >= len(q.perThread) {
+		grown := make([]int, int(t)+1)
+		copy(grown, q.perThread)
+		q.perThread = grown
+	}
+	q.perThread[t]++
+}
+
+// dropKey releases e's dedup key after e left the ring.
+func (q *ThreadQueue) dropKey(e Entry) {
+	if q.pending == nil {
+		return
+	}
+	k := q.key(e.Thread, e.Addr)
+	if q.pending[k] <= 1 {
+		delete(q.pending, k)
+	} else {
+		q.pending[k]--
+	}
+}
+
 // Enqueue offers a fired trigger to the queue.
 func (q *ThreadQueue) Enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
-	k := q.key(t, addr)
-	if q.dedup != DedupNone && q.pending[k] > 0 {
-		q.squashed++
-		return Squashed
+	var k dedupKey
+	if q.pending != nil {
+		k = q.key(t, addr)
+		if q.pending[k] > 0 {
+			q.c.Squashed++
+			return Squashed
+		}
 	}
-	if len(q.entries) >= q.cap {
-		q.overflowed++
+	if q.n >= q.cap {
+		q.c.Overflowed++
 		return Overflowed
 	}
 	q.seq++
-	q.entries = append(q.entries, Entry{Thread: t, Addr: addr, Seq: q.seq})
-	if q.dedup != DedupNone {
+	*q.at(q.n) = Entry{Thread: t, Addr: addr, Seq: q.seq}
+	q.n++
+	if q.pending != nil {
 		q.pending[k]++
 	}
-	q.enqueued++
-	if len(q.entries) > q.peak {
-		q.peak = len(q.entries)
+	q.countUp(t)
+	q.c.Enqueued++
+	if q.n > q.c.Peak {
+		q.c.Peak = q.n
 	}
 	return Enqueued
 }
@@ -170,90 +231,83 @@ func (q *ThreadQueue) Enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
 // Dequeue removes and returns the oldest entry. ok is false when the queue
 // is empty.
 func (q *ThreadQueue) Dequeue() (e Entry, ok bool) {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return Entry{}, false
 	}
-	e = q.entries[0]
-	copy(q.entries, q.entries[1:])
-	q.entries = q.entries[:len(q.entries)-1]
-	k := q.key(e.Thread, e.Addr)
-	if q.dedup != DedupNone {
-		if q.pending[k] <= 1 {
-			delete(q.pending, k)
-		} else {
-			q.pending[k]--
-		}
-	}
-	q.dequeued++
+	e = q.ring[q.head]
+	q.head = (q.head + 1) % q.cap
+	q.n--
+	q.perThread[e.Thread]--
+	q.dropKey(e)
+	q.c.Dequeued++
 	return e, true
 }
 
 // DequeueFirst removes and returns the oldest entry satisfying pred,
 // preserving the order of the rest. ok is false when no entry matches.
 // The immediate backend uses it to skip over entries whose thread already
-// has a running instance.
+// has a running instance. Removal shifts the entries older than the match
+// — usually none, since dispatchable work clusters at the head — and never
+// allocates.
 func (q *ThreadQueue) DequeueFirst(pred func(Entry) bool) (e Entry, ok bool) {
-	for i, cand := range q.entries {
+	for i := 0; i < q.n; i++ {
+		cand := *q.at(i)
 		if !pred(cand) {
 			continue
 		}
-		q.entries = append(q.entries[:i], q.entries[i+1:]...)
-		if q.dedup != DedupNone {
-			k := q.key(cand.Thread, cand.Addr)
-			if q.pending[k] <= 1 {
-				delete(q.pending, k)
-			} else {
-				q.pending[k]--
-			}
+		for j := i; j > 0; j-- {
+			*q.at(j) = *q.at(j - 1)
 		}
-		q.dequeued++
+		q.head = (q.head + 1) % q.cap
+		q.n--
+		q.perThread[cand.Thread]--
+		q.dropKey(cand)
+		q.c.Dequeued++
 		return cand, true
 	}
 	return Entry{}, false
 }
 
 // Squash removes all pending entries of thread t (tcancel) and returns how
-// many were removed.
+// many were removed. Removed entries are accounted in Counters.SquashedOut,
+// not Dequeued: they never executed.
 func (q *ThreadQueue) Squash(t ThreadID) int {
-	kept := q.entries[:0]
 	removed := 0
-	for _, e := range q.entries {
+	kept := 0
+	for i := 0; i < q.n; i++ {
+		e := *q.at(i)
 		if e.Thread == t {
 			removed++
-			if q.dedup != DedupNone {
-				k := q.key(e.Thread, e.Addr)
-				if q.pending[k] <= 1 {
-					delete(q.pending, k)
-				} else {
-					q.pending[k]--
-				}
-			}
+			q.dropKey(e)
 			continue
 		}
-		kept = append(kept, e)
+		*q.at(kept) = e
+		kept++
 	}
-	q.entries = kept
+	q.n = kept
+	if removed > 0 {
+		q.perThread[t] -= removed
+		q.c.SquashedOut += int64(removed)
+	}
 	return removed
 }
 
 // Len returns the number of pending entries.
-func (q *ThreadQueue) Len() int { return len(q.entries) }
+func (q *ThreadQueue) Len() int { return q.n }
 
 // Cap returns the queue capacity.
 func (q *ThreadQueue) Cap() int { return q.cap }
 
-// Pending reports whether thread t has any pending entry.
-func (q *ThreadQueue) Pending(t ThreadID) bool {
-	for _, e := range q.entries {
-		if e.Thread == t {
-			return true
-		}
+// Pending reports whether thread t has any pending entry, in O(1).
+func (q *ThreadQueue) Pending(t ThreadID) bool { return q.PendingCount(t) > 0 }
+
+// PendingCount returns how many entries of thread t are pending, in O(1).
+func (q *ThreadQueue) PendingCount(t ThreadID) int {
+	if int(t) < 0 || int(t) >= len(q.perThread) {
+		return 0
 	}
-	return false
+	return q.perThread[t]
 }
 
-// Counters returns lifetime statistics: enqueued, squashed, overflowed,
-// dequeued, and the peak occupancy.
-func (q *ThreadQueue) Counters() (enqueued, squashed, overflowed, dequeued int64, peak int) {
-	return q.enqueued, q.squashed, q.overflowed, q.dequeued, q.peak
-}
+// Counters returns the queue's lifetime statistics.
+func (q *ThreadQueue) Counters() Counters { return q.c }

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -240,6 +241,105 @@ func TestQueueDedupNone(t *testing.T) {
 	}
 }
 
+// TestQueueDedupNoneNeverSquashes churns a DedupNone queue far past the
+// point where the old synthetic-key scheme (seq<<16 masquerading as an
+// address) could collide with real addresses, and checks squashing stays
+// disabled. The policy must not consult the dedup map at all.
+func TestQueueDedupNoneNeverSquashes(t *testing.T) {
+	q := NewThreadQueue(4, DedupNone)
+	// Addresses chosen to collide with small seq<<16 values under the old
+	// scheme.
+	addrs := []mem.Addr{0, 1 << 16, 2 << 16, 3 << 16, 0x10}
+	for i := 0; i < 10000; i++ {
+		a := addrs[i%len(addrs)]
+		switch s := q.Enqueue(1, a); s {
+		case Enqueued, Overflowed:
+		default:
+			t.Fatalf("enqueue %d at %#x: %v (DedupNone must never squash)", i, a, s)
+		}
+		if q.Len() == q.Cap() {
+			q.Dequeue()
+		}
+	}
+	c := q.Counters()
+	if c.Squashed != 0 {
+		t.Fatalf("DedupNone squashed %d entries", c.Squashed)
+	}
+	if c.Enqueued != c.Dequeued+c.SquashedOut+int64(q.Len()) {
+		t.Fatalf("conservation broken: %+v with Len %d", c, q.Len())
+	}
+}
+
+// TestQueueRingWraparound drives the head index around the ring several
+// times and checks FIFO order, per-thread counts and dedup bookkeeping
+// survive the wrap.
+func TestQueueRingWraparound(t *testing.T) {
+	const cap = 4
+	q := NewThreadQueue(cap, DedupPerAddress)
+	next := mem.Addr(0)
+	seq := int64(0)
+	for round := 0; round < 5*cap; round++ {
+		// Keep the queue at 3 entries while the head walks the ring.
+		for q.Len() < 3 {
+			if s := q.Enqueue(ThreadID(int(next)%3), next*8); s != Enqueued {
+				t.Fatalf("round %d: enqueue at %#x: %v", round, next*8, s)
+			}
+			next++
+		}
+		e, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("round %d: dequeue failed", round)
+		}
+		if e.Seq <= seq {
+			t.Fatalf("round %d: FIFO order broken: seq %d after %d", round, e.Seq, seq)
+		}
+		seq = e.Seq
+	}
+	for id := ThreadID(0); id < 3; id++ {
+		want := q.PendingCount(id)
+		got := 0
+		for {
+			if _, ok := q.DequeueFirst(func(e Entry) bool { return e.Thread == id }); !ok {
+				break
+			}
+			got++
+		}
+		if got != want || q.PendingCount(id) != 0 {
+			t.Fatalf("thread %d: drained %d entries, PendingCount said %d (now %d)", id, got, want, q.PendingCount(id))
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.Len())
+	}
+}
+
+// TestQueuePendingCount checks the O(1) per-thread pending counter against
+// every mutation: enqueue, dequeue, filtered dequeue and squash.
+func TestQueuePendingCount(t *testing.T) {
+	q := NewThreadQueue(8, DedupPerAddress)
+	q.Enqueue(1, 0x10)
+	q.Enqueue(2, 0x20)
+	q.Enqueue(1, 0x18)
+	if q.PendingCount(1) != 2 || q.PendingCount(2) != 1 || q.PendingCount(3) != 0 {
+		t.Fatalf("PendingCount = %d,%d,%d", q.PendingCount(1), q.PendingCount(2), q.PendingCount(3))
+	}
+	q.Dequeue() // removes (1, 0x10)
+	if q.PendingCount(1) != 1 {
+		t.Fatalf("after Dequeue: PendingCount(1) = %d", q.PendingCount(1))
+	}
+	q.DequeueFirst(func(e Entry) bool { return e.Thread == 1 })
+	if q.PendingCount(1) != 0 || q.Pending(1) {
+		t.Fatalf("after DequeueFirst: PendingCount(1) = %d", q.PendingCount(1))
+	}
+	q.Squash(2)
+	if q.PendingCount(2) != 0 || q.Len() != 0 {
+		t.Fatalf("after Squash: PendingCount(2) = %d, Len = %d", q.PendingCount(2), q.Len())
+	}
+	if q.PendingCount(-1) != 0 || q.PendingCount(1000) != 0 {
+		t.Fatalf("out-of-range PendingCount not 0")
+	}
+}
+
 func TestQueueOverflow(t *testing.T) {
 	q := NewThreadQueue(2, DedupPerAddress)
 	q.Enqueue(1, 0x10)
@@ -252,9 +352,9 @@ func TestQueueOverflow(t *testing.T) {
 	if s := q.Enqueue(1, 0x10); s != Squashed {
 		t.Fatalf("duplicate on full queue: %v, want squashed", s)
 	}
-	_, _, overflowed, _, peak := q.Counters()
-	if overflowed != 1 || peak != 2 {
-		t.Fatalf("overflowed=%d peak=%d", overflowed, peak)
+	c := q.Counters()
+	if c.Overflowed != 1 || c.Peak != 2 {
+		t.Fatalf("overflowed=%d peak=%d", c.Overflowed, c.Peak)
 	}
 }
 
@@ -280,24 +380,55 @@ func TestQueueSquash(t *testing.T) {
 }
 
 func TestQueueCountersConsistent(t *testing.T) {
+	// Conservation under arbitrary interleavings of enqueue, dequeue and
+	// squash: every admitted entry leaves through a dequeue or a squash or
+	// is still pending. Squash used to remove entries without accounting
+	// them anywhere, so enqueued != dequeued + Len() after any Cancel.
 	q := NewThreadQueue(4, DedupPerAddress)
 	f := func(ops []struct {
 		T uint8
 		A uint8
 	}) bool {
 		for _, op := range ops {
-			q.Enqueue(ThreadID(op.T%4), mem.Addr(op.A)*8)
-			if op.A%3 == 0 {
+			tid := ThreadID(op.T % 4)
+			q.Enqueue(tid, mem.Addr(op.A)*8)
+			switch op.A % 5 {
+			case 0:
 				q.Dequeue()
+			case 1:
+				q.Squash(tid)
 			}
 		}
-		enq, sq, ov, deq, peak := q.Counters()
-		// Conservation: everything offered is enqueued, squashed or overflowed;
-		// the queue holds what was enqueued minus dequeued.
-		return enq >= deq && int(enq-deq) == q.Len() && sq >= 0 && ov >= 0 && peak <= q.Cap()
+		c := q.Counters()
+		return c.Enqueued == c.Dequeued+c.SquashedOut+int64(q.Len()) &&
+			c.Squashed >= 0 && c.Overflowed >= 0 && c.Peak <= q.Cap()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestQueueSquashAccounting pins the Squash counter contract directly:
+// squashed-out entries are not Dequeued, and the conservation identity
+// holds through a cancel.
+func TestQueueSquashAccounting(t *testing.T) {
+	q := NewThreadQueue(8, DedupPerAddress)
+	q.Enqueue(1, 0x10)
+	q.Enqueue(2, 0x20)
+	q.Enqueue(1, 0x18)
+	q.Dequeue() // (1, 0x10)
+	if n := q.Squash(1); n != 1 {
+		t.Fatalf("Squash removed %d, want 1", n)
+	}
+	c := q.Counters()
+	if c.SquashedOut != 1 {
+		t.Fatalf("SquashedOut = %d, want 1", c.SquashedOut)
+	}
+	if c.Dequeued != 1 {
+		t.Fatalf("Dequeued = %d, want 1 (squash must not count as dequeue)", c.Dequeued)
+	}
+	if c.Enqueued != c.Dequeued+c.SquashedOut+int64(q.Len()) {
+		t.Fatalf("conservation broken: %+v with Len %d", c, q.Len())
 	}
 }
 
@@ -348,6 +479,70 @@ func TestRegistryAccessors(t *testing.T) {
 	r.Lookup(0, nil)  // 1 match
 	if r.Lookups() != 2 || r.Matches() != 3 {
 		t.Fatalf("Lookups=%d Matches=%d, want 2/3", r.Lookups(), r.Matches())
+	}
+}
+
+// TestRegistryConcurrentReads exercises the lock-free read side: Covers and
+// Lookup race against a single mutator (the contract: mutations serialised
+// by the caller, reads free). Run under -race this checks the snapshot
+// publication.
+func TestRegistryConcurrentReads(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dst []ThreadID
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				addr := mem.Addr(i%4096) * 8
+				if r.Covers(addr) {
+					dst = r.Lookup(addr, dst[:0])
+					for _, id := range dst {
+						if id < 0 || id >= 8 {
+							t.Errorf("Lookup returned impossible thread %d", id)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		id := ThreadID(i % 8)
+		lo := mem.Addr(i%512) * 64
+		if err := r.Attach(id, lo, lo+64); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 2 {
+			r.Detach(id)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTQSTBusyCount(t *testing.T) {
+	tb := NewTQST()
+	if tb.Busy() != 0 {
+		t.Fatalf("fresh table Busy = %d", tb.Busy())
+	}
+	tb.MarkPending(1)
+	tb.MarkPending(2)
+	tb.MarkRunning(1)
+	if tb.Busy() != 2 {
+		t.Fatalf("Busy = %d with one pending and one running, want 2", tb.Busy())
+	}
+	tb.MarkDone(1)
+	tb.Cancel(2, 1)
+	if tb.Busy() != 0 || !tb.AllQuiet() {
+		t.Fatalf("Busy = %d after done+cancel, want 0", tb.Busy())
 	}
 }
 

@@ -3,14 +3,19 @@
 // fixed-capacity thread queue with duplicate squashing, and the thread queue
 // status table (TQST) that synchronisation instructions consult.
 //
-// These structures carry no locking of their own: the runtime in
-// internal/core serialises access, just as the hardware structures are
-// accessed from a single pipeline.
+// The thread queue and TQST carry no locking of their own: the runtime in
+// internal/core serialises access under its dispatch lock, just as the
+// hardware structures are accessed from a single pipeline. The registry is
+// different: its read side (Covers, Lookup) is safe to call concurrently
+// with other reads and with Attach/Detach, because every mutation publishes
+// a fresh immutable index snapshot. That lets a triggering store reject
+// unattached addresses without taking any lock at all.
 package queue
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"dtt/internal/mem"
 )
@@ -25,19 +30,58 @@ type Attachment struct {
 	Lo, Hi mem.Addr // half-open byte range [Lo, Hi)
 }
 
+// regIndex is an immutable lookup index over a set of attachments, sorted by
+// Lo. lo/hi bound the union of all ranges so that the common case — a store
+// far from any trigger range — is rejected with two comparisons.
+type regIndex struct {
+	atts   []Attachment
+	lo, hi mem.Addr
+}
+
+// emptyIndex is the index of a registry with no attachments; lo >= hi makes
+// every bounds pre-check fail.
+var emptyIndex = &regIndex{}
+
 // Registry maps trigger addresses to the threads attached to them. It
 // corresponds to the paper's thread registry, filled by tspawn and drained
 // by tcancel. Ranges may overlap: a store can trigger several threads.
+//
+// Mutations (Attach, Detach) must be serialised by the caller; reads may run
+// concurrently with mutations and with each other.
 type Registry struct {
-	atts   []Attachment
-	sorted bool
+	atts []Attachment
+	idx  atomic.Pointer[regIndex]
 	// lookups and matches drive the T3 characterisation table.
-	lookups int64
-	matches int64
+	lookups atomic.Int64
+	matches atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.idx.Store(emptyIndex)
+	return r
+}
+
+// rebuild publishes a fresh sorted index of the current attachments. Called
+// after every mutation; Attach/Detach are management instructions (tspawn /
+// tcancel), so the rebuild cost is off the store fast path by construction.
+func (r *Registry) rebuild() {
+	if len(r.atts) == 0 {
+		r.idx.Store(emptyIndex)
+		return
+	}
+	idx := &regIndex{atts: make([]Attachment, len(r.atts))}
+	copy(idx.atts, r.atts)
+	sort.Slice(idx.atts, func(i, j int) bool { return idx.atts[i].Lo < idx.atts[j].Lo })
+	idx.lo = idx.atts[0].Lo
+	for _, a := range idx.atts {
+		if a.Hi > idx.hi {
+			idx.hi = a.Hi
+		}
+	}
+	r.idx.Store(idx)
+}
 
 // Attach records that thread t triggers on stores to [lo, hi). It returns an
 // error for an empty or inverted range.
@@ -46,7 +90,7 @@ func (r *Registry) Attach(t ThreadID, lo, hi mem.Addr) error {
 		return fmt.Errorf("queue: attach thread %d: empty trigger range [%#x, %#x)", t, lo, hi)
 	}
 	r.atts = append(r.atts, Attachment{Thread: t, Lo: lo, Hi: hi})
-	r.sorted = false
+	r.rebuild()
 	return nil
 }
 
@@ -63,43 +107,51 @@ func (r *Registry) Detach(t ThreadID) int {
 		kept = append(kept, a)
 	}
 	r.atts = kept
+	if removed > 0 {
+		r.rebuild()
+	}
 	return removed
 }
 
-func (r *Registry) sortAtts() {
-	sort.Slice(r.atts, func(i, j int) bool { return r.atts[i].Lo < r.atts[j].Lo })
-	r.sorted = true
-}
-
-// Lookup appends to dst the threads attached to addr and returns the
-// extended slice. Passing a reused dst avoids allocation on the store fast
-// path. Each matching thread appears once per matching attachment.
-func (r *Registry) Lookup(addr mem.Addr, dst []ThreadID) []ThreadID {
-	r.lookups++
-	if !r.sorted {
-		r.sortAtts()
-	}
+// lookup appends the threads idx attaches to addr onto dst.
+func (idx *regIndex) lookup(addr mem.Addr, dst []ThreadID) []ThreadID {
 	// All attachments with Lo <= addr are candidates; they are contiguous
 	// at the front of the sorted slice.
-	n := sort.Search(len(r.atts), func(i int) bool { return r.atts[i].Lo > addr })
+	n := sort.Search(len(idx.atts), func(i int) bool { return idx.atts[i].Lo > addr })
 	for i := 0; i < n; i++ {
-		if addr < r.atts[i].Hi {
-			dst = append(dst, r.atts[i].Thread)
-			r.matches++
+		if addr < idx.atts[i].Hi {
+			dst = append(dst, idx.atts[i].Thread)
 		}
 	}
 	return dst
 }
 
-// Covers reports whether any attachment covers addr, without recording a
-// lookup. The triggering-store fast path uses it to skip silent-store work.
-func (r *Registry) Covers(addr mem.Addr) bool {
-	if !r.sorted {
-		r.sortAtts()
+// Lookup appends to dst the threads attached to addr and returns the
+// extended slice. Passing a reused dst keeps the store fast path
+// allocation-free. Each matching thread appears once per matching
+// attachment.
+func (r *Registry) Lookup(addr mem.Addr, dst []ThreadID) []ThreadID {
+	r.lookups.Add(1)
+	was := len(dst)
+	dst = r.idx.Load().lookup(addr, dst)
+	if n := len(dst) - was; n > 0 {
+		r.matches.Add(int64(n))
 	}
-	n := sort.Search(len(r.atts), func(i int) bool { return r.atts[i].Lo > addr })
+	return dst
+}
+
+// Covers reports whether any attachment covers addr, without recording a
+// lookup or taking any lock. The triggering-store fast path uses it to
+// reject stores to unattached addresses before acquiring the runtime's
+// dispatch lock, so such stores never contend.
+func (r *Registry) Covers(addr mem.Addr) bool {
+	idx := r.idx.Load()
+	if addr < idx.lo || addr >= idx.hi {
+		return false
+	}
+	n := sort.Search(len(idx.atts), func(i int) bool { return idx.atts[i].Lo > addr })
 	for i := 0; i < n; i++ {
-		if addr < r.atts[i].Hi {
+		if addr < idx.atts[i].Hi {
 			return true
 		}
 	}
@@ -117,7 +169,7 @@ func (r *Registry) Attachments() []Attachment {
 func (r *Registry) Len() int { return len(r.atts) }
 
 // Lookups returns the number of Lookup calls served.
-func (r *Registry) Lookups() int64 { return r.lookups }
+func (r *Registry) Lookups() int64 { return r.lookups.Load() }
 
 // Matches returns the total threads returned across all lookups.
-func (r *Registry) Matches() int64 { return r.matches }
+func (r *Registry) Matches() int64 { return r.matches.Load() }

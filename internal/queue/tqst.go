@@ -37,25 +37,36 @@ type tqstEntry struct {
 }
 
 // TQST is the thread queue status table. twait consults it to decide
-// whether the main thread may proceed past a consumption point.
+// whether the main thread may proceed past a consumption point. Entries are
+// a dense slice indexed by ThreadID — IDs are small integers assigned in
+// registration order — and a global busy count makes the tbarrier predicate
+// AllQuiet O(1) rather than a table scan.
 type TQST struct {
-	entries map[ThreadID]*tqstEntry
+	entries []tqstEntry
+	// busy is the total pending+running instances across all threads.
+	busy int
 }
 
 // NewTQST returns an empty status table.
-func NewTQST() *TQST { return &TQST{entries: make(map[ThreadID]*tqstEntry)} }
+func NewTQST() *TQST { return &TQST{} }
 
 func (t *TQST) entry(id ThreadID) *tqstEntry {
-	e := t.entries[id]
-	if e == nil {
-		e = &tqstEntry{}
-		t.entries[id] = e
+	if id < 0 {
+		panic(fmt.Sprintf("queue: TQST access with negative thread id %d", id))
 	}
-	return e
+	if int(id) >= len(t.entries) {
+		grown := make([]tqstEntry, int(id)+1)
+		copy(grown, t.entries)
+		t.entries = grown
+	}
+	return &t.entries[id]
 }
 
 // MarkPending records that an instance of id entered the thread queue.
-func (t *TQST) MarkPending(id ThreadID) { t.entry(id).pending++ }
+func (t *TQST) MarkPending(id ThreadID) {
+	t.entry(id).pending++
+	t.busy++
+}
 
 // MarkRunning records that a pending instance of id started executing.
 // It panics if no instance is pending: that indicates a runtime bug, not a
@@ -77,6 +88,7 @@ func (t *TQST) MarkDone(id ThreadID) {
 	}
 	e.running--
 	e.executed++
+	t.busy--
 }
 
 // Cancel drops n pending instances of id (tcancel squashing queue entries).
@@ -86,14 +98,16 @@ func (t *TQST) Cancel(id ThreadID, n int) {
 		panic(fmt.Sprintf("queue: TQST Cancel(%d, %d) with only %d pending", id, n, e.pending))
 	}
 	e.pending -= n
+	t.busy -= n
 }
 
 // Get returns the current status of id.
 func (t *TQST) Get(id ThreadID) Status {
-	e := t.entries[id]
-	switch {
-	case e == nil:
+	if int(id) < 0 || int(id) >= len(t.entries) {
 		return StatusIdle
+	}
+	e := &t.entries[id]
+	switch {
 	case e.running > 0:
 		return StatusRunning
 	case e.pending > 0:
@@ -104,32 +118,28 @@ func (t *TQST) Get(id ThreadID) Status {
 }
 
 // Quiet reports whether id has neither pending nor running instances —
-// the twait release condition.
+// the twait release condition. O(1).
 func (t *TQST) Quiet(id ThreadID) bool { return t.Get(id) == StatusIdle }
 
 // AllQuiet reports whether every thread is idle — the tbarrier release
-// condition.
-func (t *TQST) AllQuiet() bool {
-	for _, e := range t.entries {
-		if e.pending > 0 || e.running > 0 {
-			return false
-		}
-	}
-	return true
-}
+// condition. O(1) via the global busy count.
+func (t *TQST) AllQuiet() bool { return t.busy == 0 }
+
+// Busy returns the total pending+running instances across all threads.
+func (t *TQST) Busy() int { return t.busy }
 
 // Executed returns how many instances of id have completed.
 func (t *TQST) Executed(id ThreadID) int64 {
-	if e := t.entries[id]; e != nil {
-		return e.executed
+	if int(id) >= 0 && int(id) < len(t.entries) {
+		return t.entries[id].executed
 	}
 	return 0
 }
 
 // InFlight returns the pending and running instance counts for id.
 func (t *TQST) InFlight(id ThreadID) (pending, running int) {
-	if e := t.entries[id]; e != nil {
-		return e.pending, e.running
+	if int(id) >= 0 && int(id) < len(t.entries) {
+		return t.entries[id].pending, t.entries[id].running
 	}
 	return 0, 0
 }

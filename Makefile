@@ -1,13 +1,24 @@
 # CI entry points. `make ci` is the gate: vet, build, race-enabled tests
 # (which include the allocs/op regression tests in allocs_test.go, so a
 # fast-path allocation regression fails here, not just in benchmark output),
-# then the fast-path benchmarks with allocation reporting.
+# a bounded native-fuzz pass over the dispatch path, the coverage floor for
+# the runtime-critical packages, then the fast-path benchmarks with
+# allocation reporting.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-fastpath bench
+# Coverage floor (percent) for internal/core + internal/queue combined.
+# Measured 94.4% when introduced; the floor leaves headroom for refactors
+# while still failing the build if whole subsystems lose their tests.
+COVER_FLOOR ?= 90
+COVER_PKGS  := ./internal/core ./internal/queue
 
-ci: vet build race bench-fastpath
+# Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
+FUZZTIME ?= 10s
+
+.PHONY: ci vet build test race fuzz-smoke fuzz cover bench-fastpath bench
+
+ci: vet build race fuzz-smoke cover bench-fastpath
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +31,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Bounded run of the native fuzz target over the tstore dispatch path; the
+# committed corpus under internal/core/testdata/fuzz seeds it. New crashers
+# are written there by `go test` — commit them as regression tests.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime $(FUZZTIME) ./internal/core
+
+fuzz: fuzz-smoke
+
+# Coverage floor for the runtime-critical packages. Fails if the combined
+# statement coverage of $(COVER_PKGS) drops below $(COVER_FLOOR)%.
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) ' \
+		/^total:/ { sub(/%/, "", $$3); \
+			printf "coverage: %s%% (floor %s%%)\n", $$3, floor; \
+			if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
 
 # Dispatch fast-path microbenchmarks; -benchmem prints allocs/op so the
 # numbers quoted in CHANGES.md can be regenerated. TestTStoreFastPathAllocs

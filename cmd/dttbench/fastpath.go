@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"dtt"
@@ -11,7 +12,7 @@ import (
 // benchmark machinery and prints ns/op plus allocs/op, so the dispatch
 // numbers quoted in CHANGES.md can be regenerated from the CLI without
 // running `go test -bench`.
-func runFastPath() {
+func runFastPath(stdout io.Writer) {
 	newRT := func(b *testing.B) (*dtt.Runtime, *dtt.Region, *dtt.Region) {
 		rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048})
 		if err != nil {
@@ -72,10 +73,10 @@ func runFastPath() {
 			}
 		}},
 	}
-	fmt.Println("triggering-store fast paths (deferred backend, 1024-word region):")
+	fmt.Fprintln(stdout, "triggering-store fast paths (deferred backend, 1024-word region):")
 	for _, bn := range benches {
 		r := testing.Benchmark(bn.f)
-		fmt.Printf("  %-10s %8d ns/op  %5d B/op  %3d allocs/op\n",
+		fmt.Fprintf(stdout, "  %-10s %8d ns/op  %5d B/op  %3d allocs/op\n",
 			bn.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
 }

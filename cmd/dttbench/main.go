@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,26 +24,36 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dttbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		scale = flag.Int("scale", 1, "workload data scale factor")
-		iters = flag.Int("iters", 40, "workload outer iterations")
-		seed  = flag.Uint64("seed", 1, "workload input seed")
-		fast  = flag.Bool("fastpath", false, "microbenchmark the triggering-store fast paths and exit")
+		exps  = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list  = fs.Bool("list", false, "list experiments and exit")
+		scale = fs.Int("scale", 1, "workload data scale factor")
+		iters = fs.Int("iters", 40, "workload outer iterations")
+		seed  = fs.Uint64("seed", 1, "workload input seed")
+		fast  = fs.Bool("fastpath", false, "microbenchmark the triggering-store fast paths and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *fast {
-		runFastPath()
-		return
+		runFastPath(stdout)
+		return 0
 	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	opts := harness.Options{Size: workloads.Size{Scale: *scale, Iters: *iters, Seed: *seed}}
@@ -55,8 +66,8 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := harness.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "dttbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "dttbench: unknown experiment %q (use -list)\n", id)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -65,9 +76,10 @@ func main() {
 	for _, e := range selected {
 		rep, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dttbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttbench: %s: %v\n", e.ID, err)
+			return 1
 		}
-		fmt.Print(rep.String())
+		fmt.Fprint(stdout, rep.String())
 	}
+	return 0
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestBenchListSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "T1") || !strings.Contains(s, "F1") {
+		t.Fatalf("experiment list missing expected IDs:\n%s", s)
+	}
+}
+
+// TestBenchFastpathSmoke runs the -fastpath microbenchmarks with a single
+// iteration each (via the test binary's registered -test.benchtime flag), so
+// CI exercises the whole path in milliseconds.
+func TestBenchFastpathSmoke(t *testing.T) {
+	bt := flag.Lookup("test.benchtime")
+	if bt == nil {
+		t.Skip("test.benchtime flag not registered")
+	}
+	old := bt.Value.String()
+	if err := bt.Value.Set("1x"); err != nil {
+		t.Fatalf("set benchtime: %v", err)
+	}
+	defer func() {
+		if err := bt.Value.Set(old); err != nil {
+			t.Fatalf("restore benchtime: %v", err)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fastpath"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"triggering-store fast paths", "silent", "changing", "squash", "uncovered", "allocs/op"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBenchBadExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr missing diagnostic: %s", errb.String())
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,13 +22,23 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dttprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name  = flag.String("workload", "", "workload to profile (default: all)")
-		scale = flag.Int("scale", 1, "workload data scale factor")
-		iters = flag.Int("iters", 40, "workload outer iterations")
-		seed  = flag.Uint64("seed", 1, "workload input seed")
+		name  = fs.String("workload", "", "workload to profile (default: all)")
+		scale = fs.Int("scale", 1, "workload data scale factor")
+		iters = fs.Int("iters", 40, "workload outer iterations")
+		seed  = fs.Uint64("seed", 1, "workload input seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var targets []workloads.Workload
 	if *name == "" {
@@ -35,8 +46,8 @@ func main() {
 	} else {
 		w, ok := workloads.ByName(*name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "dttprof: unknown workload %q; available: %s\n", *name, strings.Join(workloads.Names(), ", "))
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dttprof: unknown workload %q; available: %s\n", *name, strings.Join(workloads.Names(), ", "))
+			return 2
 		}
 		targets = []workloads.Workload{w}
 	}
@@ -51,8 +62,8 @@ func main() {
 		sys.AttachProbe(lp)
 		sys.AttachProbe(sp)
 		if _, err := w.RunBaseline(&workloads.Env{Sys: sys}, size); err != nil {
-			fmt.Fprintf(os.Stderr, "dttprof: %s: %v\n", w.Name(), err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttprof: %s: %v\n", w.Name(), err)
+			return 1
 		}
 		tb.AddRow(w.Name(), lp.Loads(),
 			fmt.Sprintf("%.1f", 100*lp.Fraction()),
@@ -60,5 +71,6 @@ func main() {
 			fmt.Sprintf("%.1f", 100*sp.Fraction()),
 			lp.Touched())
 	}
-	fmt.Print(tb.String())
+	fmt.Fprint(stdout, tb.String())
+	return 0
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfSingleWorkloadSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "mcf", "-iters", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Baseline value redundancy", "benchmark", "redundant%", "silent%", "mcf"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProfBadWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown workload") {
+		t.Fatalf("stderr missing diagnostic: %s", errb.String())
+	}
+}

@@ -6,11 +6,14 @@
 //
 //	dttrun -workload mcf -mode dtt -backend immediate -workers 3
 //	dttrun -workload equake -mode baseline
+//	dttrun -workload mcf -check                      # protocol sanitizer on
+//	dttrun -workload mcf -backend seeded -sched-seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -24,23 +27,35 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code. Sanitizer violations exit 1 after the report.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dttrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "mcf", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
-		mode    = flag.String("mode", "dtt", "baseline or dtt")
-		backend = flag.String("backend", "deferred", "dtt backend: deferred or immediate")
-		workers = flag.Int("workers", 2, "support-thread contexts for the immediate backend")
-		qcap    = flag.Int("queue", 64, "thread queue capacity")
-		scale   = flag.Int("scale", 1, "workload data scale factor")
-		iters   = flag.Int("iters", 40, "workload outer iterations")
-		seed    = flag.Uint64("seed", 1, "workload input seed")
-		showTL  = flag.Bool("timeline", false, "simulate the run and print the per-context schedule (dtt mode)")
+		name      = fs.String("workload", "mcf", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+		mode      = fs.String("mode", "dtt", "baseline or dtt")
+		backend   = fs.String("backend", "deferred", "dtt backend: deferred, immediate or seeded")
+		workers   = fs.Int("workers", 2, "support-thread contexts for the immediate backend")
+		qcap      = fs.Int("queue", 64, "thread queue capacity")
+		scale     = fs.Int("scale", 1, "workload data scale factor")
+		iters     = fs.Int("iters", 40, "workload outer iterations")
+		seed      = fs.Uint64("seed", 1, "workload input seed")
+		check     = fs.Bool("check", false, "run the DTT protocol sanitizer (CheckStrict) and exit 1 on violations")
+		schedSeed = fs.Uint64("sched-seed", 0, "deterministic-scheduler seed for the seeded backend")
+		showTL    = fs.Bool("timeline", false, "simulate the run and print the per-context schedule (dtt mode)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	w, ok := workloads.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "dttrun: unknown workload %q; available: %s\n", *name, strings.Join(workloads.Names(), ", "))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dttrun: unknown workload %q; available: %s\n", *name, strings.Join(workloads.Names(), ", "))
+		return 2
 	}
 	size := workloads.Size{Scale: *scale, Iters: *iters, Seed: *seed}
 
@@ -49,12 +64,15 @@ func main() {
 	case "baseline":
 		res, err := w.RunBaseline(workloads.NewBaselineEnv(), size)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dttrun: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttrun: %v\n", err)
+			return 1
 		}
-		fmt.Printf("%s baseline: checksum %#x in %v\n", w.Name(), res.Checksum, time.Since(start))
+		fmt.Fprintf(stdout, "%s baseline: checksum %#x in %v\n", w.Name(), res.Checksum, time.Since(start))
 	case "dtt":
 		cfg := core.Config{QueueCapacity: *qcap, Dedup: queue.DedupPerAddress}
+		if *check {
+			cfg.Checker = core.CheckStrict
+		}
 		switch {
 		case *showTL:
 			// Timeline needs the recorded backend; it overrides -backend.
@@ -65,41 +83,57 @@ func main() {
 		case *backend == "immediate":
 			cfg.Backend = core.BackendImmediate
 			cfg.Workers = *workers
+		case *backend == "seeded":
+			cfg.Backend = core.BackendSeeded
+			cfg.SchedSeed = *schedSeed
 		default:
-			fmt.Fprintf(os.Stderr, "dttrun: unknown backend %q\n", *backend)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dttrun: unknown backend %q\n", *backend)
+			return 2
 		}
 		rt, err := core.New(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dttrun: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttrun: %v\n", err)
+			return 1
 		}
 		defer rt.Close()
 		res, err := w.RunDTT(workloads.NewDTTEnv(rt), size)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dttrun: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttrun: %v\n", err)
+			return 1
 		}
 		s := rt.Stats()
-		fmt.Printf("%s dtt (%s): checksum %#x in %v\n", w.Name(), *backend, res.Checksum, time.Since(start))
-		fmt.Printf("  tstores %d (silent %d, %.1f%%)\n", s.TStores, s.Silent, 100*s.SilentFraction())
-		fmt.Printf("  triggers fired %d: enqueued %d, squashed %d, overflowed %d\n", s.Fired, s.Enqueued, s.Squashed, s.Overflowed)
-		fmt.Printf("  support instances: %d queued + %d inline\n", s.Executed, s.InlineRuns)
+		fmt.Fprintf(stdout, "%s dtt (%s): checksum %#x in %v\n", w.Name(), cfg.Backend, res.Checksum, time.Since(start))
+		fmt.Fprintf(stdout, "  tstores %d (silent %d, %.1f%%)\n", s.TStores, s.Silent, 100*s.SilentFraction())
+		fmt.Fprintf(stdout, "  triggers fired %d: enqueued %d, squashed %d, overflowed %d\n", s.Fired, s.Enqueued, s.Squashed, s.Overflowed)
+		fmt.Fprintf(stdout, "  support instances: %d queued + %d inline\n", s.Executed, s.InlineRuns)
 		if *showTL {
 			tr, err := cfg.Recorder.Finish()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dttrun: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "dttrun: %v\n", err)
+				return 1
 			}
 			tl, err := sim.RunTimeline(tr, sim.Default())
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dttrun: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "dttrun: %v\n", err)
+				return 1
 			}
-			fmt.Print(tl.String())
+			fmt.Fprint(stdout, tl.String())
+		}
+		if *check {
+			vs := rt.Violations()
+			if len(vs) == 0 {
+				fmt.Fprintf(stdout, "  sanitizer: clean\n")
+			} else {
+				fmt.Fprintf(stderr, "dttrun: sanitizer found %d protocol violation(s):\n", len(vs))
+				for _, v := range vs {
+					fmt.Fprintf(stderr, "  %s\n", v)
+				}
+				return 1
+			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "dttrun: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dttrun: unknown mode %q\n", *mode)
+		return 2
 	}
+	return 0
 }

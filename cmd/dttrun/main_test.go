@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests: every exposed mode of the binary parses, runs a small
+// workload and prints what its users grep for, without exec'ing anything.
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunDTTSmoke(t *testing.T) {
+	code, out, errb := runCLI(t, "-workload", "mcf", "-iters", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"mcf dtt (deferred): checksum", "tstores", "triggers fired", "support instances"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBaselineSmoke(t *testing.T) {
+	code, out, errb := runCLI(t, "-workload", "equake", "-mode", "baseline", "-iters", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "equake baseline: checksum") {
+		t.Fatalf("output missing baseline checksum line:\n%s", out)
+	}
+}
+
+func TestRunSeededBackendSmoke(t *testing.T) {
+	code, out, errb := runCLI(t, "-workload", "mcf", "-iters", "3", "-backend", "seeded", "-sched-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "mcf dtt (seeded): checksum") {
+		t.Fatalf("output missing seeded checksum line:\n%s", out)
+	}
+}
+
+// TestRunCheckClean runs real workloads under the protocol sanitizer on
+// both single-goroutine backends: the shipped workloads must be
+// discipline-clean.
+func TestRunCheckClean(t *testing.T) {
+	for _, backend := range []string{"deferred", "seeded"} {
+		for _, w := range []string{"mcf", "art"} {
+			code, out, errb := runCLI(t, "-workload", w, "-iters", "3", "-backend", backend, "-check")
+			if code != 0 {
+				t.Fatalf("%s/%s: exit %d, stderr: %s", w, backend, code, errb)
+			}
+			if !strings.Contains(out, "sanitizer: clean") {
+				t.Fatalf("%s/%s: output missing sanitizer verdict:\n%s", w, backend, out)
+			}
+		}
+	}
+}
+
+func TestRunTimelineSmoke(t *testing.T) {
+	code, out, errb := runCLI(t, "-workload", "mcf", "-iters", "2", "-timeline")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "mcf dtt (recorded): checksum") {
+		t.Fatalf("output missing recorded checksum line:\n%s", out)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nosuch"},
+		{"-mode", "nosuch"},
+		{"-backend", "nosuch"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		code, _, errb := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr: %s)", args, code, errb)
+		}
+		if errb == "" {
+			t.Fatalf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}

@@ -32,12 +32,25 @@
 // trigger and the matching Wait or Barrier; that is the paper's
 // synchronisation discipline, enforced by convention here as there.
 //
-// Three backends cover different uses: BackendImmediate executes support
+// Four backends cover different uses: BackendImmediate executes support
 // threads on a goroutine pool (real parallelism; use this in programs);
 // BackendDeferred runs them inline at Wait (pure redundancy elimination,
 // deterministic, good for tests); BackendRecorded additionally captures a
 // task DAG for the timing simulator in internal/sim (used by the paper's
-// experiments — see cmd/dttbench).
+// experiments — see cmd/dttbench); BackendSeeded dispatches instances at
+// seed-chosen points on a single goroutine, so any interleaving it explores
+// can be replayed exactly from its Config.SchedSeed.
+//
+// # Protocol sanitizer
+//
+// Setting Config.Checker to CheckStrict turns on a happens-before checker
+// that watches every region access and protocol operation and reports
+// violations of the synchronisation discipline — a main-thread read of a
+// support thread's output with no intervening Wait/Barrier, a support
+// thread writing outside its attached or granted windows, a Cancel racing a
+// running instance, or unsynchronised cross-thread access. Violations carry
+// the thread, region and word offset involved; collect them with
+// Runtime.Violations or fail fast with Runtime.CheckErr.
 package dtt
 
 import (
@@ -76,7 +89,24 @@ const (
 	BackendDeferred  = core.BackendDeferred
 	BackendImmediate = core.BackendImmediate
 	BackendRecorded  = core.BackendRecorded
+	BackendSeeded    = core.BackendSeeded
 )
+
+// CheckMode selects the protocol sanitizer level in Config.Checker.
+type CheckMode = core.CheckMode
+
+// Sanitizer modes.
+const (
+	// CheckOff disables the sanitizer (the default): no per-access
+	// bookkeeping, full fast-path performance.
+	CheckOff = core.CheckOff
+	// CheckStrict records happens-before clocks on every protocol
+	// operation and checks every region load and changing store.
+	CheckStrict = core.CheckStrict
+)
+
+// Violation is one sanitizer finding. See sanitize.Violation.
+type Violation = core.Violation
 
 // DedupPolicy controls duplicate squashing in the thread queue.
 type DedupPolicy = queue.DedupPolicy
@@ -111,6 +141,7 @@ const (
 	StatusIdle    = queue.StatusIdle
 	StatusPending = queue.StatusPending
 	StatusRunning = queue.StatusRunning
+	StatusFailed  = queue.StatusFailed
 )
 
 // Stats is a snapshot of runtime trigger activity. See core.Stats.

@@ -20,6 +20,12 @@
 //     separates the paper's two benefit channels.
 //   - BackendRecorded is BackendDeferred plus task-DAG recording through a
 //     trace.Recorder, feeding the SMT timing simulator.
+//   - BackendSeeded runs queued instances on the calling goroutine like
+//     BackendDeferred, but lets a seeded deterministic scheduler
+//     (internal/sched) choose when and in what order they dispatch. Every
+//     interleaving it produces is legal under the paper's model, and the
+//     same seed replays the same interleaving — the backend exists to
+//     drive the protocol sanitizer through many schedules reproducibly.
 package core
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"dtt/internal/mem"
 	"dtt/internal/queue"
+	"dtt/internal/sanitize"
 	"dtt/internal/trace"
 )
 
@@ -64,6 +71,11 @@ const (
 	// BackendRecorded behaves like BackendDeferred and records the task
 	// DAG into Config.Recorder.
 	BackendRecorded
+	// BackendSeeded dispatches queued instances on the calling goroutine
+	// at seed-chosen preemption points and in seed-chosen order. Given the
+	// same program and the same Config.SchedSeed the interleaving is
+	// exactly reproducible.
+	BackendSeeded
 )
 
 // String returns the backend name.
@@ -75,9 +87,30 @@ func (b Backend) String() string {
 		return "immediate"
 	case BackendRecorded:
 		return "recorded"
+	case BackendSeeded:
+		return "seeded"
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
+
+// CheckMode selects the protocol sanitizer mode. See internal/sanitize.
+type CheckMode = sanitize.Mode
+
+// Sanitizer modes.
+const (
+	// CheckOff disables the sanitizer (the default); accesses pay a
+	// nil-check only.
+	CheckOff = sanitize.CheckOff
+	// CheckStrict threads a vector-clock happens-before layer through
+	// triggering stores, Wait/Barrier, support-thread entry/exit and
+	// region accesses, and records protocol violations (see
+	// Runtime.Violations). Region accesses become substantially slower;
+	// intended for tests and debugging, not production runs.
+	CheckStrict = sanitize.CheckStrict
+)
+
+// Violation is a sanitizer diagnostic. See sanitize.Violation.
+type Violation = sanitize.Violation
 
 // Config configures a Runtime. The zero value selects the deferred backend
 // with default hardware-structure sizes.
@@ -102,6 +135,13 @@ type Config struct {
 	// Recorder receives the task DAG for BackendRecorded. The runtime
 	// attaches it to System as a probe; the caller must not.
 	Recorder *trace.Recorder
+	// Checker enables the DTT protocol sanitizer. Defaults to CheckOff.
+	Checker CheckMode
+	// SchedSeed seeds the deterministic scheduler of BackendSeeded;
+	// ignored by the other backends. Any value is valid, including zero.
+	// Re-running the same program with the same seed replays the same
+	// support-thread interleaving.
+	SchedSeed uint64
 }
 
 func (c *Config) applyDefaults() {

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"dtt/internal/queue"
+)
+
+// fuzzState is the final observable state of one fuzzed run, compared
+// across replays to enforce seeded-backend determinism.
+type fuzzState struct {
+	out   [8]uint64
+	stats Stats
+	qc    queue.Counters
+}
+
+// runFuzzProgram interprets ops as a program over a two-thread runtime and
+// returns its final state. The interpreter is protocol-correct by
+// construction — support threads only read their trigger word and write
+// granted output words; the main thread reads outputs only after the final
+// Barrier — so any sanitizer violation it produces is a runtime bug.
+func runFuzzProgram(t *testing.T, backend Backend, seed uint64, drop bool, ops []byte) fuzzState {
+	t.Helper()
+	overflow := queue.OverflowInline
+	if drop {
+		overflow = queue.OverflowDrop
+	}
+	rt, err := New(Config{
+		Backend:       backend,
+		SchedSeed:     seed,
+		Checker:       CheckStrict,
+		QueueCapacity: 2, // tiny: overflow is a first-class citizen here
+		Overflow:      overflow,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+
+	const half = 4
+	in := rt.NewRegion("in", 2*half)
+	out := rt.NewRegion("out", 2*half)
+	ths := [2]ThreadID{
+		rt.Register("lo", func(tg Trigger) {
+			out.Store(tg.Index, 2*tg.Region.Load(tg.Index)+1)
+		}),
+		rt.Register("hi", func(tg Trigger) {
+			out.Store(tg.Index, 5*tg.Region.Load(tg.Index))
+		}),
+	}
+	for k, th := range ths {
+		if err := rt.Attach(th, in, k*half, (k+1)*half); err != nil {
+			t.Fatalf("Attach: %v", err)
+		}
+		if err := rt.AllowWrites(th, out, k*half, (k+1)*half); err != nil {
+			t.Fatalf("AllowWrites: %v", err)
+		}
+	}
+
+	for pc, op := range ops {
+		i := int(op) % (2 * half)
+		switch (op >> 3) % 6 {
+		case 0, 1: // changing store (value depends on position, so replays agree)
+			in.TStore(i, uint64(pc)*13+uint64(op)+1)
+		case 2: // silent store: rewrite the current value
+			in.TStore(i, in.Peek(i))
+		case 3:
+			rt.Wait(ths[int(op>>6)%2])
+		case 4:
+			rt.Barrier()
+		case 5:
+			// Cancel one thread, then re-arm it: triggers in the gap
+			// (there is no gap on these single-goroutine backends) are
+			// discarded, pending entries squashed.
+			th := ths[int(op>>6)%2]
+			k := int(op>>6) % 2
+			rt.Cancel(th)
+			if err := rt.Attach(th, in, k*half, (k+1)*half); err != nil {
+				t.Fatalf("re-Attach after Cancel: %v", err)
+			}
+			if err := rt.AllowWrites(th, out, k*half, (k+1)*half); err != nil {
+				t.Fatalf("AllowWrites after Cancel: %v", err)
+			}
+		}
+	}
+	rt.Barrier()
+
+	var st fuzzState
+	for i := range st.out {
+		st.out[i] = uint64(out.Load(i))
+	}
+	st.stats = rt.Stats()
+	st.qc = rt.QueueCounters()
+
+	if err := rt.CheckErr(); err != nil {
+		t.Fatalf("sanitizer violation in a protocol-correct program: %v", err)
+	}
+	s := st.stats
+	if s.Fired != s.Enqueued+s.Squashed+s.Overflowed {
+		t.Fatalf("Fired identity broken: %d != %d + %d + %d", s.Fired, s.Enqueued, s.Squashed, s.Overflowed)
+	}
+	if s.Overflowed != s.InlineRuns+s.Dropped {
+		t.Fatalf("Overflowed identity broken: %d != %d + %d", s.Overflowed, s.InlineRuns, s.Dropped)
+	}
+	if s.FailedRuns != 0 {
+		t.Fatalf("FailedRuns = %d in a panic-free program", s.FailedRuns)
+	}
+	if st.qc.Enqueued != st.qc.Dequeued+st.qc.SquashedOut {
+		t.Fatalf("queue counter invariant broken after Barrier: %+v", st.qc)
+	}
+	// Every successfully dequeued entry executed; every squashed-out entry
+	// was a cancelled one.
+	if s.Enqueued != s.Executed+st.qc.SquashedOut {
+		t.Fatalf("Enqueued = %d but Executed = %d and SquashedOut = %d", s.Enqueued, s.Executed, st.qc.SquashedOut)
+	}
+	return st
+}
+
+// FuzzDispatch feeds arbitrary operation streams — triggering stores (silent
+// and changing), Wait, Barrier, Cancel/re-Attach — through the tstore
+// dispatch path on both the deferred and the seeded backend, asserting the
+// sanitizer stays clean, the stats identities hold, and seeded runs replay
+// deterministically. Run `make fuzz-smoke` for a bounded CI pass or
+// `go test -fuzz FuzzDispatch ./internal/core` to explore.
+func FuzzDispatch(f *testing.F) {
+	f.Add(byte(0), uint64(0), []byte{})
+	f.Add(byte(0), uint64(1), []byte{0x00, 0x01, 0x18, 0x20, 0x05})
+	f.Add(byte(1), uint64(42), []byte("\x00\x04\x10\x1b\x28\x2f\x07\x21"))
+	f.Add(byte(2), uint64(7), []byte{0x2a, 0x2a, 0x00, 0x40, 0x18, 0x20})
+	f.Add(byte(3), uint64(0xdeadbeef), []byte("watch the queue overflow"))
+	f.Fuzz(func(t *testing.T, cfg byte, seed uint64, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512] // bound run time, not coverage
+		}
+		backend := BackendDeferred
+		if cfg&1 == 1 {
+			backend = BackendSeeded
+		}
+		drop := cfg&2 != 0
+		st := runFuzzProgram(t, backend, seed, drop, ops)
+		if backend == BackendSeeded {
+			replay := runFuzzProgram(t, backend, seed, drop, ops)
+			if replay != st {
+				t.Fatalf("seed %d is not deterministic:\nfirst  %+v\nreplay %+v", seed, st, replay)
+			}
+		}
+	})
+}

@@ -24,18 +24,36 @@ func (r *Region) Len() int { return r.buf.Len() }
 // validation.
 func (r *Region) Buffer() *mem.Buffer { return r.buf }
 
-// Load returns word i.
-func (r *Region) Load(i int) mem.Word { return r.buf.Load(i) }
+// Load returns word i. With the protocol sanitizer on, the read is checked
+// against the happens-before discipline (a read of a support thread's
+// output requires an intervening Wait/Barrier); Peek bypasses the check
+// for validation code.
+func (r *Region) Load(i int) mem.Word {
+	v := r.buf.Load(i)
+	if c := r.rt.check; c != nil {
+		c.OnLoad(goid(), r.Name(), i, r.buf.Addr(i))
+	}
+	return v
+}
 
 // LoadF returns word i as a float64.
-func (r *Region) LoadF(i int) float64 { return r.buf.LoadF(i) }
+func (r *Region) LoadF(i int) float64 { return math.Float64frombits(r.Load(i)) }
 
 // Store writes v to word i without trigger semantics and reports whether
-// the value changed.
-func (r *Region) Store(i int, v mem.Word) bool { return r.buf.Store(i, v) }
+// the value changed. Changing stores are checked by the protocol sanitizer
+// when it is on; Poke bypasses the check for input-setup code.
+func (r *Region) Store(i int, v mem.Word) bool {
+	changed := r.buf.Store(i, v)
+	if changed {
+		if c := r.rt.check; c != nil {
+			c.OnStore(goid(), r.Name(), i, r.buf.Addr(i))
+		}
+	}
+	return changed
+}
 
 // StoreF writes f's bit pattern to word i without trigger semantics.
-func (r *Region) StoreF(i int, f float64) bool { return r.buf.StoreF(i, f) }
+func (r *Region) StoreF(i int, f float64) bool { return r.Store(i, wordOf(f)) }
 
 // TStore is a triggering store: it writes v to word i, and if the value
 // changed it fires the threads attached to that address. It reports whether

@@ -8,6 +8,8 @@ import (
 	"dtt/internal/isa"
 	"dtt/internal/mem"
 	"dtt/internal/queue"
+	"dtt/internal/sanitize"
+	"dtt/internal/sched"
 	"dtt/internal/trace"
 )
 
@@ -104,6 +106,17 @@ type Runtime struct {
 	closed  bool
 	wg      sync.WaitGroup
 
+	// check is the protocol sanitizer, nil when Config.Checker is
+	// CheckOff. It carries its own lock and never calls back into the
+	// runtime, so it may be invoked with or without rt.mu held.
+	check *sanitize.Checker
+	// sched drives BackendSeeded's dispatch decisions; nil otherwise.
+	// Only the runtime's single driving goroutine consults it.
+	sched *sched.Scheduler
+	// elig is the reusable eligible-index scratch for seeded dispatch.
+	// Guarded by rt.mu.
+	elig []int
+
 	stats statsCounters
 }
 
@@ -121,9 +134,19 @@ func New(cfg Config) (*Runtime, error) {
 		tqst:    queue.NewTQST(),
 		scratch: make([]queue.ThreadID, 0, 16),
 	}
+	if cfg.Checker != CheckOff {
+		rt.check = sanitize.NewChecker()
+	}
+	if cfg.Backend == BackendSeeded {
+		rt.sched = sched.New(cfg.SchedSeed)
+	}
 	if cfg.Backend == BackendRecorded {
 		rt.release = make(map[releaseKey]trace.TaskID)
 		rt.sys.AttachProbe(cfg.Recorder)
+		if rt.check != nil {
+			rec := cfg.Recorder
+			rt.check.SetReporter(func(sanitize.Violation) { rec.NoteViolation() })
+		}
 	}
 	if cfg.Backend == BackendImmediate {
 		if rt.sys.Probed() {
@@ -159,6 +182,9 @@ func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
 	defer rt.mu.Unlock()
 	id := ThreadID(len(rt.threads))
 	rt.threads = append(rt.threads, &threadEntry{name: name, fn: fn})
+	if rt.check != nil {
+		rt.check.RegisterThread(id, name)
+	}
 	return id
 }
 
@@ -192,14 +218,64 @@ func (rt *Runtime) Attach(t ThreadID, r *Region, lo, hi int) error {
 	}
 	te := rt.threads[t]
 	te.atts = append(te.atts, attachment{region: r, lo: loA, hi: hiA})
+	if rt.check != nil {
+		rt.check.OnAttach(t, loA, hiA)
+	}
 	rt.chargeMgmt(isa.OpTSpawn)
 	return nil
+}
+
+// AllowWrites declares words [lo, hi) of r a legal output window of thread
+// t for the protocol sanitizer. Write confinement is opt-in per thread:
+// once any window is granted, CheckStrict confines t's writes to its
+// attached trigger windows plus its granted output windows and reports any
+// other write as a write-escape violation. A thread with no grants is not
+// confined (its outputs are undeclared). With the checker off this is a
+// no-op (the declaration is still validated).
+func (rt *Runtime) AllowWrites(t ThreadID, r *Region, lo, hi int) error {
+	if r == nil || r.rt != rt {
+		return fmt.Errorf("core: AllowWrites on a region of a different runtime")
+	}
+	if lo < 0 || hi > r.Len() || lo >= hi {
+		return fmt.Errorf("core: AllowWrites range [%d, %d) outside region %q of %d words", lo, hi, r.Name(), r.Len())
+	}
+	if rt.check != nil {
+		rt.check.Grant(t, r.buf.Addr(lo), r.buf.Addr(hi))
+	}
+	return nil
+}
+
+// Violations returns the protocol violations the sanitizer has recorded so
+// far, in detection order. It returns nil when the checker is off.
+func (rt *Runtime) Violations() []sanitize.Violation {
+	if rt.check == nil {
+		return nil
+	}
+	return rt.check.Violations()
+}
+
+// CheckErr returns nil if the sanitizer is off or recorded no violations,
+// otherwise an error carrying the first violation and the total count.
+func (rt *Runtime) CheckErr() error {
+	if rt.check == nil {
+		return nil
+	}
+	return rt.check.Err()
 }
 
 // Cancel detaches thread t and squashes its pending instances (tcancel).
 func (rt *Runtime) Cancel(t ThreadID) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.check != nil {
+		running := rt.runningInstances(t)
+		if int(t) >= 0 && int(t) < len(rt.threads) && rt.threads[t].running && running == 0 {
+			// An inline overflow run holds the token but is invisible to
+			// the TQST; it is racing this cancel all the same.
+			running = 1
+		}
+		rt.check.OnCancel(t, running)
+	}
 	rt.reg.Detach(t)
 	if int(t) >= 0 && int(t) < len(rt.threads) {
 		rt.threads[t].atts = nil
@@ -248,7 +324,18 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 		return false
 	}
 	addr := r.buf.Addr(i)
+	// g is only resolved when the sanitizer is on: goid costs a stack
+	// read, which the checked configuration accepts and the fast path
+	// must not pay.
+	var g uint64
+	if rt.check != nil {
+		g = goid()
+		rt.check.OnStore(g, r.Name(), i, addr)
+	}
 	if !rt.reg.Covers(addr) {
+		if rt.sched != nil {
+			rt.seededPoll()
+		}
 		return true
 	}
 
@@ -263,6 +350,12 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 	}
 	rt.stats.fired.Add(int64(len(rt.scratch)))
 	for _, id := range rt.scratch {
+		if rt.check != nil {
+			// Every outcome — enqueued, squashed, overflowed — ends in an
+			// instance that observes this store, so the release edge is
+			// recorded unconditionally.
+			rt.check.OnTrigger(g, id)
+		}
 		switch rt.tq.Enqueue(id, addr) {
 		case queue.Enqueued:
 			rt.tqst.MarkPending(id)
@@ -285,6 +378,11 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 
 	for _, e := range inline {
 		rt.runInline(e)
+	}
+	if rt.sched != nil {
+		// A triggering store is a preemption point: the deterministic
+		// scheduler may dispatch any number of pending instances here.
+		rt.seededPoll()
 	}
 	return true
 }
@@ -387,6 +485,102 @@ func (rt *Runtime) resolveLocked(e queue.Entry) (Trigger, ThreadFunc) {
 	panic(fmt.Sprintf("core: queue entry for thread %d addr %#x has no attachment", e.Thread, e.Addr))
 }
 
+// invoke runs a support-thread body, bracketing it with sanitizer
+// entry/exit and converting a panic into a failed-run outcome instead of
+// tearing down the process (the paper's hardware squashes a faulting
+// support thread; it never takes down the main thread). ok reports whether
+// the body returned normally.
+func (rt *Runtime) invoke(t ThreadID, fn ThreadFunc, tg Trigger) (ok bool) {
+	if rt.check != nil {
+		g := goid()
+		rt.check.EnterSupport(g, t)
+		defer rt.check.ExitSupport(g, t)
+	}
+	// Registered after the sanitizer exit so it runs first: the panic is
+	// recovered before ExitSupport unwinds the instance.
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	fn(tg)
+	return true
+}
+
+// eligibleLocked collects into rt.elig the queue indices whose thread has
+// no running instance, oldest first. Callers hold rt.mu.
+func (rt *Runtime) eligibleLocked() []int {
+	rt.elig = rt.elig[:0]
+	for i := 0; i < rt.tq.Len(); i++ {
+		if !rt.threads[rt.tq.EntryAt(i).Thread].running {
+			rt.elig = append(rt.elig, i)
+		}
+	}
+	return rt.elig
+}
+
+// runSeededLocked dequeues the entry at queue index i and executes it on
+// the calling goroutine with the run token held, so nested preemption
+// points inside the body cannot start a second instance of the same
+// thread. Callers hold rt.mu; it is released around the body.
+func (rt *Runtime) runSeededLocked(i int) {
+	e := rt.tq.DequeueAt(i)
+	te := rt.threads[e.Thread]
+	rt.tqst.MarkRunning(e.Thread)
+	te.running = true
+	tg, fn := rt.resolveLocked(e)
+	rt.mu.Unlock()
+
+	ok := rt.invoke(e.Thread, fn, tg)
+
+	rt.mu.Lock()
+	te.running = false
+	if ok {
+		rt.tqst.MarkDone(e.Thread)
+		rt.stats.executed.Add(1)
+	} else {
+		rt.tqst.MarkFailed(e.Thread)
+		rt.stats.failedRuns.Add(1)
+	}
+	rt.finishLocked(e.Thread)
+}
+
+// seededPoll is a BackendSeeded preemption point: the scheduler decides,
+// entry by entry, whether to dispatch now and which eligible entry runs.
+// Nested polls (a body whose triggering store re-enters here) see the
+// enclosing thread's run token and skip it, preserving
+// one-instance-at-a-time.
+func (rt *Runtime) seededPoll() {
+	for {
+		rt.mu.Lock()
+		elig := rt.eligibleLocked()
+		if len(elig) == 0 || !rt.sched.RunNow() {
+			rt.mu.Unlock()
+			return
+		}
+		rt.runSeededLocked(elig[rt.sched.Pick(len(elig))])
+		rt.mu.Unlock()
+	}
+}
+
+// drainSeeded executes queued instances in seed-chosen order until nothing
+// is eligible; BackendSeeded's Wait and Barrier call it. On return the
+// queue is empty except for entries of threads still running in an
+// enclosing frame — impossible when called from the main thread, which is
+// the only legal caller of Wait/Barrier.
+func (rt *Runtime) drainSeeded() {
+	for {
+		rt.mu.Lock()
+		elig := rt.eligibleLocked()
+		if len(elig) == 0 {
+			rt.mu.Unlock()
+			return
+		}
+		rt.runSeededLocked(elig[rt.sched.Pick(len(elig))])
+		rt.mu.Unlock()
+	}
+}
+
 // runInline executes an overflowed trigger synchronously in the triggering
 // thread, honouring per-thread serialisation. When the triggering store
 // came from inside an instance of the same thread — a cascading trigger
@@ -409,8 +603,14 @@ func (rt *Runtime) runInline(e queue.Entry) {
 			// We hold this thread's run token ourselves: recurse.
 			tg, fn := rt.resolveLocked(e)
 			rt.mu.Unlock()
-			fn(tg)
+			ok := rt.invoke(e.Thread, fn, tg)
 			rt.stats.inlineRuns.Add(1)
+			if !ok {
+				rt.stats.failedRuns.Add(1)
+				rt.mu.Lock()
+				rt.tqst.NoteFailed(e.Thread)
+				rt.mu.Unlock()
+			}
 			return
 		}
 		ch := make(chan struct{})
@@ -425,13 +625,17 @@ func (rt *Runtime) runInline(e queue.Entry) {
 	tg, fn := rt.resolveLocked(e)
 	rt.mu.Unlock()
 
-	fn(tg)
+	ok := rt.invoke(e.Thread, fn, tg)
 
 	rt.mu.Lock()
 	te.running = false
 	te.owner = 0
 	rt.inlineRunning--
 	rt.stats.inlineRuns.Add(1)
+	if !ok {
+		rt.stats.failedRuns.Add(1)
+		rt.tqst.NoteFailed(e.Thread)
+	}
 	rt.finishLocked(e.Thread)
 	rt.mu.Unlock()
 }
@@ -472,13 +676,18 @@ func (rt *Runtime) worker() {
 		tg, fn := rt.resolveLocked(e)
 		rt.mu.Unlock()
 
-		fn(tg)
+		ok = rt.invoke(e.Thread, fn, tg)
 
 		rt.mu.Lock()
 		te.running = false
 		te.owner = 0
-		rt.tqst.MarkDone(e.Thread)
-		rt.stats.executed.Add(1)
+		if ok {
+			rt.tqst.MarkDone(e.Thread)
+			rt.stats.executed.Add(1)
+		} else {
+			rt.tqst.MarkFailed(e.Thread)
+			rt.stats.failedRuns.Add(1)
+		}
 		rt.finishLocked(e.Thread)
 		rt.mu.Unlock()
 	}
@@ -504,14 +713,21 @@ func (rt *Runtime) drainLocked() []trace.TaskID {
 		if rt.cfg.Recorder != nil {
 			rt.cfg.Recorder.BeginSupport(name, rel)
 		}
-		fn(tg)
+		ok = rt.invoke(e.Thread, fn, tg)
 		if rt.cfg.Recorder != nil {
+			// A failed instance still closes its trace task: whatever it
+			// charged before panicking was really executed.
 			done = append(done, rt.cfg.Recorder.EndSupport())
 		}
 
 		rt.mu.Lock()
-		rt.tqst.MarkDone(e.Thread)
-		rt.stats.executed.Add(1)
+		if ok {
+			rt.tqst.MarkDone(e.Thread)
+			rt.stats.executed.Add(1)
+		} else {
+			rt.tqst.MarkFailed(e.Thread)
+			rt.stats.failedRuns.Add(1)
+		}
 	}
 }
 
@@ -548,6 +764,11 @@ func goid() uint64 {
 // wake it.
 func (rt *Runtime) Wait(t ThreadID) {
 	rt.stats.waits.Add(1)
+	if rt.cfg.Backend == BackendSeeded {
+		rt.drainSeeded()
+		rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
+		return
+	}
 	rt.mu.Lock()
 	if rt.cfg.Backend == BackendImmediate {
 		for !rt.quietThreadLocked(t) {
@@ -559,11 +780,23 @@ func (rt *Runtime) Wait(t ThreadID) {
 			rt.mu.Lock()
 		}
 		rt.mu.Unlock()
+		rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
 		return
 	}
 	done := rt.drainLocked()
 	rt.mu.Unlock()
+	rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
 	rt.joinTrace(done, isa.OpTWait)
+}
+
+// noteJoin invokes a sanitizer join edge (Wait/Barrier) for the calling
+// goroutine, after the runtime has actually reached quiescence for it.
+// No-op when the checker is off.
+func (rt *Runtime) noteJoin(edge func(g uint64)) {
+	if rt.check == nil {
+		return
+	}
+	edge(goid())
 }
 
 // quietThreadLocked is the twait predicate for t: no pending entry, no
@@ -581,6 +814,11 @@ func (rt *Runtime) quietThreadLocked(t ThreadID) bool {
 // the TQST's global busy count, and the inline-run count.
 func (rt *Runtime) Barrier() {
 	rt.stats.barriers.Add(1)
+	if rt.cfg.Backend == BackendSeeded {
+		rt.drainSeeded()
+		rt.noteJoin(rt.check.OnBarrier)
+		return
+	}
 	rt.mu.Lock()
 	if rt.cfg.Backend == BackendImmediate {
 		for !rt.quietLocked() {
@@ -591,10 +829,12 @@ func (rt *Runtime) Barrier() {
 			rt.mu.Lock()
 		}
 		rt.mu.Unlock()
+		rt.noteJoin(rt.check.OnBarrier)
 		return
 	}
 	done := rt.drainLocked()
 	rt.mu.Unlock()
+	rt.noteJoin(rt.check.OnBarrier)
 	rt.joinTrace(done, isa.OpTBarrier)
 }
 

@@ -14,6 +14,7 @@ type statsCounters struct {
 	dropped    atomic.Int64
 	inlineRuns atomic.Int64
 	executed   atomic.Int64
+	failedRuns atomic.Int64
 	waits      atomic.Int64
 	barriers   atomic.Int64
 	cancels    atomic.Int64
@@ -26,7 +27,12 @@ type statsCounters struct {
 //	Fired     = triggers offered to the queue (per attached thread)
 //	Fired     = Enqueued + Squashed + Overflowed
 //	Overflowed = InlineRuns + Dropped   (once the run has quiesced)
-//	Executed  = queue-dispatched instances completed
+//	Executed  = queue-dispatched instances completed successfully
+//
+// A support-thread body that panics is recovered by the runtime and counted
+// in FailedRuns instead of Executed (an inline overflow run that panics
+// counts in both InlineRuns and FailedRuns, keeping the Overflowed
+// identity).
 type Stats struct {
 	// TStores counts triggering stores issued.
 	TStores int64
@@ -47,6 +53,10 @@ type Stats struct {
 	InlineRuns int64
 	// Executed counts queue-dispatched support instances completed.
 	Executed int64
+	// FailedRuns counts support-thread bodies (queue-dispatched or
+	// inline) that panicked; the panic is recovered and the thread's
+	// status reports StatusFailed until a later instance succeeds.
+	FailedRuns int64
 	// Waits and Barriers count synchronisation operations.
 	Waits    int64
 	Barriers int64
@@ -105,6 +115,7 @@ func (rt *Runtime) Stats() Stats {
 		Dropped:    rt.stats.dropped.Load(),
 		InlineRuns: rt.stats.inlineRuns.Load(),
 		Executed:   rt.stats.executed.Load(),
+		FailedRuns: rt.stats.failedRuns.Load(),
 		Waits:      rt.stats.waits.Load(),
 		Barriers:   rt.stats.barriers.Load(),
 		Cancels:    rt.stats.cancels.Load(),

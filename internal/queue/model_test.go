@@ -1,0 +1,224 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtt/internal/mem"
+)
+
+// qModel is a naive reference implementation of the thread queue: a plain
+// slice, linear scans, and the same dedup-key function. The property test
+// below drives it in lock step with the real ring-buffer implementation and
+// fails on the first divergence, so any ring arithmetic or per-thread count
+// bug shows up as a concrete operation trace.
+type qModel struct {
+	cap     int
+	dedup   DedupPolicy
+	entries []Entry
+	seq     int64
+	c       Counters
+}
+
+func (m *qModel) key(t ThreadID, addr mem.Addr) dedupKey {
+	switch m.dedup {
+	case DedupPerLine:
+		return dedupKey{thread: t, addr: addr &^ (mem.LineBytes - 1)}
+	case DedupPerThread:
+		return dedupKey{thread: t}
+	default:
+		return dedupKey{thread: t, addr: addr}
+	}
+}
+
+func (m *qModel) enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
+	if m.dedup != DedupNone {
+		k := m.key(t, addr)
+		for _, e := range m.entries {
+			if m.key(e.Thread, e.Addr) == k {
+				m.c.Squashed++
+				return Squashed
+			}
+		}
+	}
+	if len(m.entries) >= m.cap {
+		m.c.Overflowed++
+		return Overflowed
+	}
+	m.seq++
+	m.entries = append(m.entries, Entry{Thread: t, Addr: addr, Seq: m.seq})
+	m.c.Enqueued++
+	if len(m.entries) > m.c.Peak {
+		m.c.Peak = len(m.entries)
+	}
+	return Enqueued
+}
+
+func (m *qModel) removeAt(i int) Entry {
+	e := m.entries[i]
+	m.entries = append(m.entries[:i], m.entries[i+1:]...)
+	m.c.Dequeued++
+	return e
+}
+
+func (m *qModel) dequeue() (Entry, bool) {
+	if len(m.entries) == 0 {
+		return Entry{}, false
+	}
+	return m.removeAt(0), true
+}
+
+func (m *qModel) dequeueFirst(pred func(Entry) bool) (Entry, bool) {
+	for i, e := range m.entries {
+		if pred(e) {
+			return m.removeAt(i), true
+		}
+	}
+	return Entry{}, false
+}
+
+func (m *qModel) squash(t ThreadID) int {
+	kept := m.entries[:0]
+	removed := 0
+	for _, e := range m.entries {
+		if e.Thread == t {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.entries = kept
+	m.c.SquashedOut += int64(removed)
+	return removed
+}
+
+func (m *qModel) pendingCount(t ThreadID) int {
+	n := 0
+	for _, e := range m.entries {
+		if e.Thread == t {
+			n++
+		}
+	}
+	return n
+}
+
+// checkAgainst compares every observable of the real queue with the model.
+func (m *qModel) checkAgainst(t *testing.T, q *ThreadQueue, step int) {
+	t.Helper()
+	if q.Len() != len(m.entries) {
+		t.Fatalf("step %d: Len() = %d, model has %d", step, q.Len(), len(m.entries))
+	}
+	for i := range m.entries {
+		if got := q.EntryAt(i); got != m.entries[i] {
+			t.Fatalf("step %d: EntryAt(%d) = %+v, model has %+v", step, i, got, m.entries[i])
+		}
+	}
+	for id := ThreadID(0); id < modelThreads; id++ {
+		if got, want := q.PendingCount(id), m.pendingCount(id); got != want {
+			t.Fatalf("step %d: PendingCount(%d) = %d, model has %d", step, id, got, want)
+		}
+	}
+	if q.Counters() != m.c {
+		t.Fatalf("step %d: counters %+v, model has %+v", step, q.Counters(), m.c)
+	}
+	c := q.Counters()
+	if c.Enqueued != c.Dequeued+c.SquashedOut+int64(q.Len()) {
+		t.Fatalf("step %d: counter invariant broken: Enqueued=%d Dequeued=%d SquashedOut=%d Len=%d",
+			step, c.Enqueued, c.Dequeued, c.SquashedOut, q.Len())
+	}
+}
+
+const modelThreads = 5
+
+// TestQueueAgainstModel drives the ring-buffer queue and the reference model
+// with the same randomized operation stream across the dedup-policy ×
+// capacity matrix, checking every observable and the lifetime-counter
+// invariant Enqueued = Dequeued + SquashedOut + Len() after each operation.
+func TestQueueAgainstModel(t *testing.T) {
+	policies := []DedupPolicy{DedupPerAddress, DedupPerLine, DedupPerThread, DedupNone}
+	capacities := []int{1, 2, 3, 8}
+	for _, dedup := range policies {
+		for _, capacity := range capacities {
+			dedup, capacity := dedup, capacity
+			name := dedup.String() + "/cap" + string(rune('0'+capacity))
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(capacity)*1007 + int64(dedup)))
+				q := NewThreadQueue(capacity, dedup)
+				m := &qModel{cap: capacity, dedup: dedup}
+				// A small address pool makes dedup hits and line
+				// coalescing common; offsets within one line and across
+				// lines both occur.
+				addrs := []mem.Addr{0, 8, 16, mem.LineBytes, mem.LineBytes + 8, 4 * mem.LineBytes}
+				for step := 0; step < 4000; step++ {
+					switch op := rng.Intn(10); {
+					case op < 5: // enqueue-heavy keeps the ring near full
+						id := ThreadID(rng.Intn(modelThreads))
+						addr := addrs[rng.Intn(len(addrs))]
+						got := q.Enqueue(id, addr)
+						want := m.enqueue(id, addr)
+						if got != want {
+							t.Fatalf("step %d: Enqueue(%d, %#x) = %v, model says %v", step, id, addr, got, want)
+						}
+					case op < 7:
+						got, gotOK := q.Dequeue()
+						want, wantOK := m.dequeue()
+						if got != want || gotOK != wantOK {
+							t.Fatalf("step %d: Dequeue() = %+v,%v, model says %+v,%v", step, got, gotOK, want, wantOK)
+						}
+					case op == 7:
+						// Skip one thread, as the immediate backend's
+						// busy-thread filter does.
+						skip := ThreadID(rng.Intn(modelThreads))
+						pred := func(e Entry) bool { return e.Thread != skip }
+						got, gotOK := q.DequeueFirst(pred)
+						want, wantOK := m.dequeueFirst(pred)
+						if got != want || gotOK != wantOK {
+							t.Fatalf("step %d: DequeueFirst(!=%d) = %+v,%v, model says %+v,%v", step, skip, got, gotOK, want, wantOK)
+						}
+					case op == 8:
+						if q.Len() == 0 {
+							continue
+						}
+						i := rng.Intn(q.Len())
+						got := q.DequeueAt(i)
+						want := m.removeAt(i)
+						if got != want {
+							t.Fatalf("step %d: DequeueAt(%d) = %+v, model says %+v", step, i, got, want)
+						}
+					default:
+						id := ThreadID(rng.Intn(modelThreads))
+						got := q.Squash(id)
+						want := m.squash(id)
+						if got != want {
+							t.Fatalf("step %d: Squash(%d) = %d, model says %d", step, id, got, want)
+						}
+					}
+					m.checkAgainst(t, q, step)
+				}
+			})
+		}
+	}
+}
+
+// TestQueueModelDrain empties a full queue through each removal path and
+// checks the counters balance exactly.
+func TestQueueModelDrain(t *testing.T) {
+	q := NewThreadQueue(4, DedupNone)
+	for i := 0; i < 6; i++ { // 4 admitted, 2 overflowed
+		q.Enqueue(ThreadID(i%2), mem.Addr(8*i))
+	}
+	q.DequeueAt(1)
+	q.Dequeue()
+	if n := q.Squash(0); n != 1 {
+		t.Fatalf("Squash(0) removed %d entries, want 1", n)
+	}
+	q.Dequeue()
+	c := q.Counters()
+	want := Counters{Enqueued: 4, Overflowed: 2, Dequeued: 3, SquashedOut: 1, Peak: 4}
+	if c != want {
+		t.Fatalf("counters %+v, want %+v", c, want)
+	}
+	if c.Enqueued != c.Dequeued+c.SquashedOut+int64(q.Len()) {
+		t.Fatalf("counter invariant broken: %+v with Len %d", c, q.Len())
+	}
+}

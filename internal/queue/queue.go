@@ -268,6 +268,35 @@ func (q *ThreadQueue) DequeueFirst(pred func(Entry) bool) (e Entry, ok bool) {
 	return Entry{}, false
 }
 
+// EntryAt returns the i-th oldest pending entry without removing it. It
+// panics if i is out of range. The deterministic scheduler backend uses it
+// to enumerate dispatch candidates.
+func (q *ThreadQueue) EntryAt(i int) Entry {
+	if i < 0 || i >= q.n {
+		panic(fmt.Sprintf("queue: EntryAt(%d) with %d pending", i, q.n))
+	}
+	return *q.at(i)
+}
+
+// DequeueAt removes and returns the i-th oldest entry, preserving the order
+// of the rest. It panics if i is out of range. Like DequeueFirst, removal
+// shifts the entries older than the target and never allocates.
+func (q *ThreadQueue) DequeueAt(i int) Entry {
+	if i < 0 || i >= q.n {
+		panic(fmt.Sprintf("queue: DequeueAt(%d) with %d pending", i, q.n))
+	}
+	e := *q.at(i)
+	for j := i; j > 0; j-- {
+		*q.at(j) = *q.at(j - 1)
+	}
+	q.head = (q.head + 1) % q.cap
+	q.n--
+	q.perThread[e.Thread]--
+	q.dropKey(e)
+	q.c.Dequeued++
+	return e
+}
+
 // Squash removes all pending entries of thread t (tcancel) and returns how
 // many were removed. Removed entries are accounted in Counters.SquashedOut,
 // not Dequeued: they never executed.

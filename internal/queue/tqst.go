@@ -15,6 +15,10 @@ const (
 	StatusPending
 	// StatusRunning means at least one instance is executing.
 	StatusRunning
+	// StatusFailed means no pending or running instance and the most
+	// recently completed instance panicked. A subsequent successful
+	// instance returns the thread to StatusIdle.
+	StatusFailed
 )
 
 // String returns the status name.
@@ -26,6 +30,8 @@ func (s Status) String() string {
 		return "pending"
 	case StatusRunning:
 		return "running"
+	case StatusFailed:
+		return "failed"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -34,6 +40,11 @@ type tqstEntry struct {
 	pending  int
 	running  int
 	executed int64
+	failed   int64
+	// lastFailed remembers whether the most recent completed instance
+	// panicked; it colours the idle state as StatusFailed until a
+	// successful instance clears it.
+	lastFailed bool
 }
 
 // TQST is the thread queue status table. twait consults it to decide
@@ -80,7 +91,7 @@ func (t *TQST) MarkRunning(id ThreadID) {
 	e.running++
 }
 
-// MarkDone records that a running instance of id completed.
+// MarkDone records that a running instance of id completed successfully.
 func (t *TQST) MarkDone(id ThreadID) {
 	e := t.entry(id)
 	if e.running <= 0 {
@@ -88,7 +99,30 @@ func (t *TQST) MarkDone(id ThreadID) {
 	}
 	e.running--
 	e.executed++
+	e.lastFailed = false
 	t.busy--
+}
+
+// MarkFailed records that a running instance of id panicked instead of
+// completing. The instance does not count as executed.
+func (t *TQST) MarkFailed(id ThreadID) {
+	e := t.entry(id)
+	if e.running <= 0 {
+		panic(fmt.Sprintf("queue: TQST MarkFailed(%d) with no running instance", id))
+	}
+	e.running--
+	e.failed++
+	e.lastFailed = true
+	t.busy--
+}
+
+// NoteFailed records a panicked instance that was never in the table —
+// an inline overflow run, which executes in the triggering thread and is
+// invisible to pending/running accounting.
+func (t *TQST) NoteFailed(id ThreadID) {
+	e := t.entry(id)
+	e.failed++
+	e.lastFailed = true
 }
 
 // Cancel drops n pending instances of id (tcancel squashing queue entries).
@@ -112,14 +146,23 @@ func (t *TQST) Get(id ThreadID) Status {
 		return StatusRunning
 	case e.pending > 0:
 		return StatusPending
+	case e.lastFailed:
+		return StatusFailed
 	default:
 		return StatusIdle
 	}
 }
 
 // Quiet reports whether id has neither pending nor running instances —
-// the twait release condition. O(1).
-func (t *TQST) Quiet(id ThreadID) bool { return t.Get(id) == StatusIdle }
+// the twait release condition. O(1). A failed thread is quiet: twait must
+// not spin on a thread that will never run again.
+func (t *TQST) Quiet(id ThreadID) bool {
+	if int(id) < 0 || int(id) >= len(t.entries) {
+		return true
+	}
+	e := &t.entries[id]
+	return e.pending == 0 && e.running == 0
+}
 
 // AllQuiet reports whether every thread is idle — the tbarrier release
 // condition. O(1) via the global busy count.
@@ -128,10 +171,18 @@ func (t *TQST) AllQuiet() bool { return t.busy == 0 }
 // Busy returns the total pending+running instances across all threads.
 func (t *TQST) Busy() int { return t.busy }
 
-// Executed returns how many instances of id have completed.
+// Executed returns how many instances of id have completed successfully.
 func (t *TQST) Executed(id ThreadID) int64 {
 	if int(id) >= 0 && int(id) < len(t.entries) {
 		return t.entries[id].executed
+	}
+	return 0
+}
+
+// Failed returns how many instances of id have panicked.
+func (t *TQST) Failed(id ThreadID) int64 {
+	if int(id) >= 0 && int(id) < len(t.entries) {
+		return t.entries[id].failed
 	}
 	return 0
 }

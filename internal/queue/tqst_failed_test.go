@@ -1,0 +1,88 @@
+package queue
+
+import "testing"
+
+// TestTQSTFailedLifecycle walks a thread through the failure states: a
+// panicked instance colours the idle state StatusFailed, a later success
+// clears it, and Quiet treats a failed thread as quiet (twait must not spin
+// on a thread that will never run again).
+func TestTQSTFailedLifecycle(t *testing.T) {
+	tq := NewTQST()
+	const id ThreadID = 2
+
+	tq.MarkPending(id)
+	tq.MarkRunning(id)
+	if got := tq.Get(id); got != StatusRunning {
+		t.Fatalf("Get = %v while running, want running", got)
+	}
+	tq.MarkFailed(id)
+	if got := tq.Get(id); got != StatusFailed {
+		t.Fatalf("Get = %v after panic, want failed", got)
+	}
+	if !tq.Quiet(id) {
+		t.Fatalf("failed thread not Quiet; twait would spin forever")
+	}
+	if !tq.AllQuiet() {
+		t.Fatalf("failed thread keeps AllQuiet false; tbarrier would spin forever")
+	}
+	if got := tq.Failed(id); got != 1 {
+		t.Fatalf("Failed = %d, want 1", got)
+	}
+	if got := tq.Executed(id); got != 0 {
+		t.Fatalf("Executed = %d after failure, want 0", got)
+	}
+
+	// An inline overflow run that panicked is invisible to pending/running
+	// but still counts and colours the status.
+	tq.NoteFailed(id)
+	if got := tq.Failed(id); got != 2 {
+		t.Fatalf("Failed = %d after NoteFailed, want 2", got)
+	}
+	if got := tq.Get(id); got != StatusFailed {
+		t.Fatalf("Get = %v after NoteFailed, want failed", got)
+	}
+
+	// A successful instance clears the failed colour.
+	tq.MarkPending(id)
+	tq.MarkRunning(id)
+	tq.MarkDone(id)
+	if got := tq.Get(id); got != StatusIdle {
+		t.Fatalf("Get = %v after success, want idle", got)
+	}
+	if got := tq.Executed(id); got != 1 {
+		t.Fatalf("Executed = %d, want 1", got)
+	}
+	if got := tq.Failed(id); got != 2 {
+		t.Fatalf("Failed = %d after success, want 2 (history is kept)", got)
+	}
+	if got := tq.Failed(99); got != 0 {
+		t.Fatalf("Failed(unknown) = %d, want 0", got)
+	}
+}
+
+// TestTQSTMarkFailedPanicsWithoutRunning documents that failing a
+// never-started instance is a runtime bug, not a recoverable state.
+func TestTQSTMarkFailedPanicsWithoutRunning(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MarkFailed with no running instance did not panic")
+		}
+	}()
+	NewTQST().MarkFailed(0)
+}
+
+// TestStatusStrings pins the Status names, including the new failed state.
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		StatusIdle:    "idle",
+		StatusPending: "pending",
+		StatusRunning: "running",
+		StatusFailed:  "failed",
+		Status(99):    "Status(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("Status(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

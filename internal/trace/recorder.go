@@ -73,6 +73,11 @@ func (r *Recorder) NoteTStore() {
 // NoteMgmt charges n management/synchronisation instruction slots.
 func (r *Recorder) NoteMgmt(n int64) { r.cur.Mgmt += n }
 
+// NoteViolation marks a protocol-sanitizer violation against the current
+// task, so a recorded trace localises where in the task DAG the discipline
+// was broken.
+func (r *Recorder) NoteViolation() { r.cur.Violations++ }
+
 // CurrentMain returns the ID of the open main segment.
 func (r *Recorder) CurrentMain() TaskID { return r.curMain.ID }
 

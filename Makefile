@@ -16,7 +16,7 @@ COVER_PKGS  := ./internal/core ./internal/queue
 # Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz-smoke fuzz cover bench-fastpath bench
+.PHONY: ci vet build test race fuzz-smoke fuzz cover bench-fastpath bench bench-scale
 
 ci: vet build race fuzz-smoke cover bench-fastpath
 
@@ -52,10 +52,19 @@ cover:
 # Dispatch fast-path microbenchmarks; -benchmem prints allocs/op so the
 # numbers quoted in CHANGES.md can be regenerated. TestTStoreFastPathAllocs
 # (run as part of `make race`/`make test`) is what actually fails the build
-# on a regression.
+# on a regression. The output is teed to bench-fastpath.out (gitignored) so
+# a before/after pair can be compared with benchstat.
 bench-fastpath:
-	$(GO) test -run '^$$' -bench 'BenchmarkTStore|BenchmarkQueuePending' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkTStore|BenchmarkQueuePending' -benchmem . | tee bench-fastpath.out
+	@echo "wrote bench-fastpath.out; compare runs with: benchstat <saved-baseline>.out bench-fastpath.out"
 
 # Full evaluation benchmark sweep (paper tables/figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Producer-scaling curve: aggregate changed-store throughput for
+# 1..GOMAXPROCS concurrent producers on the sharded immediate backend,
+# written to BENCH_scale.json (committed — see EXPERIMENTS.md for the
+# expected shape and the machine the checked-in curve was measured on).
+bench-scale:
+	$(GO) run ./cmd/dttbench -scale-sweep -scale-out BENCH_scale.json

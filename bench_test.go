@@ -7,6 +7,8 @@ package dtt_test
 // workload benches measure real Go wall-clock for baseline vs DTT.
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"dtt"
@@ -267,6 +269,136 @@ func BenchmarkTStoreFiring(b *testing.B) {
 			rt.Barrier()
 		}
 	}
+}
+
+// The BenchmarkTStoreParallel* family measures aggregate triggering-store
+// throughput with one producer goroutine per core (b.RunParallel), the
+// multi-producer scaling the sharded dispatch plane exists for. Each
+// producer gets its own support thread and trigger range, and thread IDs
+// are dense, so with Shards >= producers every producer enqueues under its
+// own shard lock. `dttbench -scale-sweep` runs the same workload shape at
+// 1..GOMAXPROCS producers and writes the curve to BENCH_scale.json.
+
+// parallelBenchRuntime builds a runtime with one noop thread per potential
+// producer, each attached to its own span-word slice of a shared region.
+func parallelBenchRuntime(b *testing.B, cfg dtt.Config, producers, span int) (*dtt.Runtime, *dtt.Region) {
+	b.Helper()
+	rt, err := dtt.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	r := rt.NewRegion("bench", producers*span)
+	for p := 0; p < producers; p++ {
+		id := rt.Register("noop", func(dtt.Trigger) {})
+		if err := rt.Attach(id, r, p*span, (p+1)*span); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rt, r
+}
+
+// ceilPow2 returns the smallest power of two >= n, mirroring the runtime's
+// shard rounding so benches can pin Shards = producers explicitly.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// BenchmarkTStoreParallelSilent: every producer repeatedly silent-stores its
+// own word. Silent stores never touch the dispatch plane, so this is the
+// memory-side scaling ceiling.
+func BenchmarkTStoreParallelSilent(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	_, r := parallelBenchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, Shards: ceilPow2(procs)}, procs, 64)
+	for p := 0; p < procs; p++ {
+		r.TStore(p*64, 1)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := int(next.Add(1)-1) % procs
+		for pb.Next() {
+			r.TStore(p*64, 1) // always silent
+		}
+	})
+}
+
+// BenchmarkTStoreParallelChanging: the tentpole's headline number. Every
+// producer cycles changing stores over its own trigger range on the
+// immediate backend, so enqueues hit disjoint shard locks and the worker
+// pool drains shards in parallel.
+func BenchmarkTStoreParallelChanging(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	const span = 1024
+	rt, r := parallelBenchRuntime(b, dtt.Config{
+		Backend:       dtt.BackendImmediate,
+		Workers:       procs,
+		Shards:        ceilPow2(procs),
+		QueueCapacity: 2048,
+	}, procs, span)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := int(next.Add(1)-1) % procs
+		base := p * span
+		i := 0
+		for pb.Next() {
+			r.TStore(base+i%span, dtt.Word(i+1))
+			i++
+		}
+	})
+	b.StopTimer()
+	rt.Barrier()
+}
+
+// BenchmarkTStoreParallelSquash: each producer keeps one pending entry
+// planted at its word and hammers changing stores into it, so every store
+// is a duplicate squash under the producer's own shard lock.
+func BenchmarkTStoreParallelSquash(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	rt, r := parallelBenchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, Shards: ceilPow2(procs)}, procs, 64)
+	for p := 0; p < procs; p++ {
+		r.TStore(p*64, 1) // plant the pending entry
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := int(next.Add(1)-1) % procs
+		i := uint64(1)
+		for pb.Next() {
+			r.TStore(p*64, dtt.Word(i+1)) // always changes, always squashed
+			i++
+		}
+	})
+	b.StopTimer()
+	rt.Barrier()
+}
+
+// BenchmarkTStoreParallelUncovered: changing stores to words no thread is
+// attached to, one word per producer; the lock-free registry probe is the
+// only shared state.
+func BenchmarkTStoreParallelUncovered(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	rt, _ := parallelBenchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, Shards: ceilPow2(procs)}, procs, 64)
+	cold := rt.NewRegion("cold", procs*8)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := int(next.Add(1)-1) % procs
+		i := 0
+		for pb.Next() {
+			cold.TStore(p*8, dtt.Word(i+1)) // always changes, never covered
+			i++
+		}
+	})
 }
 
 // BenchmarkQueuePending measures the Wait/Barrier wakeup predicate: whether

@@ -7,6 +7,7 @@
 //	dttbench -list           # list experiment IDs and titles
 //	dttbench -iters 80       # scale the workloads
 //	dttbench -fastpath       # microbenchmark the triggering-store fast paths
+//	dttbench -scale-sweep    # producer-scaling curve -> BENCH_scale.json
 //
 // See DESIGN.md for the experiment-to-paper mapping and EXPERIMENTS.md for
 // recorded results.
@@ -39,6 +40,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		iters = fs.Int("iters", 40, "workload outer iterations")
 		seed  = fs.Uint64("seed", 1, "workload input seed")
 		fast  = fs.Bool("fastpath", false, "microbenchmark the triggering-store fast paths and exit")
+		// -scale is taken by the workload data scale factor, so the
+		// producer-scaling sweep gets its own name.
+		sweep    = fs.Bool("scale-sweep", false, "measure changed-store throughput for 1..GOMAXPROCS producers and exit")
+		sweepOut = fs.String("scale-out", "BENCH_scale.json", "output path for the -scale-sweep JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,6 +51,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *fast {
 		runFastPath(stdout)
+		return 0
+	}
+
+	if *sweep {
+		if err := runScaleSweep(stdout, *sweepOut); err != nil {
+			fmt.Fprintf(stderr, "dttbench: scale sweep: %v\n", err)
+			return 1
+		}
 		return 0
 	}
 

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"dtt"
+)
+
+// scalePoint is one producer count of the sweep. OpsPerSec is the aggregate
+// changed-covered triggering-store throughput across all producers.
+type scalePoint struct {
+	Producers int     `json:"producers"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// scaleReport is the BENCH_scale.json schema. GOMAXPROCS and NumCPU record
+// the machine the curve was measured on, since the shape is meaningless
+// without them: a 1-core box necessarily measures a flat curve.
+type scaleReport struct {
+	GOMAXPROCS        int          `json:"gomaxprocs"`
+	NumCPU            int          `json:"numcpu"`
+	StoresPerProducer int          `json:"stores_per_producer"`
+	Points            []scalePoint `json:"points"`
+}
+
+// scaleStoresPerProducer is the fixed per-producer store count of each sweep
+// point; at the ~100 ns/op changed-store cost this is a fraction of a second
+// of measurement per point, and each point keeps the better of two runs.
+const scaleStoresPerProducer = 2_000_000
+
+// runScalePoint measures aggregate changed-store throughput with p producers
+// on the sharded immediate backend. Each producer gets its own support
+// thread attached to a private span-word window of a shared region, so every
+// store is a changed covered store that dispatches through the producer's
+// shard. The clock covers only the producer loops: draining is the workers'
+// concurrent job and is deliberately off the store path being measured.
+func runScalePoint(p int) (float64, error) {
+	const span = 1024
+	rt, err := dtt.New(dtt.Config{
+		Backend:       dtt.BackendImmediate,
+		Workers:       p,
+		Shards:        p, // rounded up to a power of two by the runtime
+		QueueCapacity: 2048,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Close()
+	r := rt.NewRegion("scale", p*span)
+	for i := 0; i < p; i++ {
+		id := rt.Register(fmt.Sprintf("noop%d", i), func(dtt.Trigger) {})
+		if err := rt.Attach(id, r, i*span, span); err != nil {
+			return 0, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < scaleStoresPerProducer; j++ {
+				r.TStore(base+j%span, dtt.Word(j+1))
+			}
+		}(i * span)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	rt.Barrier()
+	return float64(p) * scaleStoresPerProducer / elapsed.Seconds(), nil
+}
+
+// runScaleSweep sweeps producer counts 1..GOMAXPROCS, printing the curve and
+// writing it to outPath as JSON (the committed BENCH_scale.json). Each point
+// runs twice and keeps the higher throughput, discarding warmup noise.
+func runScaleSweep(stdout io.Writer, outPath string) error {
+	rep := scaleReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), StoresPerProducer: scaleStoresPerProducer}
+	fmt.Fprintf(stdout, "changed-store scaling sweep (immediate backend, GOMAXPROCS=%d, numcpu=%d):\n", rep.GOMAXPROCS, rep.NumCPU)
+	for p := 1; p <= rep.GOMAXPROCS; p++ {
+		best := 0.0
+		for try := 0; try < 2; try++ {
+			ops, err := runScalePoint(p)
+			if err != nil {
+				return err
+			}
+			if ops > best {
+				best = ops
+			}
+		}
+		pt := scalePoint{Producers: p, NsPerOp: 1e9 / best, OpsPerSec: best}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(stdout, "  producers=%-3d %8.1f ns/op  %12.0f ops/s\n", pt.Producers, pt.NsPerOp, pt.OpsPerSec)
+	}
+	if len(rep.Points) > 1 {
+		first, last := rep.Points[0], rep.Points[len(rep.Points)-1]
+		fmt.Fprintf(stdout, "  speedup %d->%d producers: %.2fx\n", first.Producers, last.Producers, last.OpsPerSec/first.OpsPerSec)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	return nil
+}

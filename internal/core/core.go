@@ -30,6 +30,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"dtt/internal/mem"
 	"dtt/internal/queue"
@@ -121,8 +122,21 @@ type Config struct {
 	// BackendImmediate; ignored otherwise. Defaults to 1.
 	Workers int
 	// QueueCapacity bounds the thread queue. Triggers that overflow fall
-	// back to the Overflow policy. Defaults to 64.
+	// back to the Overflow policy. Defaults to 64. With Shards > 1 every
+	// shard gets a full QueueCapacity-sized segment — capacity is
+	// per-shard, not divided — so a thread's overflow behaviour does not
+	// change with the shard count.
 	QueueCapacity int
+	// Shards is the number of dispatch shards the thread queue, TQST and
+	// run tokens are split across. Thread t lives in shard t mod Shards;
+	// stores triggering threads in different shards enqueue under
+	// different locks and scale across producer cores. Values are rounded
+	// up to a power of two. The default is 1 for the single-goroutine
+	// backends (deferred, recorded, seeded) — keeping their drain and
+	// replay order bit-identical to the unsharded runtime — and the
+	// smallest power of two >= GOMAXPROCS (at most 64) for
+	// BackendImmediate.
+	Shards int
 	// Dedup selects the duplicate-squashing policy. Defaults to the
 	// paper's per-address squashing.
 	Dedup queue.DedupPolicy
@@ -151,9 +165,33 @@ func (c *Config) applyDefaults() {
 	if c.QueueCapacity <= 0 {
 		c.QueueCapacity = 64
 	}
+	if c.Shards <= 0 {
+		if c.Backend == BackendImmediate {
+			c.Shards = ceilPow2(runtime.GOMAXPROCS(0))
+			if c.Shards > 64 {
+				c.Shards = 64
+			}
+		} else {
+			c.Shards = 1
+		}
+	} else {
+		c.Shards = ceilPow2(c.Shards)
+		if c.Shards > 1024 {
+			c.Shards = 1024
+		}
+	}
 	if c.System == nil {
 		c.System = mem.NewSystem()
 	}
+}
+
+// ceilPow2 returns the smallest power of two >= n (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func (c *Config) validate() error {

@@ -62,10 +62,12 @@ func (r *Region) StoreF(i int, f float64) bool { return r.Store(i, wordOf(f)) }
 //
 // TStore is allocation-free in the steady state on every outcome — silent
 // store, squashed duplicate, and plain enqueue. Silent stores and changing
-// stores to addresses no thread is attached to never take the runtime's
-// dispatch lock: the attachment check is a lock-free read of the registry's
+// stores to addresses no thread is attached to never take any dispatch
+// lock: the attachment check is a lock-free read of the registry's
 // published interval index, so unrelated hot stores do not contend with
-// dispatch. allocs_test.go and the BenchmarkTStore* family enforce this.
+// dispatch. A firing store takes only the target thread's shard lock, so
+// stores triggering threads in different shards scale across producer
+// cores. allocs_test.go and the BenchmarkTStore* families enforce this.
 func (r *Region) TStore(i int, v mem.Word) bool { return r.rt.tstore(r, i, v) }
 
 // TStoreF is the float64 form of TStore; change detection compares IEEE-754

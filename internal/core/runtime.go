@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dtt/internal/isa"
 	"dtt/internal/mem"
@@ -22,7 +23,11 @@ type attachment struct {
 // thread's trigger ranges, and the thread's run token. The token serialises
 // instances of one thread (the paper's one-instance-at-a-time rule) without
 // involving any other thread: workers executing different threads only meet
-// on the dispatch lock for queue operations, never on each other's tokens.
+// on a shard lock for queue operations, never on each other's tokens.
+//
+// name and fn are immutable after Register. atts and the token/waiter fields
+// are guarded by the thread's shard lock (shardOf(t).mu); Attach and Cancel
+// additionally hold rt.mu to serialise against registry mutations.
 type threadEntry struct {
 	name string
 	fn   ThreadFunc
@@ -45,6 +50,46 @@ type threadEntry struct {
 	quietWaiters []chan struct{}
 }
 
+// covers reports whether addr falls in one of the thread's attached trigger
+// ranges. Callers hold the thread's shard lock; a false result after a
+// matching registry snapshot means a Cancel raced the store.
+func (te *threadEntry) covers(addr mem.Addr) bool {
+	for _, a := range te.atts {
+		if addr >= a.lo && addr < a.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchShard is one slice of the sharded dispatch plane: a colocated
+// ring-buffer queue segment and TQST for the threads mapped to it, plus the
+// shard-local bookkeeping Barrier and the worker wake protocol need. Thread
+// t lives in shard uint32(t) & rt.shardMask, so two stores triggering
+// threads in different shards enqueue under different locks and never
+// contend.
+type dispatchShard struct {
+	mu   sync.Mutex
+	tq   *queue.ThreadQueue
+	tqst *queue.TQST
+	// inlineRunning counts inline overflow executions in flight for threads
+	// of this shard; they hold run tokens but are invisible to the TQST, so
+	// the quiescence predicates must count them separately. Guarded by mu.
+	inlineRunning int
+	// rr rotates worker wake targets so one hot shard does not pin all its
+	// wakeups on one worker. Guarded by mu.
+	rr int
+	// idx is the shard's own index, fixed at construction.
+	idx int
+	// busy mirrors tq.Len() + TQST running + inlineRunning. It is written
+	// only under mu but read lock-free by the Barrier fast check and the
+	// finish-side barrier hint, which sum it across shards.
+	busy atomic.Int64
+	// Pad the hot fields out to (at least) two cache lines so neighbouring
+	// shards' locks and busy counters do not false-share.
+	_ [72]byte
+}
+
 type releaseKey struct {
 	thread ThreadID
 	addr   mem.Addr
@@ -65,16 +110,19 @@ type releaseKey struct {
 // (see DESIGN.md "Runtime lock hierarchy"):
 //
 //  1. No lock: the value comparison in mem.Buffer.Store, the stats
-//     counters (atomic), and the Registry.Covers pre-check against the
-//     registry's immutable index snapshot. Silent stores and stores to
-//     unattached addresses finish here and never contend.
-//  2. rt.mu, the dispatch lock: thread queue, TQST, per-thread records and
-//     the lookup scratch buffer. Held only for pointer-sized bookkeeping,
-//     never across a thread body.
-//  3. Per-thread run tokens (threadEntry.running/owner, guarded by rt.mu,
-//     waited on via per-thread channels): serialise instances of one
-//     thread. Thread bodies run with no lock held; only the token marks
-//     them busy.
+//     counters (atomic), the Registry.Covers/Each probes against the
+//     registry's immutable index snapshot, and the thread table (an
+//     atomically published copy-on-write slice). Silent stores and stores
+//     to unattached addresses finish here and never contend.
+//  2. Shard locks (dispatchShard.mu): thread queue segment, TQST slot,
+//     per-thread records and run tokens of the shard's threads. A store
+//     that fires takes only the target thread's shard lock, and only for
+//     pointer-sized bookkeeping, never across a thread body. Stores that
+//     trigger threads in different shards proceed in parallel.
+//  3. rt.mu, the management lock: Register/Attach/Cancel/Close and registry
+//     mutations. Never taken on the store path. Lock order is rt.mu →
+//     shard locks (ascending index when more than one) → leaf locks
+//     (barMu, relMu); the reverse order is never taken.
 type Runtime struct {
 	cfg Config
 	sys *mem.System
@@ -83,41 +131,61 @@ type Runtime struct {
 	// rt.mu and publish a fresh snapshot (see queue.Registry).
 	reg *queue.Registry
 
-	mu      sync.Mutex
-	tq      *queue.ThreadQueue
-	tqst    *queue.TQST
-	threads []*threadEntry
-	// scratch is the reusable Lookup destination owned by the runtime, so
-	// the enqueue fast path performs no allocation. Guarded by rt.mu.
-	scratch []queue.ThreadID
-	// inlineRunning counts inline overflow executions in flight; they hold
-	// run tokens but are invisible to the TQST, so Barrier must count them
-	// separately.
-	inlineRunning int
-	// barrierWaiters are closed when the runtime is fully quiet.
+	// threads is the copy-on-write thread table: readers load the current
+	// snapshot lock-free; Register appends under rt.mu and publishes a
+	// fresh slice. Entries are never removed or reordered, so an ID valid
+	// in any snapshot stays valid in every later one.
+	threads atomic.Pointer[[]*threadEntry]
+
+	// shards is the dispatch plane, sized to cfg.Shards (a power of two).
+	shards    []dispatchShard
+	shardMask uint32
+
+	// mu is the management lock: Register/Attach/Cancel/Close and registry
+	// mutations. The store fast path never takes it.
+	mu sync.Mutex
+
+	// barMu guards barrierWaiters; barWaiting mirrors len(barrierWaiters)
+	// so the completion path can skip barMu entirely while nobody waits.
+	barMu          sync.Mutex
 	barrierWaiters []chan struct{}
-	// work wakes idle immediate-backend workers: one token per newly
-	// dispatchable entry, dropped when the buffer is full (a full buffer
-	// already wakes every worker). Closed by Close.
-	work chan struct{}
+	barWaiting     atomic.Int32
+
+	// workerWake has one capacity-1 channel per immediate-backend worker.
+	// An enqueue deposits a token for a chosen worker (dropped if one is
+	// already pending — the worker will rescan anyway); a woken worker
+	// scans every shard, its own first, so a token in any worker's buffer
+	// is enough to get any shard's work picked up. The channels are never
+	// closed: Close sets the closed flag and deposits one token per worker.
+	workerWake []chan struct{}
+
 	// release maps a pending queue entry to the trace task that released
-	// it (BackendRecorded only).
+	// it (BackendRecorded only). Guarded by relMu, a leaf lock.
+	relMu   sync.Mutex
 	release map[releaseKey]trace.TaskID
-	closed  bool
-	wg      sync.WaitGroup
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
 
 	// check is the protocol sanitizer, nil when Config.Checker is
 	// CheckOff. It carries its own lock and never calls back into the
-	// runtime, so it may be invoked with or without rt.mu held.
+	// runtime, so it may be invoked with or without runtime locks held.
 	check *sanitize.Checker
 	// sched drives BackendSeeded's dispatch decisions; nil otherwise.
 	// Only the runtime's single driving goroutine consults it.
 	sched *sched.Scheduler
-	// elig is the reusable eligible-index scratch for seeded dispatch.
-	// Guarded by rt.mu.
-	elig []int
+	// elig is the reusable eligible-entry scratch for seeded dispatch.
+	// Only the single driving goroutine touches it, with all shard locks
+	// held.
+	elig []eligRef
 
 	stats statsCounters
+}
+
+// eligRef locates one dispatch-eligible queue entry for the seeded backend:
+// queue index idx of shard shard.
+type eligRef struct {
+	shard, idx int
 }
 
 // New builds a Runtime from cfg.
@@ -127,12 +195,19 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	cfg.applyDefaults()
 	rt := &Runtime{
-		cfg:     cfg,
-		sys:     cfg.System,
-		reg:     queue.NewRegistry(),
-		tq:      queue.NewThreadQueue(cfg.QueueCapacity, cfg.Dedup),
-		tqst:    queue.NewTQST(),
-		scratch: make([]queue.ThreadID, 0, 16),
+		cfg: cfg,
+		sys: cfg.System,
+		reg: queue.NewRegistry(),
+	}
+	empty := make([]*threadEntry, 0)
+	rt.threads.Store(&empty)
+	rt.shards = make([]dispatchShard, cfg.Shards)
+	rt.shardMask = uint32(cfg.Shards - 1)
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		sh.idx = s
+		sh.tq = queue.NewThreadQueue(cfg.QueueCapacity, cfg.Dedup)
+		sh.tqst = queue.NewTQST()
 	}
 	if cfg.Checker != CheckOff {
 		rt.check = sanitize.NewChecker()
@@ -152,21 +227,37 @@ func New(cfg Config) (*Runtime, error) {
 		if rt.sys.Probed() {
 			return nil, fmt.Errorf("core: BackendImmediate cannot run with probes attached; probes are not safe under concurrency")
 		}
-		rt.work = make(chan struct{}, cfg.Workers)
+		rt.workerWake = make([]chan struct{}, cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			rt.workerWake[i] = make(chan struct{}, 1)
+		}
 		for i := 0; i < cfg.Workers; i++ {
 			rt.wg.Add(1)
-			go rt.worker()
+			go rt.worker(i)
 		}
 	}
 	return rt, nil
+}
+
+// threadsSnap returns the current thread-table snapshot. The result is
+// immutable; callers needing consistency with a shard's queue contents must
+// load it after acquiring that shard's lock.
+func (rt *Runtime) threadsSnap() []*threadEntry { return *rt.threads.Load() }
+
+// shardOf returns the dispatch shard thread t maps to.
+func (rt *Runtime) shardOf(t ThreadID) *dispatchShard {
+	return &rt.shards[uint32(t)&rt.shardMask]
 }
 
 // System returns the runtime's address space.
 func (rt *Runtime) System() *mem.System { return rt.sys }
 
 // Config returns the configuration the runtime was built with (after
-// defaulting).
+// defaulting; Config.Shards reports the effective shard count).
 func (rt *Runtime) Config() Config { return rt.cfg }
+
+// ShardCount returns the number of dispatch shards.
+func (rt *Runtime) ShardCount() int { return len(rt.shards) }
 
 // NewRegion allocates a region of n words in the runtime's address space.
 func (rt *Runtime) NewRegion(name string, n int) *Region {
@@ -180,8 +271,12 @@ func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	id := ThreadID(len(rt.threads))
-	rt.threads = append(rt.threads, &threadEntry{name: name, fn: fn})
+	old := rt.threadsSnap()
+	id := ThreadID(len(old))
+	grown := make([]*threadEntry, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = &threadEntry{name: name, fn: fn}
+	rt.threads.Store(&grown)
 	if rt.check != nil {
 		rt.check.RegisterThread(id, name)
 	}
@@ -190,12 +285,11 @@ func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
 
 // ThreadName returns the name thread t was registered under.
 func (rt *Runtime) ThreadName(t ThreadID) string {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if int(t) < 0 || int(t) >= len(rt.threads) {
+	ths := rt.threadsSnap()
+	if int(t) < 0 || int(t) >= len(ths) {
 		return fmt.Sprintf("thread-%d", t)
 	}
-	return rt.threads[t].name
+	return ths[t].name
 }
 
 // Attach arms thread t to trigger on stores to words [lo, hi) of r. This is
@@ -209,15 +303,19 @@ func (rt *Runtime) Attach(t ThreadID, r *Region, lo, hi int) error {
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if int(t) < 0 || int(t) >= len(rt.threads) {
+	ths := rt.threadsSnap()
+	if int(t) < 0 || int(t) >= len(ths) {
 		return fmt.Errorf("core: Attach of unregistered thread %d", t)
 	}
 	loA, hiA := r.buf.Addr(lo), r.buf.Addr(hi)
 	if err := rt.reg.Attach(t, loA, hiA); err != nil {
 		return err
 	}
-	te := rt.threads[t]
+	te := ths[t]
+	sh := rt.shardOf(t)
+	sh.mu.Lock()
 	te.atts = append(te.atts, attachment{region: r, lo: loA, hi: hiA})
+	sh.mu.Unlock()
 	if rt.check != nil {
 		rt.check.OnAttach(t, loA, hiA)
 	}
@@ -264,12 +362,18 @@ func (rt *Runtime) CheckErr() error {
 }
 
 // Cancel detaches thread t and squashes its pending instances (tcancel).
+// It takes the management lock and then only t's shard lock: a thread's
+// queue entries, TQST slot and token all live in one shard.
 func (rt *Runtime) Cancel(t ThreadID) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	ths := rt.threadsSnap()
+	known := int(t) >= 0 && int(t) < len(ths)
+	sh := rt.shardOf(t)
+	sh.mu.Lock()
 	if rt.check != nil {
-		running := rt.runningInstances(t)
-		if int(t) >= 0 && int(t) < len(rt.threads) && rt.threads[t].running && running == 0 {
+		_, running := sh.tqst.InFlight(t)
+		if known && ths[t].running && running == 0 {
 			// An inline overflow run holds the token but is invisible to
 			// the TQST; it is racing this cancel all the same.
 			running = 1
@@ -277,26 +381,24 @@ func (rt *Runtime) Cancel(t ThreadID) {
 		rt.check.OnCancel(t, running)
 	}
 	rt.reg.Detach(t)
-	if int(t) >= 0 && int(t) < len(rt.threads) {
-		rt.threads[t].atts = nil
+	if known {
+		ths[t].atts = nil
 	}
-	n := rt.tq.Squash(t)
-	rt.tqst.Cancel(t, n)
-	if rt.release != nil {
-		for k := range rt.release {
-			if k.thread == t {
-				delete(rt.release, k)
-			}
-		}
+	n := sh.tq.Squash(t)
+	sh.tqst.Cancel(t, n)
+	if n > 0 {
+		sh.busy.Add(int64(-n))
 	}
+	rt.dropReleases(t)
 	rt.stats.cancels.Add(1)
 	rt.chargeMgmt(isa.OpTCancel)
 	// Squashing may have made t — or the whole runtime — quiet.
-	rt.finishLocked(t)
+	rt.finishShardLocked(sh, t, ths)
+	sh.mu.Unlock()
 }
 
 // chargeMgmt accounts a management instruction in recorded mode. Callers
-// hold rt.mu or are otherwise on the single driver goroutine.
+// are on the single driver goroutine (the recorded backend's contract).
 func (rt *Runtime) chargeMgmt(op isa.Opcode) {
 	if rt.cfg.Recorder == nil {
 		return
@@ -311,8 +413,9 @@ func (rt *Runtime) chargeMgmt(op isa.Opcode) {
 // The fast paths are allocation-free and ordered cheapest-first: a silent
 // store is one atomic compare-and-swap plus two counters; a changing store
 // to an unattached address adds a lock-free index probe; only a changing
-// store inside a trigger range takes the dispatch lock, and then only for
-// the lookup-and-enqueue bookkeeping.
+// store inside a trigger range takes a lock, and then only the target
+// thread's shard lock, for the enqueue bookkeeping. Stores that trigger
+// threads in different shards never contend with each other.
 func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 	changed := r.buf.Store(i, v)
 	if rt.cfg.Recorder != nil {
@@ -340,28 +443,33 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 	}
 
 	var inline []queue.Entry
-	rt.mu.Lock()
-	rt.scratch = rt.reg.Lookup(addr, rt.scratch[:0])
-	if len(rt.scratch) == 0 {
-		// A concurrent Cancel detached the range between the pre-check and
-		// the lookup.
-		rt.mu.Unlock()
-		return true
-	}
-	rt.stats.fired.Add(int64(len(rt.scratch)))
-	for _, id := range rt.scratch {
+	fired := 0
+	rt.reg.Each(addr, func(id queue.ThreadID) {
+		// The thread table is loaded after the registry snapshot, so an id
+		// the registry knows is always in range here.
+		te := rt.threadsSnap()[id]
+		sh := rt.shardOf(id)
+		sh.mu.Lock()
+		if !te.covers(addr) {
+			// A concurrent Cancel detached the range between the registry
+			// snapshot and this shard lock; the trigger never happened.
+			sh.mu.Unlock()
+			return
+		}
+		fired++
 		if rt.check != nil {
 			// Every outcome — enqueued, squashed, overflowed — ends in an
 			// instance that observes this store, so the release edge is
 			// recorded unconditionally.
 			rt.check.OnTrigger(g, id)
 		}
-		switch rt.tq.Enqueue(id, addr) {
+		switch sh.tq.Enqueue(id, addr) {
 		case queue.Enqueued:
-			rt.tqst.MarkPending(id)
+			sh.tqst.MarkPending(id)
+			sh.busy.Add(1)
 			rt.stats.enqueued.Add(1)
 			rt.noteRelease(id, addr)
-			rt.signalWorkLocked()
+			rt.signalShardLocked(sh)
 		case queue.Squashed:
 			rt.stats.squashed.Add(1)
 			rt.noteRelease(id, addr)
@@ -373,8 +481,11 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 				rt.stats.dropped.Add(1)
 			}
 		}
+		sh.mu.Unlock()
+	})
+	if fired > 0 {
+		rt.stats.fired.Add(int64(fired))
 	}
-	rt.mu.Unlock()
 
 	for _, e := range inline {
 		rt.runInline(e)
@@ -387,28 +498,31 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 	return true
 }
 
-// signalWorkLocked hands one wake token to an idle worker. Dropping the
-// token when the buffer is full is safe: a full buffer means every worker
-// already has a pending wakeup, and workers re-check the queue under rt.mu
-// before sleeping again. Callers hold rt.mu.
-func (rt *Runtime) signalWorkLocked() {
-	if rt.work == nil || rt.closed {
+// signalShardLocked hands one wake token to a worker for newly dispatchable
+// work in sh. The target rotates per shard so a hot shard spreads its
+// wakeups; dropping the token when the target's buffer is full is safe — a
+// full buffer means that worker already has a pending wakeup, and a woken
+// worker scans every shard before sleeping again. Callers hold sh.mu.
+func (rt *Runtime) signalShardLocked(sh *dispatchShard) {
+	if rt.workerWake == nil {
 		return
 	}
+	w := (sh.idx + sh.rr) % len(rt.workerWake)
+	sh.rr++
 	select {
-	case rt.work <- struct{}{}:
+	case rt.workerWake[w] <- struct{}{}:
 	default:
 	}
 }
 
-// finishLocked propagates the consequences of thread t's activity dropping:
-// it frees t's run token waiters, re-offers t's skipped queue entries to
-// workers, and completes Wait/Barrier waiters whose predicate became true.
-// Callers hold rt.mu.
-func (rt *Runtime) finishLocked(t ThreadID) {
-	if int(t) >= 0 && int(t) < len(rt.threads) {
-		te := rt.threads[t]
-		_, running := rt.tqst.InFlight(t)
+// finishShardLocked propagates the consequences of thread t's activity
+// dropping: it frees t's run token waiters, re-offers t's skipped queue
+// entries to workers, completes Wait waiters whose predicate became true,
+// and hints the barrier path. Callers hold sh.mu, where sh is t's shard.
+func (rt *Runtime) finishShardLocked(sh *dispatchShard, t ThreadID, ths []*threadEntry) {
+	if int(t) >= 0 && int(t) < len(ths) {
+		te := ths[t]
+		_, running := sh.tqst.InFlight(t)
 		if !te.running && running == 0 {
 			if len(te.tokenWaiters) > 0 {
 				for _, ch := range te.tokenWaiters {
@@ -416,11 +530,11 @@ func (rt *Runtime) finishLocked(t ThreadID) {
 				}
 				te.tokenWaiters = nil
 			}
-			if rt.tq.Pending(t) {
+			if sh.tq.Pending(t) {
 				// Entries of t skipped while t was running are
 				// dispatchable again.
-				rt.signalWorkLocked()
-			} else if rt.tqst.Quiet(t) && len(te.quietWaiters) > 0 {
+				rt.signalShardLocked(sh)
+			} else if sh.tqst.Quiet(t) && len(te.quietWaiters) > 0 {
 				for _, ch := range te.quietWaiters {
 					close(ch)
 				}
@@ -428,36 +542,96 @@ func (rt *Runtime) finishLocked(t ThreadID) {
 			}
 		}
 	}
-	if len(rt.barrierWaiters) > 0 && rt.quietLocked() {
-		for _, ch := range rt.barrierWaiters {
-			close(ch)
-		}
-		rt.barrierWaiters = nil
+	rt.maybeReleaseBarrier()
+}
+
+// busySumRacy sums the shards' busy counters without locks. A zero result
+// is only a hint: a trigger cascading from one shard to another can make
+// the sum read zero transiently (the reader sees the source shard after its
+// decrement and the target shard before its increment). Barrier therefore
+// confirms under all shard locks before returning; the completion-side use
+// only risks a spurious wakeup.
+func (rt *Runtime) busySumRacy() int64 {
+	var sum int64
+	for s := range rt.shards {
+		sum += rt.shards[s].busy.Load()
+	}
+	return sum
+}
+
+// maybeReleaseBarrier wakes barrier waiters when the racy busy sum reads
+// zero. It is called from completion paths that hold one shard lock, so it
+// must not take the other shards' locks; waiters treat the wakeup as a hint
+// and re-confirm. Checking barWaiting first keeps the common no-waiter case
+// to one atomic load.
+func (rt *Runtime) maybeReleaseBarrier() {
+	if rt.barWaiting.Load() == 0 {
+		return
+	}
+	if rt.busySumRacy() == 0 {
+		rt.wakeBarrierWaiters()
 	}
 }
 
-// quietLocked is the tbarrier predicate: nothing pending, nothing running,
-// no inline overflow execution in flight. All three checks are O(1).
-// Callers hold rt.mu.
-func (rt *Runtime) quietLocked() bool {
-	return rt.tq.Len() == 0 && rt.tqst.AllQuiet() && rt.inlineRunning == 0
+// wakeBarrierWaiters releases every registered barrier waiter.
+func (rt *Runtime) wakeBarrierWaiters() {
+	rt.barMu.Lock()
+	for _, ch := range rt.barrierWaiters {
+		close(ch)
+	}
+	rt.barrierWaiters = rt.barrierWaiters[:0]
+	rt.barWaiting.Store(0)
+	rt.barMu.Unlock()
+}
+
+// lockAllShards acquires every shard lock in ascending index order — the
+// only legal order; unlockAllShards releases them.
+func (rt *Runtime) lockAllShards() {
+	for s := range rt.shards {
+		rt.shards[s].mu.Lock()
+	}
+}
+
+func (rt *Runtime) unlockAllShards() {
+	for s := range rt.shards {
+		rt.shards[s].mu.Unlock()
+	}
+}
+
+// quietConfirm is the authoritative tbarrier predicate: with every shard
+// lock held, no shard has a pending entry, a TQST instance, or an inline
+// run in flight. The racy busy sum cannot substitute for it (see
+// busySumRacy), but each per-shard check is O(1).
+func (rt *Runtime) quietConfirm() bool {
+	rt.lockAllShards()
+	defer rt.unlockAllShards()
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		if sh.tq.Len() != 0 || !sh.tqst.AllQuiet() || sh.inlineRunning != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // noteRelease records the current trace position as the release point of the
-// pending entry for (t, addr). Callers hold rt.mu.
+// pending entry for (t, addr). BackendRecorded only.
 func (rt *Runtime) noteRelease(t ThreadID, addr mem.Addr) {
 	if rt.release == nil {
 		return
 	}
+	rt.relMu.Lock()
 	rt.release[releaseKey{thread: t, addr: addr}] = rt.cfg.Recorder.ReleasePoint()
+	rt.relMu.Unlock()
 }
 
 // takeRelease pops the recorded release point for an entry, or trace.NoTask.
-// Callers hold rt.mu.
 func (rt *Runtime) takeRelease(e queue.Entry) trace.TaskID {
 	if rt.release == nil {
 		return trace.NoTask
 	}
+	rt.relMu.Lock()
+	defer rt.relMu.Unlock()
 	k := releaseKey{thread: e.Thread, addr: e.Addr}
 	if rel, ok := rt.release[k]; ok {
 		delete(rt.release, k)
@@ -466,10 +640,25 @@ func (rt *Runtime) takeRelease(e queue.Entry) trace.TaskID {
 	return trace.NoTask
 }
 
-// resolveLocked builds the Trigger for a queue entry from the thread's own
-// attachment list. Callers hold rt.mu.
-func (rt *Runtime) resolveLocked(e queue.Entry) (Trigger, ThreadFunc) {
-	te := rt.threads[e.Thread]
+// dropReleases discards the recorded release points of thread t (tcancel).
+func (rt *Runtime) dropReleases(t ThreadID) {
+	if rt.release == nil {
+		return
+	}
+	rt.relMu.Lock()
+	for k := range rt.release {
+		if k.thread == t {
+			delete(rt.release, k)
+		}
+	}
+	rt.relMu.Unlock()
+}
+
+// resolveShardLocked builds the Trigger for a queue entry from the thread's
+// own attachment list. Callers hold the entry's shard lock, which guards
+// atts.
+func (rt *Runtime) resolveShardLocked(ths []*threadEntry, e queue.Entry) (Trigger, ThreadFunc) {
+	te := ths[e.Thread]
 	for _, a := range te.atts {
 		if e.Addr >= a.lo && e.Addr < a.hi {
 			return Trigger{
@@ -480,8 +669,10 @@ func (rt *Runtime) resolveLocked(e queue.Entry) (Trigger, ThreadFunc) {
 			}, te.fn
 		}
 	}
-	// An entry can only exist for an attached range, and Cancel squashes
-	// entries when detaching; reaching here is a runtime bug.
+	// An entry can only exist for an attached range: the enqueue side
+	// re-checks the attachment under the shard lock, and Cancel squashes
+	// entries under the same lock when detaching. Reaching here is a
+	// runtime bug.
 	panic(fmt.Sprintf("core: queue entry for thread %d addr %#x has no attachment", e.Thread, e.Addr))
 }
 
@@ -507,59 +698,70 @@ func (rt *Runtime) invoke(t ThreadID, fn ThreadFunc, tg Trigger) (ok bool) {
 	return true
 }
 
-// eligibleLocked collects into rt.elig the queue indices whose thread has
-// no running instance, oldest first. Callers hold rt.mu.
-func (rt *Runtime) eligibleLocked() []int {
+// eligibleAllLocked collects into rt.elig the (shard, index) pairs of queue
+// entries whose thread has no running instance, shard by shard, oldest
+// first within a shard. With one shard the enumeration order is exactly the
+// queue order, which keeps seeded replay identical to the unsharded
+// runtime. Callers hold every shard lock.
+func (rt *Runtime) eligibleAllLocked(ths []*threadEntry) []eligRef {
 	rt.elig = rt.elig[:0]
-	for i := 0; i < rt.tq.Len(); i++ {
-		if !rt.threads[rt.tq.EntryAt(i).Thread].running {
-			rt.elig = append(rt.elig, i)
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		for i := 0; i < sh.tq.Len(); i++ {
+			if !ths[sh.tq.EntryAt(i).Thread].running {
+				rt.elig = append(rt.elig, eligRef{shard: s, idx: i})
+			}
 		}
 	}
 	return rt.elig
 }
 
-// runSeededLocked dequeues the entry at queue index i and executes it on
-// the calling goroutine with the run token held, so nested preemption
-// points inside the body cannot start a second instance of the same
-// thread. Callers hold rt.mu; it is released around the body.
-func (rt *Runtime) runSeededLocked(i int) {
-	e := rt.tq.DequeueAt(i)
-	te := rt.threads[e.Thread]
-	rt.tqst.MarkRunning(e.Thread)
+// runSeededAllLocked dequeues the entry at ref and executes it on the
+// calling goroutine with the run token held, so nested preemption points
+// inside the body cannot start a second instance of the same thread.
+// Callers hold every shard lock; all are released before the body runs and
+// none are held on return.
+func (rt *Runtime) runSeededAllLocked(ths []*threadEntry, ref eligRef) {
+	sh := &rt.shards[ref.shard]
+	e := sh.tq.DequeueAt(ref.idx)
+	te := ths[e.Thread]
+	sh.tqst.MarkRunning(e.Thread)
 	te.running = true
-	tg, fn := rt.resolveLocked(e)
-	rt.mu.Unlock()
+	tg, fn := rt.resolveShardLocked(ths, e)
+	rt.unlockAllShards()
 
 	ok := rt.invoke(e.Thread, fn, tg)
 
-	rt.mu.Lock()
+	sh.mu.Lock()
 	te.running = false
 	if ok {
-		rt.tqst.MarkDone(e.Thread)
+		sh.tqst.MarkDone(e.Thread)
 		rt.stats.executed.Add(1)
 	} else {
-		rt.tqst.MarkFailed(e.Thread)
+		sh.tqst.MarkFailed(e.Thread)
 		rt.stats.failedRuns.Add(1)
 	}
-	rt.finishLocked(e.Thread)
+	sh.busy.Add(-1)
+	rt.finishShardLocked(sh, e.Thread, ths)
+	sh.mu.Unlock()
 }
 
 // seededPoll is a BackendSeeded preemption point: the scheduler decides,
 // entry by entry, whether to dispatch now and which eligible entry runs.
-// Nested polls (a body whose triggering store re-enters here) see the
-// enclosing thread's run token and skip it, preserving
+// Enumeration and pick happen with every shard lock held so the decision is
+// deterministic. Nested polls (a body whose triggering store re-enters
+// here) see the enclosing thread's run token and skip it, preserving
 // one-instance-at-a-time.
 func (rt *Runtime) seededPoll() {
 	for {
-		rt.mu.Lock()
-		elig := rt.eligibleLocked()
+		rt.lockAllShards()
+		ths := rt.threadsSnap()
+		elig := rt.eligibleAllLocked(ths)
 		if len(elig) == 0 || !rt.sched.RunNow() {
-			rt.mu.Unlock()
+			rt.unlockAllShards()
 			return
 		}
-		rt.runSeededLocked(elig[rt.sched.Pick(len(elig))])
-		rt.mu.Unlock()
+		rt.runSeededAllLocked(ths, elig[rt.sched.Pick(len(elig))])
 	}
 }
 
@@ -570,14 +772,14 @@ func (rt *Runtime) seededPoll() {
 // the only legal caller of Wait/Barrier.
 func (rt *Runtime) drainSeeded() {
 	for {
-		rt.mu.Lock()
-		elig := rt.eligibleLocked()
+		rt.lockAllShards()
+		ths := rt.threadsSnap()
+		elig := rt.eligibleAllLocked(ths)
 		if len(elig) == 0 {
-			rt.mu.Unlock()
+			rt.unlockAllShards()
 			return
 		}
-		rt.runSeededLocked(elig[rt.sched.Pick(len(elig))])
-		rt.mu.Unlock()
+		rt.runSeededAllLocked(ths, elig[rt.sched.Pick(len(elig))])
 	}
 }
 
@@ -596,137 +798,191 @@ func (rt *Runtime) runInline(e queue.Entry) {
 	if rt.cfg.Backend == BackendImmediate {
 		g = goid()
 	}
-	rt.mu.Lock()
-	te := rt.threads[e.Thread]
-	for te.running || rt.runningInstances(e.Thread) > 0 {
+	ths := rt.threadsSnap()
+	te := ths[e.Thread]
+	sh := rt.shardOf(e.Thread)
+	sh.mu.Lock()
+	for {
+		if !te.covers(e.Addr) {
+			// A Cancel raced in between the overflow and this run; the
+			// work it would have done is cancelled work. Counting it as
+			// dropped keeps Overflowed = InlineRuns + Dropped.
+			rt.stats.dropped.Add(1)
+			sh.mu.Unlock()
+			return
+		}
+		if _, running := sh.tqst.InFlight(e.Thread); !te.running && running == 0 {
+			break
+		}
 		if rt.cfg.Backend != BackendImmediate || te.owner == g {
 			// We hold this thread's run token ourselves: recurse.
-			tg, fn := rt.resolveLocked(e)
-			rt.mu.Unlock()
+			tg, fn := rt.resolveShardLocked(ths, e)
+			sh.mu.Unlock()
 			ok := rt.invoke(e.Thread, fn, tg)
 			rt.stats.inlineRuns.Add(1)
 			if !ok {
 				rt.stats.failedRuns.Add(1)
-				rt.mu.Lock()
-				rt.tqst.NoteFailed(e.Thread)
-				rt.mu.Unlock()
+				sh.mu.Lock()
+				sh.tqst.NoteFailed(e.Thread)
+				sh.mu.Unlock()
 			}
 			return
 		}
 		ch := make(chan struct{})
 		te.tokenWaiters = append(te.tokenWaiters, ch)
-		rt.mu.Unlock()
+		sh.mu.Unlock()
 		<-ch
-		rt.mu.Lock()
+		sh.mu.Lock()
 	}
 	te.running = true
 	te.owner = g
-	rt.inlineRunning++
-	tg, fn := rt.resolveLocked(e)
-	rt.mu.Unlock()
+	sh.inlineRunning++
+	sh.busy.Add(1)
+	tg, fn := rt.resolveShardLocked(ths, e)
+	sh.mu.Unlock()
 
 	ok := rt.invoke(e.Thread, fn, tg)
 
-	rt.mu.Lock()
+	sh.mu.Lock()
 	te.running = false
 	te.owner = 0
-	rt.inlineRunning--
+	sh.inlineRunning--
+	sh.busy.Add(-1)
 	rt.stats.inlineRuns.Add(1)
 	if !ok {
 		rt.stats.failedRuns.Add(1)
-		rt.tqst.NoteFailed(e.Thread)
+		sh.tqst.NoteFailed(e.Thread)
 	}
-	rt.finishLocked(e.Thread)
-	rt.mu.Unlock()
+	rt.finishShardLocked(sh, e.Thread, ths)
+	sh.mu.Unlock()
 }
 
-// runningInstances returns how many queue-dispatched instances of t the
-// TQST shows executing. Callers hold rt.mu.
-func (rt *Runtime) runningInstances(t ThreadID) int {
-	_, r := rt.tqst.InFlight(t)
-	return r
+// runShardEntry tries to dispatch one queue entry of sh on the immediate
+// backend: dequeue the oldest entry whose thread's token is free, run it
+// with no lock held, and complete it. It reports whether an entry ran.
+func (rt *Runtime) runShardEntry(sh *dispatchShard, g uint64) bool {
+	sh.mu.Lock()
+	// Loaded under sh.mu: any entry visible in this shard's queue was
+	// enqueued by a goroutine that saw its thread published first.
+	ths := rt.threadsSnap()
+	e, ok := sh.tq.DequeueFirst(func(e queue.Entry) bool { return !ths[e.Thread].running })
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
+	te := ths[e.Thread]
+	sh.tqst.MarkRunning(e.Thread)
+	te.running = true
+	te.owner = g
+	tg, fn := rt.resolveShardLocked(ths, e)
+	sh.mu.Unlock()
+
+	ok = rt.invoke(e.Thread, fn, tg)
+
+	sh.mu.Lock()
+	te.running = false
+	te.owner = 0
+	if ok {
+		sh.tqst.MarkDone(e.Thread)
+		rt.stats.executed.Add(1)
+	} else {
+		sh.tqst.MarkFailed(e.Thread)
+		rt.stats.failedRuns.Add(1)
+	}
+	sh.busy.Add(-1)
+	rt.finishShardLocked(sh, e.Thread, ths)
+	sh.mu.Unlock()
+	return true
 }
 
 // worker is the BackendImmediate dispatch loop: one goroutine per spare
-// hardware context. Idle workers block on the work channel rather than a
-// broadcast condition, so an enqueue wakes exactly one of them.
-func (rt *Runtime) worker() {
+// hardware context. Worker w's home shard is w mod Shards; it drains its
+// home first and then steals from the other shards in ring order, so with
+// Workers >= Shards every shard has an affine worker while any worker can
+// still pick up any shard's backlog. An idle worker sleeps on its own
+// capacity-1 wake channel rather than a broadcast condition, so an enqueue
+// wakes exactly one chosen worker.
+func (rt *Runtime) worker(w int) {
 	defer rt.wg.Done()
 	// goid is stable for the life of this worker goroutine; computing it
 	// once keeps runtime.Stack off the dispatch fast path.
 	g := goid()
+	n := len(rt.shards)
 	for {
-		rt.mu.Lock()
-		e, ok := rt.tq.DequeueFirst(func(e queue.Entry) bool { return !rt.threads[e.Thread].running })
-		if !ok {
-			closed := rt.closed
-			rt.mu.Unlock()
-			if closed {
-				return
+		ran := false
+		for k := 0; k < n; k++ {
+			sh := &rt.shards[(w+k)%n]
+			for rt.runShardEntry(sh, g) {
+				ran = true
 			}
-			// Sleep until a new entry is enqueued or a completing thread
-			// re-offers skipped entries. The channel is closed by Close.
-			<-rt.work
+		}
+		if ran {
 			continue
 		}
-		te := rt.threads[e.Thread]
-		rt.tqst.MarkRunning(e.Thread)
-		te.running = true
-		te.owner = g
-		tg, fn := rt.resolveLocked(e)
-		rt.mu.Unlock()
-
-		ok = rt.invoke(e.Thread, fn, tg)
-
-		rt.mu.Lock()
-		te.running = false
-		te.owner = 0
-		if ok {
-			rt.tqst.MarkDone(e.Thread)
-			rt.stats.executed.Add(1)
-		} else {
-			rt.tqst.MarkFailed(e.Thread)
-			rt.stats.failedRuns.Add(1)
+		if rt.closed.Load() {
+			return
 		}
-		rt.finishLocked(e.Thread)
-		rt.mu.Unlock()
+		// Sleep until a new entry is enqueued somewhere, a completing
+		// thread re-offers skipped entries, or Close deposits the final
+		// token. A token that arrived during the scan above is buffered
+		// and makes the receive immediate.
+		<-rt.workerWake[w]
 	}
 }
 
-// drainLocked executes queued instances inline until the queue is empty,
-// for the deferred and recorded backends. It returns the trace IDs of the
-// executed support tasks. Callers hold rt.mu; it is released around thread
-// bodies.
-func (rt *Runtime) drainLocked() []trace.TaskID {
+// drainAll executes queued instances inline until every shard's queue is
+// empty, for the deferred and recorded backends. Shards are drained in
+// index order, looping until a full pass makes no progress (a body's
+// cascading trigger may refill an already-drained shard). It returns the
+// trace IDs of the executed support tasks. With one shard — the default on
+// these backends — the execution order is exactly the unsharded FIFO
+// order. No locks are held on entry or return; the shard lock is released
+// around thread bodies.
+func (rt *Runtime) drainAll() []trace.TaskID {
 	var done []trace.TaskID
 	for {
-		e, ok := rt.tq.Dequeue()
-		if !ok {
+		progressed := false
+		for s := range rt.shards {
+			sh := &rt.shards[s]
+			sh.mu.Lock()
+			for {
+				e, ok := sh.tq.Dequeue()
+				if !ok {
+					break
+				}
+				progressed = true
+				ths := rt.threadsSnap()
+				sh.tqst.MarkRunning(e.Thread)
+				tg, fn := rt.resolveShardLocked(ths, e)
+				rel := rt.takeRelease(e)
+				name := ths[e.Thread].name
+				sh.mu.Unlock()
+
+				if rt.cfg.Recorder != nil {
+					rt.cfg.Recorder.BeginSupport(name, rel)
+				}
+				ok = rt.invoke(e.Thread, fn, tg)
+				if rt.cfg.Recorder != nil {
+					// A failed instance still closes its trace task:
+					// whatever it charged before panicking was really
+					// executed.
+					done = append(done, rt.cfg.Recorder.EndSupport())
+				}
+
+				sh.mu.Lock()
+				if ok {
+					sh.tqst.MarkDone(e.Thread)
+					rt.stats.executed.Add(1)
+				} else {
+					sh.tqst.MarkFailed(e.Thread)
+					rt.stats.failedRuns.Add(1)
+				}
+				sh.busy.Add(-1)
+			}
+			sh.mu.Unlock()
+		}
+		if !progressed {
 			return done
-		}
-		rt.tqst.MarkRunning(e.Thread)
-		tg, fn := rt.resolveLocked(e)
-		rel := rt.takeRelease(e)
-		name := rt.threads[e.Thread].name
-		rt.mu.Unlock()
-
-		if rt.cfg.Recorder != nil {
-			rt.cfg.Recorder.BeginSupport(name, rel)
-		}
-		ok = rt.invoke(e.Thread, fn, tg)
-		if rt.cfg.Recorder != nil {
-			// A failed instance still closes its trace task: whatever it
-			// charged before panicking was really executed.
-			done = append(done, rt.cfg.Recorder.EndSupport())
-		}
-
-		rt.mu.Lock()
-		if ok {
-			rt.tqst.MarkDone(e.Thread)
-			rt.stats.executed.Add(1)
-		} else {
-			rt.tqst.MarkFailed(e.Thread)
-			rt.stats.failedRuns.Add(1)
 		}
 	}
 }
@@ -759,9 +1015,9 @@ func goid() uint64 {
 // Wait blocks until thread t has no pending or running instances (twait).
 // With the deferred and recorded backends it executes the queue inline
 // first. On the immediate backend the wakeup predicate is three O(1)
-// checks against per-thread counters — it never scans the queue — and the
-// waiter sleeps on t's own channel, so completions of other threads do not
-// wake it.
+// checks against t's own shard-local counters — it never scans a queue or
+// touches another shard — and the waiter sleeps on t's own channel, so
+// completions of other threads do not wake it.
 func (rt *Runtime) Wait(t ThreadID) {
 	rt.stats.waits.Add(1)
 	if rt.cfg.Backend == BackendSeeded {
@@ -769,22 +1025,29 @@ func (rt *Runtime) Wait(t ThreadID) {
 		rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
 		return
 	}
-	rt.mu.Lock()
 	if rt.cfg.Backend == BackendImmediate {
-		for !rt.quietThreadLocked(t) {
-			te := rt.threads[t]
+		sh := rt.shardOf(t)
+		sh.mu.Lock()
+		for {
+			ths := rt.threadsSnap()
+			if int(t) < 0 || int(t) >= len(ths) {
+				break
+			}
+			te := ths[t]
+			if !sh.tq.Pending(t) && sh.tqst.Quiet(t) && !te.running {
+				break
+			}
 			ch := make(chan struct{})
 			te.quietWaiters = append(te.quietWaiters, ch)
-			rt.mu.Unlock()
+			sh.mu.Unlock()
 			<-ch
-			rt.mu.Lock()
+			sh.mu.Lock()
 		}
-		rt.mu.Unlock()
+		sh.mu.Unlock()
 		rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
 		return
 	}
-	done := rt.drainLocked()
-	rt.mu.Unlock()
+	done := rt.drainAll()
 	rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
 	rt.joinTrace(done, isa.OpTWait)
 }
@@ -799,19 +1062,13 @@ func (rt *Runtime) noteJoin(edge func(g uint64)) {
 	edge(goid())
 }
 
-// quietThreadLocked is the twait predicate for t: no pending entry, no
-// TQST instance, run token free. Unregistered threads are trivially quiet.
-// Callers hold rt.mu.
-func (rt *Runtime) quietThreadLocked(t ThreadID) bool {
-	if int(t) < 0 || int(t) >= len(rt.threads) {
-		return true
-	}
-	return !rt.tq.Pending(t) && rt.tqst.Quiet(t) && !rt.threads[t].running
-}
-
-// Barrier blocks until the thread queue is empty and every thread is idle
-// (tbarrier). On the immediate backend the predicate is O(1): queue length,
-// the TQST's global busy count, and the inline-run count.
+// Barrier blocks until every shard's queue is empty and every thread is
+// idle (tbarrier). On the immediate backend the waiter first confirms
+// quiescence under all shard locks (each shard's check is O(1)); while not
+// quiet it sleeps on a barrier channel, woken by the completion that drives
+// the lock-free busy sum to zero. Spurious wakeups are possible — the
+// completion side only reads the racy sum — and are absorbed by
+// re-confirming.
 func (rt *Runtime) Barrier() {
 	rt.stats.barriers.Add(1)
 	if rt.cfg.Backend == BackendSeeded {
@@ -819,21 +1076,26 @@ func (rt *Runtime) Barrier() {
 		rt.noteJoin(rt.check.OnBarrier)
 		return
 	}
-	rt.mu.Lock()
 	if rt.cfg.Backend == BackendImmediate {
-		for !rt.quietLocked() {
+		for !rt.quietConfirm() {
 			ch := make(chan struct{})
+			rt.barMu.Lock()
 			rt.barrierWaiters = append(rt.barrierWaiters, ch)
-			rt.mu.Unlock()
+			rt.barWaiting.Store(int32(len(rt.barrierWaiters)))
+			rt.barMu.Unlock()
+			// Re-check after registering: a completion that read the busy
+			// sum before our registration became visible will not wake us,
+			// but then its decrement is visible to this sum (both are
+			// sequentially consistent), so we wake ourselves.
+			if rt.busySumRacy() == 0 {
+				rt.wakeBarrierWaiters()
+			}
 			<-ch
-			rt.mu.Lock()
 		}
-		rt.mu.Unlock()
 		rt.noteJoin(rt.check.OnBarrier)
 		return
 	}
-	done := rt.drainLocked()
-	rt.mu.Unlock()
+	done := rt.drainAll()
 	rt.noteJoin(rt.check.OnBarrier)
 	rt.joinTrace(done, isa.OpTBarrier)
 }
@@ -849,38 +1111,87 @@ func (rt *Runtime) joinTrace(done []trace.TaskID, op isa.Opcode) {
 
 // Status returns thread t's TQST state (tstatus).
 func (rt *Runtime) Status(t ThreadID) queue.Status {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.tqst.Get(t)
+	sh := rt.shardOf(t)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tqst.Get(t)
 }
 
 // Executed returns how many instances of t have completed.
 func (rt *Runtime) Executed(t ThreadID) int64 {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.tqst.Executed(t)
+	sh := rt.shardOf(t)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tqst.Executed(t)
 }
 
-// QueueCounters returns the thread queue's lifetime counters (see
-// queue.Counters for the invariant they obey).
+// QueueCounters returns the thread queue's lifetime counters aggregated
+// across shards (see queue.Counters for the invariant they obey; summing
+// preserves it). Peak is the maximum per-shard occupancy ever observed, not
+// a simultaneous global occupancy — with one shard the two coincide.
 func (rt *Runtime) QueueCounters() queue.Counters {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.tq.Counters()
+	var c queue.Counters
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		sh.mu.Lock()
+		sc := sh.tq.Counters()
+		sh.mu.Unlock()
+		c.Enqueued += sc.Enqueued
+		c.Squashed += sc.Squashed
+		c.Overflowed += sc.Overflowed
+		c.Dequeued += sc.Dequeued
+		c.SquashedOut += sc.SquashedOut
+		if sc.Peak > c.Peak {
+			c.Peak = sc.Peak
+		}
+	}
+	return c
+}
+
+// ShardCounters returns each shard's queue counters, indexed by shard. Each
+// element independently obeys the queue.Counters conservation invariant.
+func (rt *Runtime) ShardCounters() []queue.Counters {
+	out := make([]queue.Counters, len(rt.shards))
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		sh.mu.Lock()
+		out[s] = sh.tq.Counters()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ShardLens returns each shard's current pending-entry count, indexed by
+// shard.
+func (rt *Runtime) ShardLens() []int {
+	out := make([]int, len(rt.shards))
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		sh.mu.Lock()
+		out[s] = sh.tq.Len()
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Close stops the worker pool. Pending queue entries are not executed; call
-// Barrier first for a clean drain. Close is idempotent.
+// Barrier first for a clean drain. Close is idempotent. The wake channels
+// are never closed — a concurrent enqueue may be signalling under a shard
+// lock — instead every worker gets one final token and exits after finding
+// all shards empty with the closed flag set.
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
-	if rt.closed {
+	if rt.closed.Load() {
 		rt.mu.Unlock()
 		return
 	}
-	rt.closed = true
-	if rt.work != nil {
-		close(rt.work)
-	}
+	rt.closed.Store(true)
 	rt.mu.Unlock()
+	for _, ch := range rt.workerWake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 	rt.wg.Wait()
 }

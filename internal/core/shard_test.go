@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dtt/internal/trace"
+)
+
+// TestShardsDefaultsAndRounding pins the Config.Shards defaulting contract:
+// single-goroutine backends get one shard (keeping their drain and replay
+// order identical to the unsharded runtime), the immediate backend gets a
+// power of two derived from GOMAXPROCS, and explicit values round up to a
+// power of two with the effective value visible through Config().
+func TestShardsDefaultsAndRounding(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{Backend: BackendDeferred}, 1},
+		{Config{Backend: BackendSeeded}, 1},
+		{Config{Backend: BackendDeferred, Shards: 3}, 4},
+		{Config{Backend: BackendImmediate, Shards: 5}, 8},
+		{Config{Backend: BackendImmediate, Shards: 16}, 16},
+		{Config{Backend: BackendDeferred, Shards: 5000}, 1024},
+	} {
+		rt, err := New(tc.cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", tc.cfg, err)
+		}
+		if got := rt.Config().Shards; got != tc.want {
+			t.Errorf("Shards for %+v: got %d, want %d", tc.cfg, got, tc.want)
+		}
+		if got := rt.ShardCount(); got != tc.want {
+			t.Errorf("ShardCount for %+v: got %d, want %d", tc.cfg, got, tc.want)
+		}
+		rt.Close()
+	}
+
+	// The immediate default is GOMAXPROCS-derived: a power of two between
+	// GOMAXPROCS rounded up and the 64 cap.
+	rt, err := New(Config{Backend: BackendImmediate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	n := rt.ShardCount()
+	if n&(n-1) != 0 || n < 1 || n > 64 {
+		t.Fatalf("default immediate shard count %d is not a power of two in [1, 64]", n)
+	}
+	if p := runtime.GOMAXPROCS(0); p <= 64 && n < p {
+		t.Fatalf("default immediate shard count %d < GOMAXPROCS %d", n, p)
+	}
+}
+
+// TestShardedEquivalenceMatchesUnsharded is the semantic acceptance gate for
+// the sharded dispatch plane: the equivalence workload must land on the same
+// final memory on every backend with Shards = 1 and Shards > 1, stay
+// sanitizer-clean where the checker applies, and seeded replay must remain
+// deterministic at any shard count.
+func TestShardedEquivalenceMatchesUnsharded(t *testing.T) {
+	ref := runEquivalenceWorkload(t, Config{Backend: BackendDeferred, Shards: 1})
+	for _, cfg := range []Config{
+		{Backend: BackendDeferred, Shards: 4},
+		{Backend: BackendSeeded, SchedSeed: 3, Shards: 4},
+		{Backend: BackendSeeded, SchedSeed: 11, Shards: 2},
+		{Backend: BackendImmediate, Workers: 3, Shards: 4},
+		{Backend: BackendImmediate, Workers: 2, Shards: 1},
+	} {
+		got := runEquivalenceWorkload(t, cfg)
+		for i := range ref.out {
+			if got.out[i] != ref.out[i] {
+				t.Fatalf("%v shards=%d: out[%d] = %d, unsharded deferred reference has %d",
+					cfg.Backend, cfg.Shards, i, got.out[i], ref.out[i])
+			}
+		}
+		if cfg.Backend != BackendImmediate {
+			// Single-goroutine backends see a deterministic store stream, so
+			// the schedule-independent trigger counters must match exactly.
+			if got.stats.TStores != ref.stats.TStores || got.stats.Silent != ref.stats.Silent || got.stats.Fired != ref.stats.Fired {
+				t.Fatalf("%v shards=%d: trigger stats %+v diverge from reference %+v",
+					cfg.Backend, cfg.Shards, got.stats, ref.stats)
+			}
+		}
+	}
+
+	// Same seed, same shard count, same everything: sharding must not leak
+	// nondeterminism into seeded replay.
+	a := runEquivalenceWorkload(t, Config{Backend: BackendSeeded, SchedSeed: 42, Shards: 4})
+	b := runEquivalenceWorkload(t, Config{Backend: BackendSeeded, SchedSeed: 42, Shards: 4})
+	if a.stats != b.stats {
+		t.Fatalf("seeded shards=4: stats diverge across replays:\n%+v\n%+v", a.stats, b.stats)
+	}
+	for i := range a.out {
+		if a.out[i] != b.out[i] {
+			t.Fatalf("seeded shards=4: out[%d] diverges across replays: %d vs %d", i, a.out[i], b.out[i])
+		}
+	}
+}
+
+// TestShardedCascadesConserveCounters is the sharded counterpart of
+// TestOverflowInlineConcurrentCascades: the same cascading chains, but with
+// every chain's thread in its own shard segment. Cascades now find room in
+// their own capacity-1 segment instead of overflowing on each other, so the
+// test asserts completion and counter conservation rather than overflow.
+func TestShardedCascadesConserveCounters(t *testing.T) {
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 4, QueueCapacity: 1, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	const chains, hops, rounds = 4, 16, 10
+	regions := make([]*Region, chains)
+	for c := 0; c < chains; c++ {
+		regions[c] = rt.NewRegion(fmt.Sprintf("chain%d", c), hops)
+		id := rt.Register(fmt.Sprintf("hop%d", c), func(tg Trigger) {
+			if tg.Index+1 < hops {
+				tg.Region.TStore(tg.Index+1, tg.Region.Load(tg.Index)+1)
+			}
+		})
+		if err := rt.Attach(id, regions[c], 0, hops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 1; round <= rounds; round++ {
+		base := uint64(round * 1000)
+		for c := 0; c < chains; c++ {
+			regions[c].TStore(0, base+uint64(c*100))
+		}
+		rt.Barrier()
+		for c := 0; c < chains; c++ {
+			want := base + uint64(c*100) + uint64(hops-1)
+			if got := uint64(regions[c].Peek(hops - 1)); got != want {
+				t.Fatalf("round %d chain %d: tail = %d, want %d", round, c, got, want)
+			}
+		}
+	}
+	assertQueueConservation(t, rt, "sharded cascades")
+	st := rt.Stats()
+	if st.Overflowed != st.InlineRuns+st.Dropped {
+		t.Fatalf("Overflowed %d != InlineRuns %d + Dropped %d", st.Overflowed, st.InlineRuns, st.Dropped)
+	}
+	if st.Fired != st.Enqueued+st.Squashed+st.Overflowed {
+		t.Fatalf("Fired %d != Enqueued %d + Squashed %d + Overflowed %d", st.Fired, st.Enqueued, st.Squashed, st.Overflowed)
+	}
+}
+
+// assertQueueConservation checks Enqueued = Dequeued + SquashedOut + Len for
+// every shard individually and for the cross-shard aggregate.
+func assertQueueConservation(t *testing.T, rt *Runtime, phase string) {
+	t.Helper()
+	shards := rt.ShardCounters()
+	lens := rt.ShardLens()
+	for s, c := range shards {
+		if c.Enqueued != c.Dequeued+c.SquashedOut+int64(lens[s]) {
+			t.Fatalf("%s: shard %d: Enqueued %d != Dequeued %d + SquashedOut %d + Len %d",
+				phase, s, c.Enqueued, c.Dequeued, c.SquashedOut, lens[s])
+		}
+	}
+	total := rt.QueueCounters()
+	totalLen := 0
+	for _, n := range lens {
+		totalLen += n
+	}
+	if total.Enqueued != total.Dequeued+total.SquashedOut+int64(totalLen) {
+		t.Fatalf("%s: aggregate: Enqueued %d != Dequeued %d + SquashedOut %d + Len %d",
+			phase, total.Enqueued, total.Dequeued, total.SquashedOut, totalLen)
+	}
+}
+
+// TestShardedDispatchStress drives the sharded path the way the tentpole
+// intends it to be driven: several producer goroutines storing into disjoint
+// trigger ranges of threads spread across shards, workers draining in
+// parallel, with concurrent Wait/Barrier churn and a mid-run Cancel. Run
+// under -race this covers the shard-lock protocol end to end; afterwards the
+// counter conservation law must hold per shard and globally.
+func TestShardedDispatchStress(t *testing.T) {
+	const (
+		threads   = 8
+		span      = 16 // trigger words per thread
+		producers = 4
+		stores    = 600
+	)
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 4, QueueCapacity: 16, Shards: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	in := rt.NewRegion("in", threads*span)
+	out := rt.NewRegion("out", threads*span)
+	ids := make([]ThreadID, threads)
+	for i := 0; i < threads; i++ {
+		ids[i] = rt.Register(fmt.Sprintf("t%d", i), func(tg Trigger) {
+			out.Store(tg.Index, 2*tg.Region.Load(tg.Index)+1)
+		})
+		if err := rt.Attach(ids[i], in, i*span, (i+1)*span); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for j := 0; j < stores; j++ {
+				idx := (p*31 + j*7) % (threads * span)
+				in.TStore(idx, uint64(j*producers+p+1))
+			}
+		}(p)
+	}
+	// Synchronisation churn concurrent with the producers: Waits across all
+	// shards, full barriers, and a Cancel of the last thread mid-run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 20; round++ {
+			rt.Wait(ids[round%threads])
+			if round == 10 {
+				rt.Cancel(ids[threads-1])
+			}
+			if round%5 == 4 {
+				rt.Barrier()
+			}
+		}
+	}()
+	wg.Wait()
+	rt.Barrier()
+
+	assertQueueConservation(t, rt, "sharded stress")
+	st := rt.Stats()
+	if st.Fired != st.Enqueued+st.Squashed+st.Overflowed {
+		t.Fatalf("Fired %d != Enqueued %d + Squashed %d + Overflowed %d", st.Fired, st.Enqueued, st.Squashed, st.Overflowed)
+	}
+	if st.Overflowed != st.InlineRuns+st.Dropped {
+		t.Fatalf("Overflowed %d != InlineRuns %d + Dropped %d", st.Overflowed, st.InlineRuns, st.Dropped)
+	}
+	// Every dequeued entry was executed: no panics in this workload.
+	qc := rt.QueueCounters()
+	if st.Executed != qc.Dequeued {
+		t.Fatalf("Executed %d != Dequeued %d in a panic-free workload", st.Executed, qc.Dequeued)
+	}
+	if st.FailedRuns != 0 {
+		t.Fatalf("FailedRuns = %d in a panic-free workload", st.FailedRuns)
+	}
+}
+
+// expectGoroutines waits for the process goroutine count to return to base,
+// failing with a full stack dump if it does not within the deadline.
+func expectGoroutines(t *testing.T, base int, phase string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("%s: %d goroutines alive, test started with %d:\n%s",
+				phase, runtime.NumGoroutine(), base, buf[:m])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseLeavesNoGoroutines is the goroutine-leak regression gate: Close
+// on every backend — after a real workload — must leave no worker or waiter
+// goroutine behind, including when Close races producers still driving
+// inline-overflow runs.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	runOne := func(cfg Config) {
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%v): %v", cfg.Backend, err)
+		}
+		r := rt.NewRegion("r", 8)
+		th := rt.Register("w", func(tg Trigger) { _ = tg.Region.Load(tg.Index) })
+		if err := rt.Attach(th, r, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 32; j++ {
+			r.TStore(j%8, uint64(j+1))
+		}
+		rt.Wait(th)
+		rt.Barrier()
+		rt.Close()
+		rt.Close() // idempotent
+	}
+	runOne(Config{Backend: BackendDeferred})
+	runOne(Config{Backend: BackendImmediate, Workers: 4, Shards: 4})
+	runOne(Config{Backend: BackendRecorded, Recorder: trace.NewRecorder(nil)})
+	runOne(Config{Backend: BackendSeeded, SchedSeed: 9})
+	expectGoroutines(t, base, "after clean Close on all backends")
+
+	// Close racing in-flight inline-overflow runs: a capacity-1 queue and
+	// concurrent producers force the overflow-inline path while Close tears
+	// the worker pool down mid-stream.
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 2, QueueCapacity: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.NewRegion("hot", 4)
+	th := rt.Register("busy", func(tg Trigger) { _ = tg.Region.Load(tg.Index) })
+	if err := rt.Attach(th, r, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				r.TStore(j%4, uint64(p*1000+j+1))
+			}
+		}(p)
+	}
+	rt.Close() // races the producers' inline overflow runs
+	wg.Wait()
+	expectGoroutines(t, base, "after Close racing inline overflow")
+}

@@ -3,7 +3,8 @@ package core
 import "sync/atomic"
 
 // statsCounters are the runtime's internal counters, atomic so the
-// immediate backend's workers can update them without taking rt.mu.
+// immediate backend's workers and concurrent producers can update them
+// without sharing a lock.
 type statsCounters struct {
 	tstores    atomic.Int64
 	silent     atomic.Int64
@@ -93,12 +94,14 @@ type ThreadStats struct {
 
 // ThreadStatsFor returns thread t's activity snapshot.
 func (rt *Runtime) ThreadStatsFor(t ThreadID) ThreadStats {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	ts := ThreadStats{Executed: rt.tqst.Executed(t)}
-	if int(t) >= 0 && int(t) < len(rt.threads) {
-		ts.Name = rt.threads[t].name
-		ts.Attachments = len(rt.threads[t].atts)
+	sh := rt.shardOf(t)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts := ThreadStats{Executed: sh.tqst.Executed(t)}
+	ths := rt.threadsSnap()
+	if int(t) >= 0 && int(t) < len(ths) {
+		ts.Name = ths[t].name
+		ts.Attachments = len(ths[t].atts)
 	}
 	return ts
 }

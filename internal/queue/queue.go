@@ -109,7 +109,7 @@ type dedupKey struct {
 // trigger order and leave in FIFO order. Storage is a ring buffer sized at
 // construction, so Enqueue and Dequeue move no entries and allocate nothing;
 // a per-thread pending count makes the Pending predicate — which the
-// runtime's Wait wakeup condition evaluates under its dispatch lock — O(1)
+// runtime's Wait wakeup condition evaluates under a shard lock — O(1)
 // instead of a queue scan.
 type ThreadQueue struct {
 	cap   int

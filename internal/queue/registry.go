@@ -4,8 +4,9 @@
 // status table (TQST) that synchronisation instructions consult.
 //
 // The thread queue and TQST carry no locking of their own: the runtime in
-// internal/core serialises access under its dispatch lock, just as the
-// hardware structures are accessed from a single pipeline. The registry is
+// internal/core instantiates one of each per dispatch shard and serialises
+// access under the shard's lock, just as the hardware structures are
+// accessed from a single pipeline. The registry is
 // different: its read side (Covers, Lookup) is safe to call concurrently
 // with other reads and with Attach/Detach, because every mutation publishes
 // a fresh immutable index snapshot. That lets a triggering store reject
@@ -140,10 +141,33 @@ func (r *Registry) Lookup(addr mem.Addr, dst []ThreadID) []ThreadID {
 	return dst
 }
 
+// Each invokes fn once for every attachment covering addr, in index order
+// (sorted by range start), against the current published snapshot. Like
+// Covers it takes no lock, and unlike Lookup it needs no destination slice,
+// so the triggering-store dispatch path can walk the matches and go
+// straight to each thread's shard without any shared scratch buffer. The
+// callback must not mutate the registry. Lookup/match counters are
+// maintained exactly as for Lookup.
+func (r *Registry) Each(addr mem.Addr, fn func(ThreadID)) {
+	r.lookups.Add(1)
+	idx := r.idx.Load()
+	n := sort.Search(len(idx.atts), func(i int) bool { return idx.atts[i].Lo > addr })
+	matched := 0
+	for i := 0; i < n; i++ {
+		if addr < idx.atts[i].Hi {
+			matched++
+			fn(idx.atts[i].Thread)
+		}
+	}
+	if matched > 0 {
+		r.matches.Add(int64(matched))
+	}
+}
+
 // Covers reports whether any attachment covers addr, without recording a
 // lookup or taking any lock. The triggering-store fast path uses it to
-// reject stores to unattached addresses before acquiring the runtime's
-// dispatch lock, so such stores never contend.
+// reject stores to unattached addresses before acquiring any dispatch
+// shard's lock, so such stores never contend.
 func (r *Registry) Covers(addr mem.Addr) bool {
 	idx := r.idx.Load()
 	if addr < idx.lo || addr >= idx.hi {

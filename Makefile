@@ -1,11 +1,15 @@
-# CI entry points. `make ci` is the gate: vet, build, race-enabled tests
-# (which include the allocs/op regression tests in allocs_test.go, so a
-# fast-path allocation regression fails here, not just in benchmark output),
-# a bounded native-fuzz pass over the dispatch path, the coverage floor for
-# the runtime-critical packages, then the fast-path benchmarks with
-# allocation reporting.
+# CI entry points. `make ci` is the gate: the static protocol lint, vet,
+# build, race-enabled tests (which include the allocs/op regression tests
+# in allocs_test.go, so a fast-path allocation regression fails here, not
+# just in benchmark output), a bounded native-fuzz pass over the dispatch
+# path, the coverage floor for the runtime-critical packages, then the
+# fast-path benchmarks with allocation reporting.
 
 GO ?= go
+
+# Extra flags for `make lint`, e.g. make lint LINTFLAGS="-json" or
+# LINTFLAGS="-rules read-before-wait".
+LINTFLAGS ?=
 
 # Coverage floor (percent) for internal/core + internal/queue combined.
 # Measured 94.4% when introduced; the floor leaves headroom for refactors
@@ -16,9 +20,16 @@ COVER_PKGS  := ./internal/core ./internal/queue
 # Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz-smoke fuzz cover bench-fastpath bench bench-scale
+.PHONY: ci lint vet build test race fuzz-smoke fuzz cover bench-fastpath bench bench-scale
 
-ci: vet build race fuzz-smoke cover bench-fastpath
+ci: lint vet build race fuzz-smoke cover bench-fastpath
+
+# Static DTT protocol check over the whole module (./... skips the
+# linter's own testdata fixtures by design). Findings are suppressed one
+# at a time with `//dtt:ignore <rule> -- <justification>`; see
+# internal/lint and the README's "Static checking" section.
+lint:
+	$(GO) run ./cmd/dttlint $(LINTFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
@@ -41,13 +52,16 @@ fuzz-smoke:
 fuzz: fuzz-smoke
 
 # Coverage floor for the runtime-critical packages. Fails if the combined
-# statement coverage of $(COVER_PKGS) drops below $(COVER_FLOOR)%.
+# statement coverage of $(COVER_PKGS) drops below $(COVER_FLOOR)%. The
+# profile is kept on success (go tool cover -html=cover.out) but removed
+# on any failure so a red run leaves no stray cover.out behind.
 cover:
-	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS) || { rm -f cover.out; exit 1; }
 	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) ' \
 		/^total:/ { sub(/%/, "", $$3); \
 			printf "coverage: %s%% (floor %s%%)\n", $$3, floor; \
-			if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+			if ($$3 + 0 < floor + 0) { print "coverage below floor"; exit 1 } }' \
+		|| { rm -f cover.out; exit 1; }
 
 # Dispatch fast-path microbenchmarks; -benchmem prints allocs/op so the
 # numbers quoted in CHANGES.md can be regenerated. TestTStoreFastPathAllocs

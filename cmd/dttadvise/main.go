@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,14 +21,24 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dttadvise", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name  = flag.String("workload", "", "workload to analyse (default: all)")
-		scale = flag.Int("scale", 1, "workload data scale factor")
-		iters = flag.Int("iters", 40, "workload outer iterations")
-		seed  = flag.Uint64("seed", 1, "workload input seed")
-		top   = flag.Int("top", 0, "show only the top N candidates (0 = all)")
+		name  = fs.String("workload", "", "workload to analyse (default: all)")
+		scale = fs.Int("scale", 1, "workload data scale factor")
+		iters = fs.Int("iters", 40, "workload outer iterations")
+		seed  = fs.Uint64("seed", 1, "workload input seed")
+		top   = fs.Int("top", 0, "show only the top N candidates (0 = all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var targets []workloads.Workload
 	if *name == "" {
@@ -35,9 +46,9 @@ func main() {
 	} else {
 		w, ok := workloads.ByName(*name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "dttadvise: unknown workload %q; available: %s\n",
+			fmt.Fprintf(stderr, "dttadvise: unknown workload %q; available: %s\n",
 				*name, strings.Join(workloads.Names(), ", "))
-			os.Exit(2)
+			return 2
 		}
 		targets = []workloads.Workload{w}
 	}
@@ -48,8 +59,8 @@ func main() {
 		a := advisor.New(sys)
 		sys.AttachProbe(a)
 		if _, err := w.RunBaseline(&workloads.Env{Sys: sys}, size); err != nil {
-			fmt.Fprintf(os.Stderr, "dttadvise: %s: %v\n", w.Name(), err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttadvise: %s: %v\n", w.Name(), err)
+			return 1
 		}
 		cands := a.Candidates()
 		if *top > 0 && len(cands) > *top {
@@ -57,6 +68,7 @@ func main() {
 		}
 		tb := advisor.Table(cands)
 		tb.Title = fmt.Sprintf("%s: %s", w.Name(), tb.Title)
-		fmt.Println(tb.String())
+		fmt.Fprintln(stdout, tb.String())
 	}
+	return 0
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests: the advisor CLI parses, profiles a small baseline and
+// prints a ranked candidate table, without exec'ing anything.
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestAdviseSmoke(t *testing.T) {
+	code, out, errb := runCLI(t, "-workload", "mcf", "-iters", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "mcf:") {
+		t.Fatalf("output missing workload title:\n%s", out)
+	}
+}
+
+func TestAdviseTop(t *testing.T) {
+	code, full, errb := runCLI(t, "-workload", "mcf", "-iters", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	code, topped, errb := runCLI(t, "-workload", "mcf", "-iters", "3", "-top", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if lines(topped) >= lines(full) {
+		t.Fatalf("-top 1 did not shrink the table: %d vs %d lines", lines(topped), lines(full))
+	}
+}
+
+func lines(s string) int { return strings.Count(s, "\n") }
+
+func TestAdviseAllWorkloads(t *testing.T) {
+	code, out, errb := runCLI(t, "-iters", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, w := range []string{"mcf", "art", "equake"} {
+		if !strings.Contains(out, w+":") {
+			t.Fatalf("all-workloads run missing %q section:\n%s", w, out)
+		}
+	}
+}
+
+func TestAdviseBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "nosuch"},
+		{"-not-a-flag"},
+	} {
+		code, _, errb := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr: %s)", args, code, errb)
+		}
+		if errb == "" {
+			t.Fatalf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}

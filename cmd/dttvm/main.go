@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dtt/internal/core"
@@ -60,47 +61,57 @@ sq:                              ; r1 = trigger index, r2 = new value
 `
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dttvm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		backend = flag.String("backend", "deferred", "deferred or immediate")
-		workers = flag.Int("workers", 2, "support contexts for the immediate backend")
-		memSize = flag.Int("mem", 4096, "memory size in words")
-		fuel    = flag.Int64("fuel", 1<<20, "instruction budget")
-		runDemo = flag.Bool("demo", false, "run the built-in demo program")
-		disasm  = flag.Bool("disasm", false, "print the assembled program instead of running it")
+		backend = fs.String("backend", "deferred", "deferred or immediate")
+		workers = fs.Int("workers", 2, "support contexts for the immediate backend")
+		memSize = fs.Int("mem", 4096, "memory size in words")
+		fuel    = fs.Int64("fuel", 1<<20, "instruction budget")
+		runDemo = fs.Bool("demo", false, "run the built-in demo program")
+		disasm  = fs.Bool("disasm", false, "print the assembled program instead of running it")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	src := demo
 	switch {
-	case *runDemo || flag.NArg() == 0:
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case *runDemo || fs.NArg() == 0:
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttvm: %v\n", err)
+			return 1
 		}
 		src = string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "dttvm: at most one program file")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dttvm: at most one program file")
+		return 2
 	}
 
 	prog, err := vm.Assemble(src)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dttvm: %v\n", err)
+		return 1
 	}
 	if *disasm {
-		fmt.Print(prog.Disassemble())
-		return
+		fmt.Fprint(stdout, prog.Disassemble())
+		return 0
 	}
 
 	cfg := vm.Config{MemWords: *memSize, Fuel: *fuel}
 	if *backend == "immediate" {
 		rt, err := core.New(core.Config{Backend: core.BackendImmediate, Workers: *workers})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dttvm: %v\n", err)
+			return 1
 		}
 		defer rt.Close()
 		cfg.Runtime = rt
@@ -108,17 +119,18 @@ func main() {
 
 	m, err := vm.New(prog, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dttvm: %v\n", err)
+		return 1
 	}
 	defer m.Close()
 	if err := m.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "dttvm: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dttvm: %v\n", err)
+		return 1
 	}
 	for _, v := range m.Output() {
-		fmt.Println(v)
+		fmt.Fprintln(stdout, v)
 	}
 	s := m.Stats()
-	fmt.Printf("-- tstores=%d silent=%d support-instances=%d\n", s.TStores, s.Silent, s.Executed+s.InlineRuns)
+	fmt.Fprintf(stdout, "-- tstores=%d silent=%d support-instances=%d\n", s.TStores, s.Silent, s.Executed+s.InlineRuns)
+	return 0
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests: the VM CLI assembles and runs the built-in demo on both
+// backends and reports its trigger statistics, without exec'ing anything.
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestVMDemoSmoke(t *testing.T) {
+	code, out, errb := runCLI(t, "-demo")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	// Eight squares, printed in order, then the stats trailer. The second
+	// demo pass rewrites identical values, so half the tstores are silent.
+	for _, want := range []string{"1\n4\n9\n16\n25\n36\n49\n64\n", "tstores=16 silent=8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVMImmediateBackend(t *testing.T) {
+	code, out, errb := runCLI(t, "-demo", "-backend", "immediate", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "64") || !strings.Contains(out, "silent=8") {
+		t.Fatalf("immediate-backend demo output wrong:\n%s", out)
+	}
+}
+
+func TestVMDisasm(t *testing.T) {
+	code, out, errb := runCLI(t, "-demo", "-disasm")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"tspawn", "tst", "twait", "tret"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVMBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-not-a-flag"},
+		{"a.s", "b.s"},
+	} {
+		code, _, errb := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr: %s)", args, code, errb)
+		}
+		if errb == "" {
+			t.Fatalf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}
+
+func TestVMMissingFile(t *testing.T) {
+	code, _, errb := runCLI(t, "no-such-file.s")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(errb, "no-such-file.s") {
+		t.Fatalf("stderr does not name the missing file: %s", errb)
+	}
+}

@@ -55,9 +55,7 @@ func main() {
 		derived.Store(2, sc)
 	})
 	for _, id := range []dtt.ThreadID{sumThread, minThread, scoreThread} {
-		if err := rt.Attach(id, cells, 0, rows); err != nil {
-			log.Fatal(err)
-		}
+		_ = rt.Attach(id, cells, 0, rows)
 	}
 
 	edit := func(row int, v dtt.Word) {

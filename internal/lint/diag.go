@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, locatable and machine-readable. The JSON field
+// names are part of the -json output contract and round-trip losslessly
+// through encoding/json (lint_test.go asserts this).
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Hint    string `json:"hint,omitempty"`
+}
+
+// String formats the diagnostic the way compilers do, so editors and CI log
+// scrapers pick the location up: file:line:col: rule: message (hint).
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+	if d.Hint != "" {
+		s += " (fix: " + d.Hint + ")"
+	}
+	return s
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// ignoreDirective is one parsed //dtt:ignore comment. A directive suppresses
+// findings of its rule on its own line and on the line directly below it
+// (so it can trail the flagged statement or sit on its own line above).
+// The justification is mandatory: an ignore that does not say why is a
+// bad-ignore finding itself and suppresses nothing.
+type ignoreDirective struct {
+	rule string
+	line int
+	used bool
+}
+
+const ignorePrefix = "//dtt:ignore"
+
+// parseIgnores scans a file's comments for //dtt:ignore directives. It
+// returns the well-formed directives and a bad-ignore diagnostic for each
+// malformed one.
+func parseIgnores(fset *token.FileSet, file *ast.File) ([]*ignoreDirective, []Diagnostic) {
+	var dirs []*ignoreDirective
+	var bad []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // some other //dtt:ignorexyz token, not ours
+			}
+			rule, justification, ok := strings.Cut(strings.TrimSpace(rest), "--")
+			rule = strings.TrimSpace(rule)
+			justification = strings.TrimSpace(justification)
+			if rule == "" || !ok || justification == "" {
+				bad = append(bad, Diagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Rule:    "bad-ignore",
+					Message: fmt.Sprintf("malformed %s directive %q", ignorePrefix, c.Text),
+					Hint:    "write //dtt:ignore <rule> -- <justification>; the justification is required",
+				})
+				continue
+			}
+			if !knownRule(rule) {
+				bad = append(bad, Diagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Rule:    "bad-ignore",
+					Message: fmt.Sprintf("%s of unknown rule %q", ignorePrefix, rule),
+					Hint:    "known rules: " + strings.Join(RuleNames(), ", "),
+				})
+				continue
+			}
+			dirs = append(dirs, &ignoreDirective{rule: rule, line: pos.Line})
+		}
+	}
+	return dirs, bad
+}
+
+// reporter collects diagnostics for one package, applying the file's ignore
+// directives and deduplicating repeat reports at one position (the flow
+// rule's loop fixpoint can visit a statement twice).
+type reporter struct {
+	fset       *token.FileSet
+	ignores    map[string][]*ignoreDirective // file -> directives
+	seen       map[token.Pos]map[string]bool
+	diags      []Diagnostic
+	suppressed int
+}
+
+func newReporter(fset *token.FileSet) *reporter {
+	return &reporter{
+		fset:    fset,
+		ignores: make(map[string][]*ignoreDirective),
+		seen:    make(map[token.Pos]map[string]bool),
+	}
+}
+
+func (r *reporter) report(pos token.Pos, rule, message, hint string) {
+	if r.seen[pos][rule] {
+		return
+	}
+	if r.seen[pos] == nil {
+		r.seen[pos] = make(map[string]bool)
+	}
+	r.seen[pos][rule] = true
+	p := r.fset.Position(pos)
+	for _, d := range r.ignores[p.Filename] {
+		if d.rule == rule && (d.line == p.Line || d.line == p.Line-1) {
+			d.used = true
+			r.suppressed++
+			return
+		}
+	}
+	r.diags = append(r.diags, Diagnostic{
+		File: p.Filename, Line: p.Line, Col: p.Column,
+		Rule: rule, Message: message, Hint: hint,
+	})
+}

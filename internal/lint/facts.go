@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// The linter recognises the runtime API by types, not by spelling: a call
+// resolves through go/types to a *types.Func, and what matters is the
+// package that declared it (dtt/internal/core, or the root dtt package
+// whose exported names alias core's) and the receiver's named type. Code
+// that renames imports, uses the internal package directly, or wraps calls
+// in local helpers of the same types is analysed identically.
+
+// isCorePath reports whether path declares the runtime API.
+func isCorePath(path string) bool {
+	return path == "dtt" || strings.HasSuffix(path, "/internal/core")
+}
+
+// calleeOf resolves the *types.Func a call invokes, or nil for indirect
+// calls, conversions and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// recvNamed returns the name of fn's receiver's named type ("" for plain
+// functions), looking through one pointer.
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isCoreMethod reports whether fn is method name on core type recv
+// (e.g. recv "Region", name "TStore").
+func isCoreMethod(fn *types.Func, recv string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || !isCorePath(fn.Pkg().Path()) || recvNamed(fn) != recv {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isCoreNew reports whether fn is core.New or the root package's dtt.New.
+func isCoreNew(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && isCorePath(fn.Pkg().Path()) &&
+		fn.Name() == "New" && recvNamed(fn) == ""
+}
+
+// recvExpr returns the receiver expression of a method call (the X of its
+// selector), or nil.
+func recvExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// rootObj resolves the object an expression names, for tracking regions and
+// thread IDs across a package: a plain identifier resolves to its variable,
+// pkg.Var to the package-level variable, x.field (and x[i].field) to the
+// field object — so two instances of one struct type share an identity,
+// a sound over-approximation for lint purposes. Calls and other computed
+// expressions resolve to nil (unknown).
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[e]; o != nil {
+			return o
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return rootObj(info, e.X)
+	case *ast.UnaryExpr:
+		return rootObj(info, e.X)
+	case *ast.StarExpr:
+		return rootObj(info, e.X)
+	}
+	return nil
+}
+
+// constIntOf evaluates e as a constant integer, reporting ok=false for
+// non-constant expressions.
+func constIntOf(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// threadFacts aggregates what the package says about one registered support
+// thread: its body, the regions attached to it, and its granted output
+// windows.
+type threadFacts struct {
+	obj     types.Object  // the ThreadID variable; nil when discarded
+	body    ast.Node      // *ast.FuncLit or *ast.FuncDecl; nil when not in-package
+	stack   []ast.Node    // ancestors of the Register call (for capture analysis)
+	atts    map[types.Object]bool
+	grants  map[types.Object]bool
+	grantN  int  // grants declared, even when the region object is unresolvable
+	regName string
+}
+
+// facts is the per-package database the rules consult.
+type facts struct {
+	pkg *Package
+
+	// attached holds region objects that appear as the region argument of
+	// an Attach call; unresolvedAttach counts Attach calls whose region
+	// argument had no nameable object.
+	attached        map[types.Object]bool
+	unresolvedAttach int
+
+	// outputs holds region objects a support thread writes (any Store /
+	// StoreF / TStore in a registered body) or that are granted through
+	// AllowWrites — the statically known support-thread output surface.
+	outputs map[types.Object]bool
+
+	// threads indexes per-thread facts by ThreadID object; anonymous
+	// registrations (discarded result) are only in bodies.
+	threads map[types.Object]*threadFacts
+	// bodies maps a support body node (FuncLit or FuncDecl) to its thread.
+	bodies map[ast.Node]*threadFacts
+
+	// funcDecls maps a function object to its declaration, for resolving
+	// Register("name", someFunc).
+	funcDecls map[types.Object]*ast.FuncDecl
+}
+
+// walkStack traverses root depth-first, calling fn with each node and the
+// stack of its ancestors (outermost first). fn's return controls descent.
+func walkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(stack, n) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// collectFacts builds the package database in two passes: registrations,
+// attachments and grants first; then the write surface of each support
+// body.
+func collectFacts(p *Package) *facts {
+	f := &facts{
+		pkg:       p,
+		attached:  make(map[types.Object]bool),
+		outputs:   make(map[types.Object]bool),
+		threads:   make(map[types.Object]*threadFacts),
+		bodies:    make(map[ast.Node]*threadFacts),
+		funcDecls: make(map[types.Object]*ast.FuncDecl),
+	}
+	info := p.Info
+
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if o := info.Defs[fd.Name]; o != nil {
+					f.funcDecls[o] = fd
+				}
+			}
+		}
+	}
+
+	thread := func(obj types.Object) *threadFacts {
+		if obj == nil {
+			return &threadFacts{atts: map[types.Object]bool{}, grants: map[types.Object]bool{}}
+		}
+		tf := f.threads[obj]
+		if tf == nil {
+			tf = &threadFacts{obj: obj, atts: map[types.Object]bool{}, grants: map[types.Object]bool{}}
+			f.threads[obj] = tf
+		}
+		return tf
+	}
+
+	for _, file := range p.Files {
+		walkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			switch {
+			case isCoreMethod(fn, "Runtime", "Register") && len(call.Args) == 2:
+				tf := thread(registerResultObj(info, stack))
+				if lit, ok := unparen(call.Args[1]).(*ast.FuncLit); ok {
+					tf.body = lit
+					tf.stack = append([]ast.Node(nil), stack...)
+				} else if o := rootObj(info, call.Args[1]); o != nil {
+					if fd := f.funcDecls[o]; fd != nil {
+						tf.body = fd
+					}
+				}
+				if name, ok := stringLit(info, call.Args[0]); ok {
+					tf.regName = name
+				}
+				if tf.body != nil {
+					f.bodies[tf.body] = tf
+				}
+			case isCoreMethod(fn, "Runtime", "Attach") && len(call.Args) == 4:
+				tf := thread(rootObj(info, call.Args[0]))
+				if r := rootObj(info, call.Args[1]); r != nil {
+					f.attached[r] = true
+					tf.atts[r] = true
+				} else {
+					f.unresolvedAttach++
+				}
+			case isCoreMethod(fn, "Runtime", "AllowWrites") && len(call.Args) == 4:
+				tf := thread(rootObj(info, call.Args[0]))
+				tf.grantN++
+				if r := rootObj(info, call.Args[1]); r != nil {
+					f.outputs[r] = true
+					tf.grants[r] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every region a support body writes is a support output.
+	for body := range f.bodies {
+		ast.Inspect(bodyBlock(body), func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeOf(info, call); isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF") {
+				if o := rootObj(info, recvExpr(call)); o != nil {
+					f.outputs[o] = true
+				}
+			}
+			return true
+		})
+	}
+	return f
+}
+
+// bodyBlock returns the statement block of a support body node.
+func bodyBlock(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return n.Body
+	case *ast.FuncDecl:
+		return n.Body
+	}
+	return nil
+}
+
+// inSupportBody reports whether pos falls inside any registered support
+// body of the package.
+func (f *facts) inSupportBody(n ast.Node) bool {
+	for body := range f.bodies {
+		if b := bodyBlock(body); b != nil && n.Pos() >= b.Pos() && n.End() <= b.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// registerResultObj finds the variable a Register call's result is bound
+// to, via the enclosing assignment in the ancestor stack. Discarded or
+// blank-assigned results yield nil.
+func registerResultObj(info *types.Info, stack []ast.Node) types.Object {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.AssignStmt:
+			// Register returns one value; only the single-RHS form can bind it.
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if o := info.Defs[id]; o != nil {
+						return o
+					}
+					return info.Uses[id]
+				}
+			}
+			return nil
+		case *ast.ValueSpec:
+			if len(s.Names) == 1 && len(s.Values) == 1 && s.Names[0].Name != "_" {
+				return info.Defs[s.Names[0]]
+			}
+			return nil
+		case *ast.ExprStmt, *ast.BlockStmt:
+			return nil
+		}
+	}
+	return nil
+}
+
+// stringLit evaluates e as a constant string.
+func stringLit(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// triggerParam returns the body's core.Trigger parameter object, so rules
+// can recognise tg.Region accesses (always protocol-legal: the trigger
+// region is by construction attached to the running thread).
+func triggerParam(info *types.Info, body ast.Node) types.Object {
+	var ft *ast.FuncType
+	switch n := body.(type) {
+	case *ast.FuncLit:
+		ft = n.Type
+	case *ast.FuncDecl:
+		ft = n.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			o := info.Defs[name]
+			if o == nil {
+				continue
+			}
+			if n, ok := o.Type().(*types.Named); ok &&
+				n.Obj().Name() == "Trigger" && n.Obj().Pkg() != nil && isCorePath(n.Obj().Pkg().Path()) {
+				return o
+			}
+		}
+	}
+	return nil
+}
+
+// isTriggerRegionExpr reports whether e is tg.Region for the body's Trigger
+// parameter tg.
+func isTriggerRegionExpr(info *types.Info, e ast.Expr, trigParam types.Object) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok || trigParam == nil || sel.Sel.Name != "Region" {
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == trigParam
+}

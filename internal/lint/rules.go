@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Rule untriggered-write: a plain Region.Store to a region that has thread
+// attachments, performed outside any registered support body. A plain
+// store bypasses trigger dispatch entirely — attached threads silently
+// miss the update — which is almost never what trigger-carrying data
+// wants. Trigger data is written with TStore (fires on change, silent
+// otherwise); pre-protocol input setup uses Poke, which is explicitly
+// event-free.
+func runUntriggeredWrite(f *facts, rep *reporter) {
+	info := f.pkg.Info
+	for _, file := range f.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if !isCoreMethod(fn, "Region", "Store", "StoreF") {
+				return true
+			}
+			obj := rootObj(info, recvExpr(call))
+			if obj == nil || !f.attached[obj] || f.inSupportBody(call) {
+				return true
+			}
+			rep.report(call.Pos(), "untriggered-write",
+				fmt.Sprintf("plain %s to region %q, which has thread attachments: attached threads will not see this update",
+					fn.Name(), obj.Name()),
+				"use TStore to fire attached threads (silent when unchanged), or Poke for event-free input setup")
+			return true
+		})
+	}
+}
+
+// Rule write-escape: a registered support body writes a region that is
+// neither attached to its thread nor granted via AllowWrites. This is the
+// static mirror of the sanitizer's KindWriteEscape and shares its opt-in
+// contract: a thread with no AllowWrites grants has an undeclared output
+// surface and is not confined; once the program grants any window, every
+// body write must land in the attachment or grant set. Writes through
+// tg.Region are always legal — the trigger region is attached by
+// construction.
+func runWriteEscape(f *facts, rep *reporter) {
+	info := f.pkg.Info
+	for body, tf := range f.bodies {
+		if tf.grantN == 0 {
+			continue
+		}
+		trig := triggerParam(info, body)
+		ast.Inspect(bodyBlock(body), func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if !isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF") {
+				return true
+			}
+			recv := recvExpr(call)
+			if isTriggerRegionExpr(info, recv, trig) {
+				return true
+			}
+			obj := rootObj(info, recv)
+			if obj == nil || tf.atts[obj] || tf.grants[obj] {
+				return true
+			}
+			name := tf.regName
+			if name == "" {
+				name = "support thread"
+			}
+			rep.report(call.Pos(), "write-escape",
+				fmt.Sprintf("%s body writes region %q, which is neither attached to it nor granted via AllowWrites",
+					name, obj.Name()),
+				"declare the output window with rt.AllowWrites(thread, region, lo, hi), or write only attached/granted regions")
+			return true
+		})
+	}
+}
+
+// Rule trigger-capture: a ThreadFunc literal captures a loop variable or a
+// local that is reassigned after registration. A support body does not run
+// where it is written — it runs at dispatch time (immediate backend), at
+// the consuming Wait (deferred), or at a seed-chosen preemption point
+// (seeded). A captured mutable observes whatever value it holds at that
+// moment, so the body computes different results under different backends
+// and schedules, breaking the deterministic replay the seeded backend
+// exists to provide. Captured values that never change after registration
+// (regions, runtime handles, configuration) are the normal idiom and are
+// not flagged.
+func runTriggerCapture(f *facts, rep *reporter) {
+	info := f.pkg.Info
+	for body, tf := range f.bodies {
+		lit, ok := body.(*ast.FuncLit)
+		if !ok {
+			continue // a named ThreadFunc cannot capture
+		}
+		enclosing := enclosingFunc(tf.stack)
+		reported := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok || reported[obj] || obj.IsField() || obj.Pkg() != f.pkg.Types {
+				return true
+			}
+			// Free variable: declared outside the literal but not at
+			// package level.
+			if obj.Parent() == f.pkg.Types.Scope() ||
+				(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+				return true
+			}
+			if loop := enclosingLoopVar(info, tf.stack, obj); loop != "" {
+				reported[obj] = true
+				rep.report(id.Pos(), "trigger-capture",
+					fmt.Sprintf("ThreadFunc captures %s variable %q: the body reads it at dispatch time, not registration time", loop, obj.Name()),
+					"pass the value through trigger data, or bind it to a fresh variable before Register")
+				return true
+			}
+			if enclosing != nil && assignedAfter(info, enclosing, obj, lit.End()) {
+				reported[obj] = true
+				rep.report(id.Pos(), "trigger-capture",
+					fmt.Sprintf("ThreadFunc captures %q, which is reassigned after registration: instances observe the value at dispatch time, nondeterministic under deferred/seeded replay", obj.Name()),
+					"bind the value to a variable that is not reassigned, or carry it in trigger data")
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost function node in an ancestor stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// enclosingLoopVar reports whether obj is the iteration variable of a loop
+// enclosing the registration site, returning "range" or "for" for the
+// diagnostic (or "" if not a loop variable).
+func enclosingLoopVar(info *types.Info, stack []ast.Node, obj types.Object) string {
+	defines := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.Defs[id] == obj
+	}
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if (n.Key != nil && defines(n.Key)) || (n.Value != nil && defines(n.Value)) {
+				return "range"
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, l := range init.Lhs {
+					if defines(l) {
+						return "for-loop"
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// assignedAfter reports whether obj is assigned (x = ..., x++) anywhere in
+// fn at a position after pos. Mutations of fields or elements reached
+// through obj do not count — handing a support thread a struct it shares
+// is the programmer's stated intent; silently rebinding the variable the
+// closure reads is the replay hazard this rule exists for.
+func assignedAfter(info *types.Info, fn ast.Node, obj types.Object, pos token.Pos) bool {
+	found := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Pos() > pos {
+				for _, l := range n.Lhs {
+					if isObj(l) {
+						found = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if n.Pos() > pos && isObj(n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Rule config-misuse: mechanical mistakes in wiring a runtime up, each of
+// which the runtime tolerates silently (or fails at run time) but none of
+// which a correct program writes:
+//
+//   - a Register result discarded — the ThreadID is the only handle for
+//     Attach/Wait/Cancel, so an unbound registration is dead weight;
+//   - an Attach or AllowWrites error discarded — a rejected attachment
+//     means the thread never fires, and the program runs wrong silently;
+//   - a runtime built with New and never Closed in the same function
+//     (when it does not escape) — worker goroutines leak;
+//   - a Shards literal that is not a power of two — the runtime rounds up
+//     silently, so the program's stated geometry is not the real one;
+//   - a Workers literal with a single-goroutine backend — Workers only
+//     exists on BackendImmediate; anywhere else the value is ignored.
+func runConfigMisuse(f *facts, rep *reporter) {
+	info := f.pkg.Info
+	for _, file := range f.pkg.Files {
+		walkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDiscarded(info, stack, n, rep)
+				checkNewWithoutClose(info, stack, n, rep)
+			case *ast.CompositeLit:
+				checkConfigLiteral(info, n, rep)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscarded flags Register/Attach/AllowWrites calls whose result is
+// thrown away — as a bare statement or assigned to blank.
+func checkDiscarded(info *types.Info, stack []ast.Node, call *ast.CallExpr, rep *reporter) {
+	fn := calleeOf(info, call)
+	var what, hint string
+	switch {
+	case isCoreMethod(fn, "Runtime", "Register"):
+		what = "ThreadID returned by Register"
+		hint = "bind the result (id := rt.Register(...)); it is the only handle for Attach, Wait and Cancel"
+	case isCoreMethod(fn, "Runtime", "Attach"):
+		what = "error returned by Attach"
+		hint = "check the error: a rejected attachment means the thread never fires"
+	case isCoreMethod(fn, "Runtime", "AllowWrites"):
+		what = "error returned by AllowWrites"
+		hint = "check the error: a rejected grant leaves the output window undeclared"
+	default:
+		return
+	}
+	if len(stack) == 0 {
+		return
+	}
+	discarded := false
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		discarded = true
+	case *ast.AssignStmt:
+		for i, r := range parent.Rhs {
+			if unparen(r) != call || i >= len(parent.Lhs) {
+				continue
+			}
+			if id, ok := parent.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				discarded = true
+			}
+		}
+	}
+	if discarded {
+		rep.report(call.Pos(), "config-misuse", "discarded "+what, hint)
+	}
+}
+
+// checkNewWithoutClose flags a core.New/dtt.New whose runtime is neither
+// Closed in the enclosing function nor handed to anything that could close
+// it. The escape analysis is deliberately coarse and one-sided: any use of
+// the runtime variable other than a method call or a reassignment-free
+// read makes the rule stand down, so only the self-contained leak pattern
+// is reported.
+func checkNewWithoutClose(info *types.Info, stack []ast.Node, call *ast.CallExpr, rep *reporter) {
+	if !isCoreNew(calleeOf(info, call)) || len(stack) == 0 {
+		return
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) < 1 {
+		return
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return
+	}
+	closed, escapes := false, false
+	walkStack(fn, func(stk []ast.Node, n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok || (info.Uses[ident] != obj) || len(stk) == 0 {
+			return true
+		}
+		switch parent := stk[len(stk)-1].(type) {
+		case *ast.SelectorExpr:
+			// rt.Method(...) / rt.field — a Close call counts; other
+			// method calls are fine and not escapes.
+			if parent.Sel.Name == "Close" {
+				if gp := len(stk) - 2; gp >= 0 {
+					if c, ok := stk[gp].(*ast.CallExpr); ok && unparen(c.Fun) == parent {
+						closed = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Our own binding is fine; rt appearing on an RHS (aliased or
+			// stored) or re-bound later is an escape.
+			if parent != assign {
+				escapes = true
+			}
+		default:
+			// Call argument, return value, composite literal, &rt, channel
+			// send, comparison... — ownership may move; stand down.
+			escapes = true
+		}
+		return true
+	})
+	if !closed && !escapes {
+		rep.report(call.Pos(), "config-misuse",
+			fmt.Sprintf("runtime %q built with New is never Closed in this function", id.Name),
+			"add defer "+id.Name+".Close(); worker goroutines leak otherwise")
+	}
+}
+
+// checkConfigLiteral inspects a core.Config composite literal for geometry
+// and backend mistakes that the runtime accepts silently.
+func checkConfigLiteral(info *types.Info, cl *ast.CompositeLit, rep *reporter) {
+	tv, ok := info.Types[cl]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Config" || named.Obj().Pkg() == nil || !isCorePath(named.Obj().Pkg().Path()) {
+		return
+	}
+
+	// Backend: 0 deferred (also the zero value), 1 immediate, 2 recorded,
+	// 3 seeded. Only a constant field pins it; a variable leaves it unknown.
+	backend, backendKnown := int64(0), true
+	var fields = map[string]ast.Expr{}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional Config literal: field roles unknowable here
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			fields[key.Name] = kv.Value
+		}
+	}
+	if be, ok := fields["Backend"]; ok {
+		if v, isConst := constIntOf(info, be); isConst {
+			backend = v
+		} else {
+			backendKnown = false
+		}
+	}
+
+	if sh, ok := fields["Shards"]; ok {
+		if v, isConst := constIntOf(info, sh); isConst && v > 0 && v&(v-1) != 0 {
+			rounded := int64(1)
+			for rounded < v {
+				rounded <<= 1
+			}
+			rep.report(sh.Pos(), "config-misuse",
+				fmt.Sprintf("Shards: %d is not a power of two; the runtime silently rounds it up to %d", v, rounded),
+				fmt.Sprintf("write Shards: %d (the geometry the runtime will actually use)", rounded))
+		}
+	}
+
+	if w, ok := fields["Workers"]; ok && backendKnown && backend != 1 {
+		if v, isConst := constIntOf(info, w); isConst && v > 0 {
+			name := map[int64]string{0: "deferred", 2: "recorded", 3: "seeded"}[backend]
+			if name == "" {
+				name = fmt.Sprintf("Backend(%d)", backend)
+			}
+			rep.report(w.Pos(), "config-misuse",
+				fmt.Sprintf("Workers: %d has no effect: the %s backend runs support threads on a single goroutine", v, name),
+				"drop the Workers field, or select BackendImmediate if parallel dispatch was intended")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package capture is golden-file input for dttlint's trigger-capture rule:
+// ThreadFunc closures capturing variables whose value at fire time differs
+// from the value at registration time.
+package capture
+
+import "dtt"
+
+func newRT() *dtt.Runtime {
+	rt, err := dtt.New(dtt.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// LoopVar: the classic bug — every registered body reads the loop variable,
+// which has moved on by the time a trigger fires.
+func LoopVar() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	for i := 0; i < 4; i++ {
+		id := rt.Register("lane", func(tg dtt.Trigger) {
+			out.Store(i, 1) // want: trigger-capture
+		})
+		if err := rt.Attach(id, data, i, i+1); err != nil {
+			panic(err)
+		}
+	}
+	data.TStore(0, 1)
+	rt.Barrier()
+}
+
+// RangeVar: same bug through a range loop.
+func RangeVar(lanes []int) {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	for _, lane := range lanes {
+		id := rt.Register("lane", func(tg dtt.Trigger) {
+			out.Store(lane, 1) // want: trigger-capture
+		})
+		if err := rt.Attach(id, data, lane, lane+1); err != nil {
+			panic(err)
+		}
+	}
+	data.TStore(0, 1)
+	rt.Barrier()
+}
+
+// Reassigned: a local mutated after registration — the body observes the
+// mutation at an unpredictable point.
+func Reassigned() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	scale := dtt.Word(2)
+	id := rt.Register("scaled", func(tg dtt.Trigger) {
+		out.Store(tg.Index, scale) // want: trigger-capture
+	})
+	if err := rt.Attach(id, data, 0, 8); err != nil {
+		panic(err)
+	}
+	scale = 3
+	data.TStore(0, 9)
+	rt.Wait(id)
+}
+
+// StableOK: capturing regions and never-reassigned locals is the normal
+// idiom and must stay clean.
+func StableOK() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	bias := dtt.Word(7)
+	id := rt.Register("biased", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)+bias)
+	})
+	if err := rt.Attach(id, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 9)
+	rt.Wait(id)
+}

@@ -1,0 +1,143 @@
+// Package readwait is golden-file input for dttlint's read-before-wait
+// rule. A `want` comment marks a line that must produce exactly the named
+// diagnostic; lines without one must stay clean.
+package readwait
+
+import "dtt"
+
+func newRT() *dtt.Runtime {
+	rt, err := dtt.New(dtt.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Positive: the output region is read with a trigger outstanding.
+func Positive() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)*2)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 1)
+	return out.Load(0) // want: read-before-wait
+}
+
+// Negative: Wait orders the load after the support thread's writes.
+func Negative() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)*2)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 1)
+	rt.Wait(sq)
+	return out.Load(0)
+}
+
+// Branch: one path Waits, the other does not — dangerous on any path is
+// dangerous.
+func Branch(sync bool) dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, 1)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 1)
+	if sync {
+		rt.Wait(sq)
+	}
+	return out.Load(0) // want: read-before-wait
+}
+
+// LoopCarried: the trigger at the bottom of the loop reaches the load at
+// the top of the next iteration.
+func LoopCarried(n int) dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, 1)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	var acc dtt.Word
+	for i := 0; i < n; i++ {
+		acc += out.Load(0) // want: read-before-wait
+		data.TStore(0, dtt.Word(i))
+	}
+	rt.Barrier()
+	return acc
+}
+
+// BarrierClears: Barrier synchronises like Wait.
+func BarrierClears() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, 1)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 1)
+	rt.Barrier()
+	return out.Load(0)
+}
+
+// InputReadOK: reading the trigger region itself is the main thread's own
+// data, not a support output.
+func InputReadOK() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, 1)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 1)
+	v := data.Load(0)
+	rt.Wait(sq)
+	return v
+}
+
+// UnattachedStoreOK: a triggering store to a region with no attachment in
+// this package fires nothing, so the following load is clean.
+func UnattachedStoreOK() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	free := rt.NewRegion("free", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, 1)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	free.TStore(0, 1)
+	return out.Load(0)
+}

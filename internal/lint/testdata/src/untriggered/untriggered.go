@@ -1,0 +1,72 @@
+// Package untriggered is golden-file input for dttlint's untriggered-write
+// rule: plain Stores to attached regions outside support bodies.
+package untriggered
+
+import "dtt"
+
+func newRT() *dtt.Runtime {
+	rt, err := dtt.New(dtt.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Positive: a plain Store to an attached region from the main thread —
+// attached threads never see the update.
+func Positive() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.Store(0, 5) // want: untriggered-write
+	rt.Barrier()
+}
+
+// SupportBodyOK: a support body storing to its own attached region is the
+// recompute-and-republish idiom, not a protocol break.
+func SupportBodyOK() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		data.Store(tg.Index, 0)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 5)
+	rt.Barrier()
+}
+
+// PokeOK: Poke is the sanctioned event-free write for input setup.
+func PokeOK() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.Poke(0, 5)
+	data.TStore(0, 6)
+	rt.Barrier()
+}
+
+// UnattachedOK: storing to a region nothing is attached to is plain memory.
+func UnattachedOK() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	scratch := rt.NewRegion("scratch", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	scratch.Store(0, 7)
+	data.TStore(0, 8)
+	rt.Barrier()
+}

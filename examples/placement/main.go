@@ -115,8 +115,8 @@ func main() {
 			rejected++
 		}
 		if (mv+1)%50 == 0 {
-			fmt.Printf("after %3d moves: cost %d\n", mv+1, int64(total.Load(0)))
 			rt.Wait(refresh)
+			fmt.Printf("after %3d moves: cost %d\n", mv+1, int64(total.Load(0)))
 		}
 	}
 	rt.Barrier()

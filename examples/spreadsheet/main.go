@@ -55,7 +55,9 @@ func main() {
 		derived.Store(2, sc)
 	})
 	for _, id := range []dtt.ThreadID{sumThread, minThread, scoreThread} {
-		_ = rt.Attach(id, cells, 0, rows)
+		if err := rt.Attach(id, cells, 0, rows); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	edit := func(row int, v dtt.Word) {

@@ -222,6 +222,19 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSelfClean: the repository lints itself clean — the acceptance bar
+// the CI lint step enforces, kept here too so `go test` alone catches a
+// regression.
+func TestSelfClean(t *testing.T) {
+	res, err := Run(Options{Dir: moduleRoot, Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}
+
 // TestUnknownRule: asking for a rule that does not exist is a usage error,
 // not a silent no-op.
 func TestUnknownRule(t *testing.T) {

@@ -213,7 +213,10 @@ func (m *Machine) exec(pc int, regs *[NumRegs]int64, inThread bool, _ core.Trigg
 			if err != nil {
 				return err
 			}
-			m.mem.Store(idx, uint64(regs[ins.Rd]))
+			// st is the ISA's non-triggering store by definition (tst is the
+			// triggering form), and guest support-thread code also executes
+			// through this interpreter loop.
+			m.mem.Store(idx, uint64(regs[ins.Rd])) //dtt:ignore untriggered-write -- st is defined as non-triggering; the guest chooses st vs tst
 		case OpTst:
 			idx, err := m.addr(ins, regs)
 			if err != nil {

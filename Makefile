@@ -20,9 +20,9 @@ COVER_PKGS  := ./internal/core ./internal/queue
 # Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test race fuzz-smoke fuzz cover bench-fastpath bench bench-scale
+.PHONY: ci lint vet build test race fuzz-smoke fuzz cover allocs-gate bench-fastpath bench bench-scale bench-telemetry
 
-ci: lint vet build race fuzz-smoke cover bench-fastpath
+ci: lint vet build race allocs-gate fuzz-smoke cover bench-fastpath
 
 # Static DTT protocol check over the whole module (./... skips the
 # linter's own testdata fixtures by design). Findings are suppressed one
@@ -72,9 +72,25 @@ bench-fastpath:
 	$(GO) test -run '^$$' -bench 'BenchmarkTStore|BenchmarkQueuePending' -benchmem . | tee bench-fastpath.out
 	@echo "wrote bench-fastpath.out; compare runs with: benchstat <saved-baseline>.out bench-fastpath.out"
 
+# Explicit allocation gate for the triggering-store fast paths, telemetry
+# off and on. The same tests run inside `make race`, but a dedicated target
+# runs them without -race instrumentation (which changes allocation
+# behaviour) and names the contract in the CI log.
+allocs-gate:
+	$(GO) test -count=1 -run 'TestTStoreFastPathAllocs' -v . | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
+
 # Full evaluation benchmark sweep (paper tables/figures).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The observability bill: the same fast paths with the telemetry plane off
+# (BenchmarkTStoreSilent/Changing/Squash/Uncovered) and on
+# (BenchmarkTStoreTelemetry*), side by side. allocs/op must read 0 in both
+# halves; the ns/op delta on the changing path is the cost of the enqueue
+# timestamp plus three histogram observes per dispatched instance.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkTStore(Telemetry)?(Silent|Changing|Squash|Uncovered)$$' -benchmem . | tee bench-telemetry.out
+	@echo "wrote bench-telemetry.out; compare runs with: benchstat <saved-baseline>.out bench-telemetry.out"
 
 # Producer-scaling curve: aggregate changed-store throughput for
 # 1..GOMAXPROCS concurrent producers on the sharded immediate backend,

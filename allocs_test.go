@@ -12,9 +12,9 @@ import (
 
 // allocRuntime builds the same shape as the BenchmarkTStore* family: one
 // attached 1024-word region, one unattached region, deferred backend.
-func allocRuntime(t *testing.T) (*dtt.Runtime, *dtt.Region, *dtt.Region) {
+func allocRuntime(t *testing.T, telemetry bool) (*dtt.Runtime, *dtt.Region, *dtt.Region) {
 	t.Helper()
-	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048})
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048, Telemetry: telemetry})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,12 +35,14 @@ func allocRuntime(t *testing.T) (*dtt.Runtime, *dtt.Region, *dtt.Region) {
 	return rt, hot, cold
 }
 
-func TestTStoreFastPathAllocs(t *testing.T) {
-	rt, hot, cold := allocRuntime(t)
+// assertFastPathAllocs measures the four fast paths against the runtime
+// label (telemetry off/on): both configurations promise 0 allocs/op.
+func assertFastPathAllocs(t *testing.T, label string, telemetry bool) {
+	rt, hot, cold := allocRuntime(t, telemetry)
 
 	// Silent store: value unchanged, thread squashed before dispatch.
 	if got := testing.AllocsPerRun(200, func() { hot.TStore(0, 1) }); got != 0 {
-		t.Errorf("silent tstore allocates %.1f allocs/op, want 0", got)
+		t.Errorf("%s: silent tstore allocates %.1f allocs/op, want 0", label, got)
 	}
 
 	// Changing store: full fire -> lookup -> enqueue -> drain path.
@@ -52,7 +54,7 @@ func TestTStoreFastPathAllocs(t *testing.T) {
 		}
 		rt.Barrier()
 	}); got != 0 {
-		t.Errorf("changing tstore+drain allocates %.1f allocs/op, want 0", got)
+		t.Errorf("%s: changing tstore+drain allocates %.1f allocs/op, want 0", label, got)
 	}
 
 	// Squash path: a pending entry for the same address already queued.
@@ -62,7 +64,7 @@ func TestTStoreFastPathAllocs(t *testing.T) {
 		w++
 		hot.TStore(0, 2_000_000+w)
 	}); got != 0 {
-		t.Errorf("squashing tstore allocates %.1f allocs/op, want 0", got)
+		t.Errorf("%s: squashing tstore allocates %.1f allocs/op, want 0", label, got)
 	}
 	rt.Barrier()
 
@@ -73,6 +75,19 @@ func TestTStoreFastPathAllocs(t *testing.T) {
 		u++
 		cold.TStore(0, u)
 	}); got != 0 {
-		t.Errorf("uncovered tstore allocates %.1f allocs/op, want 0", got)
+		t.Errorf("%s: uncovered tstore allocates %.1f allocs/op, want 0", label, got)
 	}
+}
+
+func TestTStoreFastPathAllocs(t *testing.T) {
+	assertFastPathAllocs(t, "telemetry off", false)
+}
+
+// TestTStoreFastPathAllocsTelemetry holds the telemetry plane to the same
+// standard: histogram observes are atomic adds into preallocated buckets,
+// the enqueue clock is a monotonic read, and pprof label contexts are
+// precomputed at Register — so turning telemetry on must not add a single
+// allocation to any triggering-store path.
+func TestTStoreFastPathAllocsTelemetry(t *testing.T) {
+	assertFastPathAllocs(t, "telemetry on", true)
 }

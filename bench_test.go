@@ -271,6 +271,58 @@ func BenchmarkTStoreFiring(b *testing.B) {
 	}
 }
 
+// The BenchmarkTStoreTelemetry* family re-measures the same fast paths with
+// the telemetry plane on (per-shard histograms, enqueue timestamps, pprof
+// labels). `make bench-telemetry` runs both families side by side; the
+// deltas are the whole cost of observability, and allocs/op must stay 0
+// (TestTStoreFastPathAllocsTelemetry enforces that in plain `go test`).
+
+func BenchmarkTStoreTelemetrySilent(b *testing.B) {
+	_, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, Telemetry: true})
+	r.TStore(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TStore(0, 1) // always silent
+	}
+}
+
+func BenchmarkTStoreTelemetryChanging(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048, Telemetry: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TStore(i%1024, dtt.Word(i+1))
+		if i%1024 == 1023 {
+			rt.Barrier()
+		}
+	}
+	b.StopTimer()
+	rt.Barrier()
+}
+
+func BenchmarkTStoreTelemetrySquash(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, Telemetry: true})
+	r.TStore(0, 1) // plant the pending entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TStore(0, dtt.Word(i+2)) // always changes, always squashed
+	}
+	b.StopTimer()
+	rt.Barrier()
+}
+
+func BenchmarkTStoreTelemetryUncovered(b *testing.B) {
+	rt, _, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, Telemetry: true})
+	cold := rt.NewRegion("cold", 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold.TStore(0, dtt.Word(i+1)) // always changes, never covered
+	}
+}
+
 // The BenchmarkTStoreParallel* family measures aggregate triggering-store
 // throughput with one producer goroutine per core (b.RunParallel), the
 // multi-producer scaling the sharded dispatch plane exists for. Each

@@ -48,6 +48,23 @@ func TestBenchFastpathSmoke(t *testing.T) {
 	}
 }
 
+// TestScaleReportHostBlock pins the BENCH_scale.json header: the host
+// metadata the curve is meaningless without, no timestamp (regenerating an
+// unchanged curve must not dirty the tree), and the single-core warning
+// wired to GOMAXPROCS/NumCPU.
+func TestScaleReportHostBlock(t *testing.T) {
+	rep := newScaleReport()
+	if rep.GOOS == "" || rep.GOARCH == "" || rep.GoVersion == "" {
+		t.Fatalf("host block incomplete: %+v", rep)
+	}
+	if rep.GOMAXPROCS < 1 || rep.NumCPU < 1 || rep.StoresPerProducer != scaleStoresPerProducer {
+		t.Fatalf("host block incomplete: %+v", rep)
+	}
+	if single := rep.GOMAXPROCS < 2 || rep.NumCPU < 2; (rep.Warning != "") != single {
+		t.Fatalf("warning %q on a host with GOMAXPROCS=%d NumCPU=%d", rep.Warning, rep.GOMAXPROCS, rep.NumCPU)
+	}
+}
+
 func TestBenchBadExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-exp", "nosuch"}, &out, &errb); code != 2 {

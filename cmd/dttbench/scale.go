@@ -20,14 +20,22 @@ type scalePoint struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 }
 
-// scaleReport is the BENCH_scale.json schema. GOMAXPROCS and NumCPU record
-// the machine the curve was measured on, since the shape is meaningless
-// without them: a 1-core box necessarily measures a flat curve.
+// scaleReport is the BENCH_scale.json schema. The host block records the
+// machine the curve was measured on, since the shape is meaningless without
+// it: a 1-core box necessarily measures a flat curve. No timestamp — the
+// file is committed, and regenerating an unchanged curve must not dirty the
+// tree.
 type scaleReport struct {
+	GOOS              string       `json:"goos"`
+	GOARCH            string       `json:"goarch"`
+	GoVersion         string       `json:"go_version"`
 	GOMAXPROCS        int          `json:"gomaxprocs"`
 	NumCPU            int          `json:"numcpu"`
 	StoresPerProducer int          `json:"stores_per_producer"`
-	Points            []scalePoint `json:"points"`
+	// Warning flags a sweep whose shape cannot be trusted, e.g. a
+	// single-core host where every producer count serialises.
+	Warning string       `json:"warning,omitempty"`
+	Points  []scalePoint `json:"points"`
 }
 
 // scaleStoresPerProducer is the fixed per-producer store count of each sweep
@@ -81,12 +89,34 @@ func runScalePoint(p int) (float64, error) {
 	return float64(p) * scaleStoresPerProducer / elapsed.Seconds(), nil
 }
 
+// newScaleReport builds the report header: the host block the curve is
+// meaningless without, and the single-core warning when the sweep cannot
+// show scaling.
+func newScaleReport() scaleReport {
+	rep := scaleReport{
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		StoresPerProducer: scaleStoresPerProducer,
+	}
+	if rep.GOMAXPROCS < 2 || rep.NumCPU < 2 {
+		rep.Warning = "swept on a single-core host; producers serialise, so the curve says nothing about scaling"
+	}
+	return rep
+}
+
 // runScaleSweep sweeps producer counts 1..GOMAXPROCS, printing the curve and
 // writing it to outPath as JSON (the committed BENCH_scale.json). Each point
 // runs twice and keeps the higher throughput, discarding warmup noise.
 func runScaleSweep(stdout io.Writer, outPath string) error {
-	rep := scaleReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), StoresPerProducer: scaleStoresPerProducer}
-	fmt.Fprintf(stdout, "changed-store scaling sweep (immediate backend, GOMAXPROCS=%d, numcpu=%d):\n", rep.GOMAXPROCS, rep.NumCPU)
+	rep := newScaleReport()
+	if rep.Warning != "" {
+		fmt.Fprintf(stdout, "warning: %s\n", rep.Warning)
+	}
+	fmt.Fprintf(stdout, "changed-store scaling sweep (immediate backend, %s/%s %s, GOMAXPROCS=%d, numcpu=%d):\n",
+		rep.GOOS, rep.GOARCH, rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU)
 	for p := 1; p <= rep.GOMAXPROCS; p++ {
 		best := 0.0
 		for try := 0; try < 2; try++ {

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dtt/internal/stats"
+)
+
+// liveVars is the slice of the runtime's /debug/vars document the live view
+// consumes (see internal/telemetry.WriteVars for the full schema).
+type liveVars struct {
+	DTT struct {
+		Counters map[string]int64 `json:"counters"`
+		Shards   []struct {
+			Depth int `json:"depth"`
+		} `json:"shards"`
+	} `json:"dtt"`
+}
+
+// normalizeLiveURL accepts the forms users paste — a bare host:port, a base
+// URL, or the full /debug/vars endpoint — and returns the endpoint URL.
+func normalizeLiveURL(u string) string {
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	if !strings.HasSuffix(u, "/debug/vars") {
+		u = strings.TrimRight(u, "/") + "/debug/vars"
+	}
+	return u
+}
+
+func pollLive(client *http.Client, url string) (liveVars, error) {
+	var v liveVars
+	resp, err := client.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return v, err
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return v, fmt.Errorf("%s: %v", url, err)
+	}
+	if v.DTT.Counters == nil {
+		return v, fmt.Errorf("%s: no \"dtt\" payload — is this a DTT runtime's metrics endpoint?", url)
+	}
+	return v, nil
+}
+
+// runLive polls a running runtime's expvar endpoint and renders per-interval
+// trigger rates. Each row is one interval: the rate columns are deltas
+// divided by the measured (not nominal) elapsed time, so a stalled scrape
+// does not inflate the rates. Totals come from the final sample.
+func runLive(stdout, stderr io.Writer, target string, interval time.Duration, samples int) int {
+	url := normalizeLiveURL(target)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	prev, err := pollLive(client, url)
+	if err != nil {
+		fmt.Fprintf(stderr, "dttprof: %v\n", err)
+		return 1
+	}
+	prevAt := time.Now()
+	tb := stats.NewTable(fmt.Sprintf("Live trigger rates from %s (interval %v)", url, interval),
+		"sample", "tstores/s", "silent%", "fired/s", "squashed/s", "squash%", "executed/s", "depth")
+	for i := 1; i <= samples; i++ {
+		time.Sleep(interval)
+		cur, err := pollLive(client, url)
+		if err != nil {
+			fmt.Fprintf(stderr, "dttprof: %v\n", err)
+			return 1
+		}
+		now := time.Now()
+		secs := now.Sub(prevAt).Seconds()
+		rate := func(key string) float64 {
+			return float64(cur.DTT.Counters[key]-prev.DTT.Counters[key]) / secs
+		}
+		pct := func(part, whole float64) string {
+			if whole == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", 100*part/whole)
+		}
+		depth := 0
+		for _, sh := range cur.DTT.Shards {
+			depth += sh.Depth
+		}
+		tstores, silent := rate("tstores"), rate("silent")
+		fired, squashed := rate("fired"), rate("squashed")
+		tb.AddRow(i,
+			fmt.Sprintf("%.0f", tstores),
+			pct(silent, tstores),
+			fmt.Sprintf("%.0f", fired),
+			fmt.Sprintf("%.0f", squashed),
+			pct(squashed, fired),
+			fmt.Sprintf("%.0f", rate("executed")),
+			depth)
+		prev, prevAt = cur, now
+	}
+	fmt.Fprint(stdout, tb.String())
+	c := prev.DTT.Counters
+	fmt.Fprintf(stdout, "totals: tstores %d (silent %d), fired %d, squashed %d, executed %d\n",
+		c["tstores"], c["silent"], c["fired"], c["squashed"], c["executed"])
+	return 0
+}

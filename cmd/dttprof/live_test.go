@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dtt/internal/core"
+)
+
+func TestNormalizeLiveURL(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"127.0.0.1:9090", "http://127.0.0.1:9090/debug/vars"},
+		{"http://host:1/", "http://host:1/debug/vars"},
+		{"http://host:1/debug/vars", "http://host:1/debug/vars"},
+	} {
+		if got := normalizeLiveURL(tc.in); got != tc.want {
+			t.Errorf("normalizeLiveURL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLiveAgainstRuntime points -live at a real runtime's exporter while a
+// workload fires triggers, and checks the rendered rate table and totals.
+func TestLiveAgainstRuntime(t *testing.T) {
+	rt, err := core.New(core.Config{
+		Backend: core.BackendImmediate, Workers: 2, MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	r := rt.NewRegion("live", 8)
+	id := rt.Register("w", func(tg core.Trigger) { _ = tg.Region.Load(tg.Index) })
+	if err := rt.Attach(id, r, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	go func() {
+		for j := 0; !stop.Load(); j++ {
+			r.TStore(j%8, uint64(j+1))
+		}
+	}()
+	defer stop.Store(true)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-live", rt.MetricsAddr(), "-interval", "30ms", "-samples", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Live trigger rates", "tstores/s", "squash%", "totals: tstores"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Two sample rows plus title, header, separator and totals.
+	if rows := strings.Count(s, "\n"); rows < 6 {
+		t.Fatalf("expected 2 rate rows, got:\n%s", s)
+	}
+}
+
+func TestLiveErrors(t *testing.T) {
+	// A server that answers JSON without a dtt payload: not a DTT endpoint.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "{}")
+	}))
+	defer srv.Close()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-live", srv.URL}, &out, &errb); code != 1 {
+		t.Fatalf("non-DTT endpoint: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "dtt") {
+		t.Fatalf("stderr missing diagnostic: %s", errb.String())
+	}
+
+	errb.Reset()
+	if code := run([]string{"-live", "127.0.0.1:1", "-interval", "1ms"}, &out, &errb); code != 1 {
+		t.Fatalf("unreachable endpoint: exit %d, want 1", code)
+	}
+
+	errb.Reset()
+	if code := run([]string{"-live", "x", "-samples", "0"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -samples: exit %d, want 2", code)
+	}
+}

@@ -2,10 +2,15 @@
 // fraction of redundant loads (the paper's 78% motivation) and of silent
 // stores, per benchmark.
 //
+// With -live it instead attaches to a running runtime's metrics endpoint
+// (dttrun -metrics, or any Config.MetricsAddr program) and renders live
+// trigger rates from /debug/vars.
+//
 // Usage:
 //
 //	dttprof                  # profile every workload
 //	dttprof -workload mcf    # profile one workload
+//	dttprof -live 127.0.0.1:9090 -interval 1s -samples 10
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dtt/internal/mem"
 	"dtt/internal/profiler"
@@ -31,13 +37,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dttprof", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name  = fs.String("workload", "", "workload to profile (default: all)")
-		scale = fs.Int("scale", 1, "workload data scale factor")
-		iters = fs.Int("iters", 40, "workload outer iterations")
-		seed  = fs.Uint64("seed", 1, "workload input seed")
+		name     = fs.String("workload", "", "workload to profile (default: all)")
+		scale    = fs.Int("scale", 1, "workload data scale factor")
+		iters    = fs.Int("iters", 40, "workload outer iterations")
+		seed     = fs.Uint64("seed", 1, "workload input seed")
+		live     = fs.String("live", "", "poll a running runtime's metrics endpoint (host:port or URL) instead of profiling")
+		interval = fs.Duration("interval", time.Second, "poll interval for -live")
+		samples  = fs.Int("samples", 5, "number of rate samples for -live")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *live != "" {
+		if *samples < 1 || *interval <= 0 {
+			fmt.Fprintf(stderr, "dttprof: -live needs -samples >= 1 and -interval > 0\n")
+			return 2
+		}
+		return runLive(stdout, stderr, *live, *interval, *samples)
 	}
 
 	var targets []workloads.Workload

@@ -8,6 +8,8 @@
 //	dttrun -workload equake -mode baseline
 //	dttrun -workload mcf -check                      # protocol sanitizer on
 //	dttrun -workload mcf -backend seeded -sched-seed 7
+//	dttrun -workload mcf -backend immediate -iters 4000 \
+//	    -metrics 127.0.0.1:9090 -metrics-hold 30s    # scrape while it runs
 package main
 
 import (
@@ -48,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		check     = fs.Bool("check", false, "run the DTT protocol sanitizer (CheckStrict) and exit 1 on violations")
 		schedSeed = fs.Uint64("sched-seed", 0, "deterministic-scheduler seed for the seeded backend")
 		showTL    = fs.Bool("timeline", false, "simulate the run and print the per-context schedule (dtt mode)")
+		metrics   = fs.String("metrics", "", "serve /metrics and /debug/vars on this address during the run (dtt mode), e.g. 127.0.0.1:9090")
+		hold      = fs.Duration("metrics-hold", 0, "keep the process (and the metrics endpoint) alive this long after the workload finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%s baseline: checksum %#x in %v\n", w.Name(), res.Checksum, time.Since(start))
 	case "dtt":
-		cfg := core.Config{QueueCapacity: *qcap, Shards: *shards, Dedup: queue.DedupPerAddress}
+		cfg := core.Config{QueueCapacity: *qcap, Shards: *shards, Dedup: queue.DedupPerAddress, MetricsAddr: *metrics}
 		if *check {
 			cfg.Checker = core.CheckStrict
 		}
@@ -97,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer rt.Close()
+		if addr := rt.MetricsAddr(); addr != "" {
+			fmt.Fprintf(stderr, "dttrun: serving metrics on http://%s/metrics (expvar at /debug/vars)\n", addr)
+		}
 		res, err := w.RunDTT(workloads.NewDTTEnv(rt), size)
 		if err != nil {
 			fmt.Fprintf(stderr, "dttrun: %v\n", err)
@@ -119,6 +126,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			fmt.Fprint(stdout, tl.String())
+		}
+		if *hold > 0 && rt.MetricsAddr() != "" {
+			fmt.Fprintf(stderr, "dttrun: holding %v for scrapes (ctrl-c to stop early)\n", *hold)
+			time.Sleep(*hold)
 		}
 		if *check {
 			vs := rt.Violations()

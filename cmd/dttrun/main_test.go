@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // Smoke tests: every exposed mode of the binary parses, runs a small
@@ -72,6 +76,68 @@ func TestRunTimelineSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "mcf dtt (recorded): checksum") {
 		t.Fatalf("output missing recorded checksum line:\n%s", out)
+	}
+}
+
+// lockedBuf is a bytes.Buffer safe to read while run is still writing.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestRunMetricsEndpoint is the CLI acceptance path: -metrics announces the
+// bound address on stderr, and a scrape against it while the process holds
+// returns Prometheus text carrying the runtime's counters.
+func TestRunMetricsEndpoint(t *testing.T) {
+	var out, errb lockedBuf
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-workload", "mcf", "-backend", "immediate", "-iters", "50",
+			"-metrics", "127.0.0.1:0", "-metrics-hold", "3s",
+		}, &out, &errb)
+	}()
+
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never announced; stderr: %s", errb.String())
+		}
+		if s := errb.String(); strings.Contains(s, "http://") {
+			url = strings.Fields(s[strings.Index(s, "http://"):])[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dtt_tstores_total", "dtt_silent_total", "# TYPE dtt_trigger_dispatch_latency_ns histogram"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("scrape missing %q:\n%s", want, body)
+		}
+	}
+	if code := <-done; code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 }
 

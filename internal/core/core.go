@@ -156,6 +156,17 @@ type Config struct {
 	// Re-running the same program with the same seed replays the same
 	// support-thread interleaving.
 	SchedSeed uint64
+	// Telemetry enables the metrics plane: per-shard latency, run-duration
+	// and queue-depth histograms, pprof labels on support-thread instances,
+	// and runtime/trace annotations. Off by default; when off the trigger
+	// fast paths pay a single nil check and no time reads.
+	Telemetry bool
+	// MetricsAddr, when non-empty, starts an HTTP exporter on the address
+	// serving /metrics (Prometheus text) and /debug/vars (expvar JSON).
+	// Use "127.0.0.1:0" to bind an ephemeral port and read the bound
+	// address back from Runtime.MetricsAddr. Implies Telemetry. The
+	// exporter shuts down with Close.
+	MetricsAddr string
 }
 
 func (c *Config) applyDefaults() {
@@ -182,6 +193,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.System == nil {
 		c.System = mem.NewSystem()
+	}
+	if c.MetricsAddr != "" {
+		c.Telemetry = true
 	}
 }
 

@@ -1,8 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +17,7 @@ import (
 	"dtt/internal/queue"
 	"dtt/internal/sanitize"
 	"dtt/internal/sched"
+	"dtt/internal/telemetry"
 	"dtt/internal/trace"
 )
 
@@ -32,6 +39,13 @@ type threadEntry struct {
 	name string
 	fn   ThreadFunc
 	atts []attachment
+
+	// labels is the precomputed pprof label context for this thread's
+	// instances (dtt_thread=name, dtt_thread_id=id), nil with telemetry
+	// off. Building it once at Register keeps per-instance labelling to
+	// two allocation-free SetGoroutineLabels calls. Immutable after
+	// Register.
+	labels context.Context
 
 	// running is the run token: true while an instance of this thread is
 	// executing (queue-dispatched or inline). owner is the goroutine id of
@@ -81,6 +95,9 @@ type dispatchShard struct {
 	rr int
 	// idx is the shard's own index, fixed at construction.
 	idx int
+	// c are the shard's trigger counters, guarded by mu. Stats sums them
+	// under all shard locks for torn-free snapshots (see shardStats).
+	c shardStats
 	// busy mirrors tq.Len() + TQST running + inlineRunning. It is written
 	// only under mu but read lock-free by the Barrier fast check and the
 	// finish-side barrier hint, which sum it across shards.
@@ -179,6 +196,16 @@ type Runtime struct {
 	// held.
 	elig []eligRef
 
+	// tel is the telemetry plane, nil when Config.Telemetry is off. Every
+	// hot-path use is behind a nil check, so the disabled configuration
+	// pays one predictable branch and no time reads.
+	tel *telemetry.T
+	// metricsSrv serves /metrics and /debug/vars when Config.MetricsAddr
+	// is set; metricsAddr is the bound listen address (resolved, so
+	// ":0"-style configs report the real port).
+	metricsSrv  *http.Server
+	metricsAddr string
+
 	stats statsCounters
 }
 
@@ -208,6 +235,22 @@ func New(cfg Config) (*Runtime, error) {
 		sh.idx = s
 		sh.tq = queue.NewThreadQueue(cfg.QueueCapacity, cfg.Dedup)
 		sh.tqst = queue.NewTQST()
+	}
+	if cfg.Telemetry {
+		rt.tel = telemetry.New(len(rt.shards))
+		for s := range rt.shards {
+			// Stamp enqueues with the telemetry clock so dispatch can
+			// observe trigger->dispatch latency.
+			rt.shards[s].tq.SetClock(telemetry.Now)
+		}
+	}
+	if cfg.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: metrics listener: %w", err)
+		}
+		rt.metricsAddr = ln.Addr().String()
+		rt.metricsSrv = telemetry.Serve(ln, rt)
 	}
 	if cfg.Checker != CheckOff {
 		rt.check = sanitize.NewChecker()
@@ -252,6 +295,11 @@ func (rt *Runtime) shardOf(t ThreadID) *dispatchShard {
 // System returns the runtime's address space.
 func (rt *Runtime) System() *mem.System { return rt.sys }
 
+// MetricsAddr returns the metrics exporter's bound listen address, or "" when
+// Config.MetricsAddr was empty. A config of "127.0.0.1:0" resolves here to
+// the real ephemeral port.
+func (rt *Runtime) MetricsAddr() string { return rt.metricsAddr }
+
 // Config returns the configuration the runtime was built with (after
 // defaulting; Config.Shards reports the effective shard count).
 func (rt *Runtime) Config() Config { return rt.cfg }
@@ -273,9 +321,14 @@ func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
 	defer rt.mu.Unlock()
 	old := rt.threadsSnap()
 	id := ThreadID(len(old))
+	te := &threadEntry{name: name, fn: fn}
+	if rt.tel != nil {
+		te.labels = pprof.WithLabels(context.Background(),
+			pprof.Labels("dtt_thread", name, "dtt_thread_id", strconv.Itoa(int(id))))
+	}
 	grown := make([]*threadEntry, len(old)+1)
 	copy(grown, old)
-	grown[len(old)] = &threadEntry{name: name, fn: fn}
+	grown[len(old)] = te
 	rt.threads.Store(&grown)
 	if rt.check != nil {
 		rt.check.RegisterThread(id, name)
@@ -443,7 +496,6 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 	}
 
 	var inline []queue.Entry
-	fired := 0
 	rt.reg.Each(addr, func(id queue.ThreadID) {
 		// The thread table is loaded after the registry snapshot, so an id
 		// the registry knows is always in range here.
@@ -456,7 +508,10 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 			sh.mu.Unlock()
 			return
 		}
-		fired++
+		// fired and exactly one of its decomposition counters move in the
+		// same critical section, so the Fired = Enqueued + Squashed +
+		// Overflowed identity holds under the shard lock at all times.
+		sh.c.fired++
 		if rt.check != nil {
 			// Every outcome — enqueued, squashed, overflowed — ends in an
 			// instance that observes this store, so the release edge is
@@ -467,25 +522,25 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 		case queue.Enqueued:
 			sh.tqst.MarkPending(id)
 			sh.busy.Add(1)
-			rt.stats.enqueued.Add(1)
+			sh.c.enqueued++
+			if rt.tel != nil {
+				rt.tel.Shard(sh.idx).QueueDepth.Observe(int64(sh.tq.Len()))
+			}
 			rt.noteRelease(id, addr)
 			rt.signalShardLocked(sh)
 		case queue.Squashed:
-			rt.stats.squashed.Add(1)
+			sh.c.squashed++
 			rt.noteRelease(id, addr)
 		case queue.Overflowed:
-			rt.stats.overflowed.Add(1)
+			sh.c.overflowed++
 			if rt.cfg.Overflow == queue.OverflowInline {
 				inline = append(inline, queue.Entry{Thread: id, Addr: addr})
 			} else {
-				rt.stats.dropped.Add(1)
+				sh.c.dropped++
 			}
 		}
 		sh.mu.Unlock()
 	})
-	if fired > 0 {
-		rt.stats.fired.Add(int64(fired))
-	}
 
 	for _, e := range inline {
 		rt.runInline(e)
@@ -676,6 +731,59 @@ func (rt *Runtime) resolveShardLocked(ths []*threadEntry, e queue.Entry) (Trigge
 	panic(fmt.Sprintf("core: queue entry for thread %d addr %#x has no attachment", e.Thread, e.Addr))
 }
 
+// runInstance executes one support-thread instance through invoke,
+// surrounding it with the telemetry plane when it is on: the
+// trigger->dispatch latency observation (for entries that sat in a
+// queue), pprof goroutine labels so CPU profiles attribute samples to the
+// thread, a runtime/trace task+region when tracing is active, and the
+// run-duration observation. With telemetry off it is exactly invoke —
+// one nil check. With telemetry on but tracing off it stays
+// allocation-free: the label context is precomputed at Register and
+// SetGoroutineLabels allocates nothing.
+func (rt *Runtime) runInstance(e queue.Entry, fn ThreadFunc, tg Trigger) bool {
+	tel := rt.tel
+	if tel == nil {
+		return rt.invoke(e.Thread, fn, tg)
+	}
+	sm := tel.Shard(int(uint32(e.Thread) & rt.shardMask))
+	if e.T0 != 0 {
+		sm.TriggerLatency.Observe(telemetry.Now() - e.T0)
+	}
+	var labels context.Context
+	if ths := rt.threadsSnap(); int(e.Thread) >= 0 && int(e.Thread) < len(ths) {
+		labels = ths[e.Thread].labels
+	}
+	if labels != nil {
+		pprof.SetGoroutineLabels(labels)
+	}
+	var task *rtrace.Task
+	var region *rtrace.Region
+	if rtrace.IsEnabled() {
+		ctx := labels
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, task = rtrace.NewTask(ctx, "dtt.instance")
+		rtrace.Log(ctx, "dtt.thread", rt.ThreadName(e.Thread))
+		region = rtrace.StartRegion(ctx, "dtt.run")
+	}
+
+	start := telemetry.Now()
+	ok := rt.invoke(e.Thread, fn, tg)
+	sm.RunDuration.Observe(telemetry.Now() - start)
+
+	if region != nil {
+		region.End()
+		task.End()
+	}
+	if labels != nil {
+		// Shed the instance labels so worker idle time (or the caller's
+		// own samples, for inline runs) is not attributed to this thread.
+		pprof.SetGoroutineLabels(context.Background())
+	}
+	return ok
+}
+
 // invoke runs a support-thread body, bracketing it with sanitizer
 // entry/exit and converting a panic into a failed-run outcome instead of
 // tearing down the process (the paper's hardware squashes a faulting
@@ -730,16 +838,16 @@ func (rt *Runtime) runSeededAllLocked(ths []*threadEntry, ref eligRef) {
 	tg, fn := rt.resolveShardLocked(ths, e)
 	rt.unlockAllShards()
 
-	ok := rt.invoke(e.Thread, fn, tg)
+	ok := rt.runInstance(e, fn, tg)
 
 	sh.mu.Lock()
 	te.running = false
 	if ok {
 		sh.tqst.MarkDone(e.Thread)
-		rt.stats.executed.Add(1)
+		sh.c.executed++
 	} else {
 		sh.tqst.MarkFailed(e.Thread)
-		rt.stats.failedRuns.Add(1)
+		sh.c.failedRuns++
 	}
 	sh.busy.Add(-1)
 	rt.finishShardLocked(sh, e.Thread, ths)
@@ -807,7 +915,7 @@ func (rt *Runtime) runInline(e queue.Entry) {
 			// A Cancel raced in between the overflow and this run; the
 			// work it would have done is cancelled work. Counting it as
 			// dropped keeps Overflowed = InlineRuns + Dropped.
-			rt.stats.dropped.Add(1)
+			sh.c.dropped++
 			sh.mu.Unlock()
 			return
 		}
@@ -818,14 +926,14 @@ func (rt *Runtime) runInline(e queue.Entry) {
 			// We hold this thread's run token ourselves: recurse.
 			tg, fn := rt.resolveShardLocked(ths, e)
 			sh.mu.Unlock()
-			ok := rt.invoke(e.Thread, fn, tg)
-			rt.stats.inlineRuns.Add(1)
+			ok := rt.runInstance(e, fn, tg)
+			sh.mu.Lock()
+			sh.c.inlineRuns++
 			if !ok {
-				rt.stats.failedRuns.Add(1)
-				sh.mu.Lock()
+				sh.c.failedRuns++
 				sh.tqst.NoteFailed(e.Thread)
-				sh.mu.Unlock()
 			}
+			sh.mu.Unlock()
 			return
 		}
 		ch := make(chan struct{})
@@ -841,16 +949,16 @@ func (rt *Runtime) runInline(e queue.Entry) {
 	tg, fn := rt.resolveShardLocked(ths, e)
 	sh.mu.Unlock()
 
-	ok := rt.invoke(e.Thread, fn, tg)
+	ok := rt.runInstance(e, fn, tg)
 
 	sh.mu.Lock()
 	te.running = false
 	te.owner = 0
 	sh.inlineRunning--
 	sh.busy.Add(-1)
-	rt.stats.inlineRuns.Add(1)
+	sh.c.inlineRuns++
 	if !ok {
-		rt.stats.failedRuns.Add(1)
+		sh.c.failedRuns++
 		sh.tqst.NoteFailed(e.Thread)
 	}
 	rt.finishShardLocked(sh, e.Thread, ths)
@@ -877,17 +985,17 @@ func (rt *Runtime) runShardEntry(sh *dispatchShard, g uint64) bool {
 	tg, fn := rt.resolveShardLocked(ths, e)
 	sh.mu.Unlock()
 
-	ok = rt.invoke(e.Thread, fn, tg)
+	ok = rt.runInstance(e, fn, tg)
 
 	sh.mu.Lock()
 	te.running = false
 	te.owner = 0
 	if ok {
 		sh.tqst.MarkDone(e.Thread)
-		rt.stats.executed.Add(1)
+		sh.c.executed++
 	} else {
 		sh.tqst.MarkFailed(e.Thread)
-		rt.stats.failedRuns.Add(1)
+		sh.c.failedRuns++
 	}
 	sh.busy.Add(-1)
 	rt.finishShardLocked(sh, e.Thread, ths)
@@ -961,7 +1069,7 @@ func (rt *Runtime) drainAll() []trace.TaskID {
 				if rt.cfg.Recorder != nil {
 					rt.cfg.Recorder.BeginSupport(name, rel)
 				}
-				ok = rt.invoke(e.Thread, fn, tg)
+				ok = rt.runInstance(e, fn, tg)
 				if rt.cfg.Recorder != nil {
 					// A failed instance still closes its trace task:
 					// whatever it charged before panicking was really
@@ -972,10 +1080,10 @@ func (rt *Runtime) drainAll() []trace.TaskID {
 				sh.mu.Lock()
 				if ok {
 					sh.tqst.MarkDone(e.Thread)
-					rt.stats.executed.Add(1)
+					sh.c.executed++
 				} else {
 					sh.tqst.MarkFailed(e.Thread)
-					rt.stats.failedRuns.Add(1)
+					sh.c.failedRuns++
 				}
 				sh.busy.Add(-1)
 			}
@@ -1020,6 +1128,9 @@ func goid() uint64 {
 // completions of other threads do not wake it.
 func (rt *Runtime) Wait(t ThreadID) {
 	rt.stats.waits.Add(1)
+	if rt.tel != nil && rtrace.IsEnabled() {
+		defer rtrace.StartRegion(context.Background(), "dtt.Wait").End()
+	}
 	if rt.cfg.Backend == BackendSeeded {
 		rt.drainSeeded()
 		rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
@@ -1071,6 +1182,9 @@ func (rt *Runtime) noteJoin(edge func(g uint64)) {
 // re-confirming.
 func (rt *Runtime) Barrier() {
 	rt.stats.barriers.Add(1)
+	if rt.tel != nil && rtrace.IsEnabled() {
+		defer rtrace.StartRegion(context.Background(), "dtt.Barrier").End()
+	}
 	if rt.cfg.Backend == BackendSeeded {
 		rt.drainSeeded()
 		rt.noteJoin(rt.check.OnBarrier)
@@ -1187,6 +1301,11 @@ func (rt *Runtime) Close() {
 	}
 	rt.closed.Store(true)
 	rt.mu.Unlock()
+	if rt.metricsSrv != nil {
+		// Stop scrapes before the dispatch plane winds down; in-flight
+		// snapshot reads only take shard locks, which remain valid.
+		rt.metricsSrv.Close()
+	}
 	for _, ch := range rt.workerWake {
 		select {
 		case ch <- struct{}{}:

@@ -148,6 +148,59 @@ func TestShardedCascadesConserveCounters(t *testing.T) {
 	}
 }
 
+// TestBarrierCrossShardCascade is the regression test for the barrier
+// wakeup race documented at busySumRacy: a trigger cascading from one shard
+// to another can make the lock-free busy sum read zero transiently (the
+// reader sees the source shard after its decrement and the target shard
+// before its increment). The chain here is registered so execution hops
+// through shards in descending index order — the opposite of busySumRacy's
+// ascending scan, the orientation most likely to read a transient zero.
+// Barrier must neither return early (the chain tail would read stale) nor
+// hang on a missed wakeup (the watchdog converts that into a stack dump).
+func TestBarrierCrossShardCascade(t *testing.T) {
+	const hops, rounds = 16, 50
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 4, Shards: 4, QueueCapacity: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	r := rt.NewRegion("chain", hops)
+	// Thread k handles hop hops-1-k, so the hop sequence walks thread IDs —
+	// and therefore shard indices — downwards.
+	for k := 0; k < hops; k++ {
+		id := rt.Register(fmt.Sprintf("hop%d", k), func(tg Trigger) {
+			if tg.Index+1 < hops {
+				tg.Region.TStore(tg.Index+1, tg.Region.Load(tg.Index)+1)
+			}
+		})
+		hop := hops - 1 - int(id)
+		if err := rt.Attach(id, r, hop, hop+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 1; round <= rounds; round++ {
+			base := uint64(round * 1000)
+			r.TStore(0, base)
+			rt.Barrier()
+			if got := uint64(r.Peek(hops - 1)); got != base+hops-1 {
+				t.Errorf("round %d: Barrier returned early: tail = %d, want %d", round, got, base+hops-1)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("Barrier hung on a cross-shard cascade:\n%s", buf[:runtime.Stack(buf, true)])
+	}
+	assertQueueConservation(t, rt, "barrier cascade")
+}
+
 // assertQueueConservation checks Enqueued = Dequeued + SquashedOut + Len for
 // every shard individually and for the cross-shard aggregate.
 func assertQueueConservation(t *testing.T, rt *Runtime, phase string) {

@@ -2,23 +2,40 @@ package core
 
 import "sync/atomic"
 
-// statsCounters are the runtime's internal counters, atomic so the
-// immediate backend's workers and concurrent producers can update them
-// without sharing a lock.
+// statsCounters are the runtime's lock-free counters: the ones updated on
+// paths that hold no lock (the silent-store fast path, Wait/Barrier entry)
+// and bound by no cross-counter identity, so a torn read across them is
+// harmless. Counters that do participate in an identity live in each
+// shard's shardStats instead.
 type statsCounters struct {
-	tstores    atomic.Int64
-	silent     atomic.Int64
-	fired      atomic.Int64
-	enqueued   atomic.Int64
-	squashed   atomic.Int64
-	overflowed atomic.Int64
-	dropped    atomic.Int64
-	inlineRuns atomic.Int64
-	executed   atomic.Int64
-	failedRuns atomic.Int64
-	waits      atomic.Int64
-	barriers   atomic.Int64
-	cancels    atomic.Int64
+	tstores  atomic.Int64
+	silent   atomic.Int64
+	waits    atomic.Int64
+	barriers atomic.Int64
+	cancels  atomic.Int64
+}
+
+// shardStats are one dispatch shard's trigger counters: plain int64s
+// guarded by the shard lock, which the paths that update them already
+// hold (or take briefly, on the inline-overflow slow path). Keeping them
+// per shard preserves the fast path — a plain add under a lock already
+// held is cheaper than the process-wide atomic it replaces — and lets
+// Stats build a torn-free snapshot by summing under all shard locks:
+// within one shard, fired and its decomposition move together in the same
+// critical section, so the identity
+//
+//	fired = enqueued + squashed + overflowed
+//
+// holds under the lock at all times, per shard and therefore in the sum.
+type shardStats struct {
+	fired      int64
+	enqueued   int64
+	squashed   int64
+	overflowed int64
+	dropped    int64
+	inlineRuns int64
+	executed   int64
+	failedRuns int64
 }
 
 // Stats is a point-in-time snapshot of runtime activity. The relationships
@@ -106,21 +123,37 @@ func (rt *Runtime) ThreadStatsFor(t ThreadID) ThreadStats {
 	return ts
 }
 
-// Stats returns a snapshot of the runtime's counters.
+// Stats returns a consistent snapshot of the runtime's counters: the
+// dispatch counters are summed under every shard lock (taken in the legal
+// ascending order), so a snapshot concurrent with producers and workers
+// still satisfies Fired = Enqueued + Squashed + Overflowed — the identity
+// the runtime documents and the polling metrics exporter re-asserts on
+// every scrape. An earlier revision loaded one process-wide atomic per
+// counter and could tear: a reader interleaving with a firing store saw
+// Fired without the matching Enqueued.
+//
+// The lock-free counters carry no cross-counter identity; Silent is
+// loaded before TStores so that a concurrent silent store can never make
+// Silent exceed TStores in the snapshot.
 func (rt *Runtime) Stats() Stats {
-	return Stats{
-		TStores:    rt.stats.tstores.Load(),
-		Silent:     rt.stats.silent.Load(),
-		Fired:      rt.stats.fired.Load(),
-		Enqueued:   rt.stats.enqueued.Load(),
-		Squashed:   rt.stats.squashed.Load(),
-		Overflowed: rt.stats.overflowed.Load(),
-		Dropped:    rt.stats.dropped.Load(),
-		InlineRuns: rt.stats.inlineRuns.Load(),
-		Executed:   rt.stats.executed.Load(),
-		FailedRuns: rt.stats.failedRuns.Load(),
-		Waits:      rt.stats.waits.Load(),
-		Barriers:   rt.stats.barriers.Load(),
-		Cancels:    rt.stats.cancels.Load(),
+	var s Stats
+	rt.lockAllShards()
+	for i := range rt.shards {
+		c := &rt.shards[i].c
+		s.Fired += c.fired
+		s.Enqueued += c.enqueued
+		s.Squashed += c.squashed
+		s.Overflowed += c.overflowed
+		s.Dropped += c.dropped
+		s.InlineRuns += c.inlineRuns
+		s.Executed += c.executed
+		s.FailedRuns += c.failedRuns
 	}
+	rt.unlockAllShards()
+	s.Silent = rt.stats.silent.Load()
+	s.TStores = rt.stats.tstores.Load()
+	s.Waits = rt.stats.waits.Load()
+	s.Barriers = rt.stats.barriers.Load()
+	s.Cancels = rt.stats.cancels.Load()
+	return s
 }

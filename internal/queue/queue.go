@@ -72,6 +72,12 @@ type Entry struct {
 	Thread ThreadID
 	Addr   mem.Addr // the trigger address that fired
 	Seq    int64    // enqueue sequence number, for observability
+	// T0 is the enqueue timestamp in the queue clock's units, 0 when no
+	// clock is set (telemetry off) or the entry never sat in a queue (an
+	// inline overflow run). A squashed re-trigger keeps the original
+	// entry's stamp: the latency being measured is how long the oldest
+	// unserved trigger waited.
+	T0 int64
 }
 
 // EnqueueStatus reports what Enqueue did with a trigger.
@@ -126,6 +132,10 @@ type ThreadQueue struct {
 	pending   map[dedupKey]int
 	perThread []int // pending entries per ThreadID, grown on demand
 	seq       int64
+	// clock stamps Entry.T0 at enqueue when non-nil; the runtime sets it
+	// (to the telemetry clock) only when telemetry is on, so the default
+	// enqueue path never pays for a time read.
+	clock func() int64
 
 	c Counters
 }
@@ -215,7 +225,11 @@ func (q *ThreadQueue) Enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
 		return Overflowed
 	}
 	q.seq++
-	*q.at(q.n) = Entry{Thread: t, Addr: addr, Seq: q.seq}
+	e := Entry{Thread: t, Addr: addr, Seq: q.seq}
+	if q.clock != nil {
+		e.T0 = q.clock()
+	}
+	*q.at(q.n) = e
 	q.n++
 	if q.pending != nil {
 		q.pending[k]++
@@ -337,6 +351,10 @@ func (q *ThreadQueue) PendingCount(t ThreadID) int {
 	}
 	return q.perThread[t]
 }
+
+// SetClock installs the enqueue timestamp source for Entry.T0. Call it
+// before the queue is shared; a nil clock (the default) stamps nothing.
+func (q *ThreadQueue) SetClock(clock func() int64) { q.clock = clock }
 
 // Counters returns the queue's lifetime statistics.
 func (q *ThreadQueue) Counters() Counters { return q.c }

@@ -80,6 +80,35 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableFloatFormatting pins the float-cell rendering: integral counts
+// print exactly however large (the %.3g-only formatter rendered a 7-digit
+// count as "1.23e+06" in committed tables), fractional values keep the
+// compact 3-significant-digit form, and magnitudes past float64's
+// exact-integer range stay scientific.
+func TestTableFloatFormatting(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{7, "7"},
+		{1234567, "1234567"},
+		{-987654321, "-987654321"},
+		{1e12, "1000000000000"},
+		{1.5, "1.5"},
+		{0.123456, "0.123"},
+		{2.0 / 3.0, "0.667"},
+		{1e15, "1e+15"},
+		{1.25e18, "1.25e+18"},
+	} {
+		tb := NewTable("", "v")
+		tb.AddRow(tc.in)
+		if got := tb.Cell(0, 0); got != tc.want {
+			t.Errorf("AddRow(%v) rendered %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestTableCellAccess(t *testing.T) {
 	tb := NewTable("", "a", "b")
 	tb.AddRow("x", 2)

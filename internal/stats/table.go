@@ -2,6 +2,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -24,7 +26,7 @@ func (t *Table) AddRow(cells ...any) {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.3g", v)
+			row[i] = formatFloat(v)
 		case string:
 			row[i] = v
 		default:
@@ -32,6 +34,18 @@ func (t *Table) AddRow(cells ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders a float cell. Integral values print exactly — a count
+// like 1234567 must not collapse to "1.23e+06", which made large-run tables
+// unreadable and un-diffable — while fractional values keep the compact
+// 3-significant-digit form. Magnitudes at or beyond 1e15 exceed float64's
+// exact-integer range, so they fall back to the compact form too.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return fmt.Sprintf("%.3g", v)
 }
 
 // AddRowf appends a row of pre-formatted strings.

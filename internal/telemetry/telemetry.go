@@ -1,0 +1,130 @@
+// Package telemetry is the runtime's always-on observability plane: a
+// zero-dependency metrics layer the dispatch plane updates with a few
+// atomics on its hot paths, exported as Prometheus text and expvar JSON
+// over HTTP.
+//
+// The package deliberately knows nothing about the runtime. The runtime
+// owns a T — a set of per-shard metric blocks sized to its dispatch-shard
+// count — and observes into the block of the shard it is already touching,
+// so telemetry adds no cross-shard cache-line traffic to stores that were
+// sharded apart on purpose. Exporters consume a Snapshot the runtime
+// builds (see the Source interface); counter consistency is the runtime's
+// contract (core.Runtime.Stats sums per-shard counters under the shard
+// locks), histogram consistency is handled here by deriving each
+// histogram's count from its bucket sums.
+package telemetry
+
+import "time"
+
+// base anchors Now. Using a monotonic difference rather than wall-clock
+// nanoseconds keeps latency arithmetic immune to clock steps.
+var base = time.Now()
+
+// Now returns monotonic nanoseconds since process start. It is the clock
+// the runtime stamps queue entries with and never allocates.
+func Now() int64 { return int64(time.Since(base)) }
+
+// ShardMetrics is one dispatch shard's histogram block. The runtime
+// observes into the block of the shard whose lock it already holds (or
+// whose thread it is already dispatching), so concurrent producers on
+// different shards never contend on a bucket counter.
+type ShardMetrics struct {
+	// TriggerLatency is trigger->dispatch latency in nanoseconds: from the
+	// triggering store's enqueue to the instance leaving the queue.
+	TriggerLatency Histogram
+	// RunDuration is support-body execution time in nanoseconds.
+	RunDuration Histogram
+	// QueueDepth is the shard's pending-entry count sampled at each
+	// enqueue (after the entry was admitted).
+	QueueDepth Histogram
+}
+
+// T is a runtime's telemetry: per-shard metric blocks merged at snapshot
+// time. The zero value is not usable; use New.
+type T struct {
+	shards []ShardMetrics
+}
+
+// New returns a T with one metric block per dispatch shard.
+func New(shards int) *T {
+	t := &T{shards: make([]ShardMetrics, shards)}
+	for i := range t.shards {
+		sm := &t.shards[i]
+		sm.TriggerLatency.init(LatencyBounds)
+		sm.RunDuration.init(LatencyBounds)
+		sm.QueueDepth.init(DepthBounds)
+	}
+	return t
+}
+
+// Shard returns shard i's metric block.
+func (t *T) Shard(i int) *ShardMetrics { return &t.shards[i] }
+
+// Shards returns the number of per-shard blocks.
+func (t *T) Shards() int { return len(t.shards) }
+
+// Histograms returns the three histograms merged across shards, in a
+// fixed order (trigger latency, run duration, queue depth) with their
+// exported metric names attached.
+func (t *T) Histograms() []HistogramSnapshot {
+	lat := newHistogramSnapshot("dtt_trigger_dispatch_latency_ns",
+		"Nanoseconds from a trigger entering the thread queue to its instance dispatching", LatencyBounds)
+	run := newHistogramSnapshot("dtt_run_duration_ns",
+		"Support-thread body execution time in nanoseconds", LatencyBounds)
+	depth := newHistogramSnapshot("dtt_queue_depth",
+		"Shard thread-queue occupancy sampled at enqueue", DepthBounds)
+	for i := range t.shards {
+		sm := &t.shards[i]
+		sm.TriggerLatency.addTo(&lat)
+		sm.RunDuration.addTo(&run)
+		sm.QueueDepth.addTo(&depth)
+	}
+	return []HistogramSnapshot{lat, run, depth}
+}
+
+// Metric is one exported counter or gauge sample.
+type Metric struct {
+	// Name is the full Prometheus metric name (dtt_*).
+	Name string
+	// Help is the one-line metric description.
+	Help string
+	// Value is the sample value.
+	Value int64
+}
+
+// ShardSample is one dispatch shard's queue counters and current depth.
+// Each sample independently obeys the thread-queue conservation invariant
+// Enqueued = Dequeued + SquashedOut + Depth (it is read under that
+// shard's lock).
+type ShardSample struct {
+	Enqueued    int64 `json:"enqueued"`
+	Squashed    int64 `json:"squashed"`
+	Overflowed  int64 `json:"overflowed"`
+	Dequeued    int64 `json:"dequeued"`
+	SquashedOut int64 `json:"squashed_out"`
+	Depth       int   `json:"depth"`
+	Peak        int   `json:"peak"`
+}
+
+// Snapshot is one consistent export of a runtime's metrics; exporters
+// render it as Prometheus text (WritePrometheus) or expvar JSON
+// (WriteVars). Counters must be internally consistent — the runtime
+// builds them from a torn-free Stats read — so every scrape satisfies the
+// counter identities the runtime documents.
+type Snapshot struct {
+	// Counters are the runtime's global monotonic counters, in render
+	// order.
+	Counters []Metric
+	// Gauges are point-in-time values (shard count, queue capacity, ...).
+	Gauges []Metric
+	// Shards are the per-shard queue counters, indexed by shard.
+	Shards []ShardSample
+	// Histograms are the merged latency/duration/depth histograms.
+	Histograms []HistogramSnapshot
+}
+
+// Source produces metric snapshots for an exporter. core.Runtime
+// implements it.
+type Source interface {
+	TelemetrySnapshot() Snapshot
+}

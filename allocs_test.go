@@ -79,8 +79,84 @@ func assertFastPathAllocs(t *testing.T, label string, telemetry bool) {
 	}
 }
 
+// assertBatchFastPathAllocs holds TStoreBatch/TStoreRange to the same
+// 0 allocs/op contract on every outcome: all-silent batches, all-changing
+// batches (with drain), and batches whose every word squashes into a
+// pending entry. The grouping scratch comes from the runtime's pool, so
+// after one warm batch the steady state allocates nothing.
+func assertBatchFastPathAllocs(t *testing.T, label string, telemetry bool) {
+	rt, hot, cold := allocRuntime(t, telemetry)
+
+	const batch = 64
+	var vals [batch]dtt.Word
+
+	// Warm the batch scratch (pool, fired slice capacity).
+	for i := range vals {
+		vals[i] = 1
+	}
+	hot.TStoreBatch(0, vals[:])
+	rt.Barrier()
+
+	// All-silent batch: every word already holds its value.
+	if got := testing.AllocsPerRun(200, func() { hot.TStoreBatch(0, vals[:]) }); got != 0 {
+		t.Errorf("%s: silent batch allocates %.1f allocs/op, want 0", label, got)
+	}
+
+	// All-changing batch: fire -> group -> enqueue -> drain.
+	var v dtt.Word = 1
+	if got := testing.AllocsPerRun(20, func() {
+		v++
+		for i := range vals {
+			vals[i] = v
+		}
+		for lo := 0; lo < 1024; lo += batch {
+			hot.TStoreRange(lo, lo+batch, vals[:])
+		}
+		rt.Barrier()
+	}); got != 0 {
+		t.Errorf("%s: changing batch+drain allocates %.1f allocs/op, want 0", label, got)
+	}
+
+	// Squash path: pending entries already queued for every batch address.
+	for i := range vals {
+		vals[i] = 1_000_000
+	}
+	hot.TStoreBatch(0, vals[:])
+	var w dtt.Word
+	if got := testing.AllocsPerRun(200, func() {
+		w++
+		for i := range vals {
+			vals[i] = 2_000_000 + w
+		}
+		hot.TStoreBatch(0, vals[:])
+	}); got != 0 {
+		t.Errorf("%s: squashing batch allocates %.1f allocs/op, want 0", label, got)
+	}
+	rt.Barrier()
+
+	// Uncovered batch: changing values, no attachments.
+	var u dtt.Word
+	if got := testing.AllocsPerRun(200, func() {
+		u++
+		vals[0] = u
+		cold.TStoreBatch(0, vals[:8])
+	}); got != 0 {
+		t.Errorf("%s: uncovered batch allocates %.1f allocs/op, want 0", label, got)
+	}
+}
+
 func TestTStoreFastPathAllocs(t *testing.T) {
 	assertFastPathAllocs(t, "telemetry off", false)
+}
+
+// TestTStoreBatchFastPathAllocs gates the batched paths the same way the
+// scalar gates above do; make ci's allocs gate runs both.
+func TestTStoreBatchFastPathAllocs(t *testing.T) {
+	assertBatchFastPathAllocs(t, "telemetry off", false)
+}
+
+func TestTStoreBatchFastPathAllocsTelemetry(t *testing.T) {
+	assertBatchFastPathAllocs(t, "telemetry on", true)
 }
 
 // TestTStoreFastPathAllocsTelemetry holds the telemetry plane to the same

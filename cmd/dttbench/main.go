@@ -42,8 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fast  = fs.Bool("fastpath", false, "microbenchmark the triggering-store fast paths and exit")
 		// -scale is taken by the workload data scale factor, so the
 		// producer-scaling sweep gets its own name.
-		sweep    = fs.Bool("scale-sweep", false, "measure changed-store throughput for 1..GOMAXPROCS producers and exit")
+		sweep    = fs.Bool("scale-sweep", false, "measure triggering-store throughput across producer counts and exit")
 		sweepOut = fs.String("scale-out", "BENCH_scale.json", "output path for the -scale-sweep JSON report")
+		oversub  = fs.Bool("oversubscribe", false, "sweep producer counts past min(GOMAXPROCS, NumCPU), up to 64; recorded in the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *sweep {
-		if err := runScaleSweep(stdout, *sweepOut); err != nil {
+		if err := runScaleSweep(stdout, *sweepOut, *oversub); err != nil {
 			fmt.Fprintf(stderr, "dttbench: scale sweep: %v\n", err)
 			return 1
 		}

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -53,7 +55,7 @@ func TestBenchFastpathSmoke(t *testing.T) {
 // unchanged curve must not dirty the tree), and the single-core warning
 // wired to GOMAXPROCS/NumCPU.
 func TestScaleReportHostBlock(t *testing.T) {
-	rep := newScaleReport()
+	rep := newScaleReport(false)
 	if rep.GOOS == "" || rep.GOARCH == "" || rep.GoVersion == "" {
 		t.Fatalf("host block incomplete: %+v", rep)
 	}
@@ -62,6 +64,45 @@ func TestScaleReportHostBlock(t *testing.T) {
 	}
 	if single := rep.GOMAXPROCS < 2 || rep.NumCPU < 2; (rep.Warning != "") != single {
 		t.Fatalf("warning %q on a host with GOMAXPROCS=%d NumCPU=%d", rep.Warning, rep.GOMAXPROCS, rep.NumCPU)
+	}
+	if rep.Oversubscribe {
+		t.Fatalf("oversubscribe recorded without the flag: %+v", rep)
+	}
+	if !newScaleReport(true).Oversubscribe {
+		t.Fatal("-oversubscribe not recorded in the report")
+	}
+	// The committed curve is parsed by schema consumers; pin the JSON keys.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"num_cpu"`, `"oversubscribe"`, `"stores_per_producer"`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("report JSON missing key %s: %s", key, data)
+		}
+	}
+}
+
+// TestScaleProducerCounts pins the sweep's producer axis: doubling counts,
+// capped at the host's real parallelism by default and pushed to 64 only
+// under -oversubscribe.
+func TestScaleProducerCounts(t *testing.T) {
+	def := scaleProducerCounts(false)
+	limit := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < limit {
+		limit = n
+	}
+	if def[len(def)-1] != limit {
+		t.Fatalf("default sweep tops out at %d, want min(GOMAXPROCS, NumCPU)=%d", def[len(def)-1], limit)
+	}
+	over := scaleProducerCounts(true)
+	if over[len(over)-1] != scaleMaxProducers {
+		t.Fatalf("oversubscribed sweep tops out at %d, want %d", over[len(over)-1], scaleMaxProducers)
+	}
+	for i := 1; i < len(over); i++ {
+		if over[i] <= over[i-1] {
+			t.Fatalf("producer counts not increasing: %v", over)
+		}
 	}
 }
 

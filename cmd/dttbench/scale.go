@@ -12,9 +12,13 @@ import (
 	"dtt"
 )
 
-// scalePoint is one producer count of the sweep. OpsPerSec is the aggregate
-// changed-covered triggering-store throughput across all producers.
+// scalePoint is one (mode, distribution, producer count) cell of the sweep.
+// OpsPerSec is the aggregate triggering-store throughput across all
+// producers — words written per second, whichever of the scalar or batched
+// entry points wrote them.
 type scalePoint struct {
+	Mode      string  `json:"mode"` // "scalar" or "batch"
+	Dist      string  `json:"dist"` // "uniform" or "hot"
 	Producers int     `json:"producers"`
 	NsPerOp   float64 `json:"ns_per_op"`
 	OpsPerSec float64 `json:"ops_per_sec"`
@@ -26,31 +30,52 @@ type scalePoint struct {
 // file is committed, and regenerating an unchanged curve must not dirty the
 // tree.
 type scaleReport struct {
-	GOOS              string       `json:"goos"`
-	GOARCH            string       `json:"goarch"`
-	GoVersion         string       `json:"go_version"`
-	GOMAXPROCS        int          `json:"gomaxprocs"`
-	NumCPU            int          `json:"numcpu"`
-	StoresPerProducer int          `json:"stores_per_producer"`
+	GOOS              string `json:"goos"`
+	GOARCH            string `json:"goarch"`
+	GoVersion         string `json:"go_version"`
+	GOMAXPROCS        int    `json:"gomaxprocs"`
+	NumCPU            int    `json:"num_cpu"`
+	StoresPerProducer int    `json:"stores_per_producer"`
+	// Oversubscribe records that the sweep was explicitly pushed past the
+	// host's parallelism (-oversubscribe), so producer counts above NumCPU
+	// measure scheduler contention, not hardware scaling.
+	Oversubscribe bool `json:"oversubscribe"`
 	// Warning flags a sweep whose shape cannot be trusted, e.g. a
 	// single-core host where every producer count serialises.
 	Warning string       `json:"warning,omitempty"`
 	Points  []scalePoint `json:"points"`
 }
 
-// scaleStoresPerProducer is the fixed per-producer store count of each sweep
-// point; at the ~100 ns/op changed-store cost this is a fraction of a second
-// of measurement per point, and each point keeps the better of two runs.
-const scaleStoresPerProducer = 2_000_000
+const (
+	// scaleStoresPerProducer is the fixed per-producer store count of each
+	// sweep point; at the ~100 ns/op changed-store cost this is a fraction
+	// of a second of measurement per point, and each point keeps the better
+	// of two runs.
+	scaleStoresPerProducer = 2_000_000
+	// scaleSpan is each producer's working window in words; a multiple of
+	// scaleBatch so batched chunks never straddle the wrap.
+	scaleSpan = 1024
+	// scaleBatch is the words-per-TStoreBatch of the batched mode, matching
+	// the batch=64 point the repo's alloc and throughput gates pin.
+	scaleBatch = 64
+	// scaleMaxProducers bounds the oversubscribed sweep.
+	scaleMaxProducers = 64
+)
 
-// runScalePoint measures aggregate changed-store throughput with p producers
-// on the sharded immediate backend. Each producer gets its own support
-// thread attached to a private span-word window of a shared region, so every
-// store is a changed covered store that dispatches through the producer's
-// shard. The clock covers only the producer loops: draining is the workers'
+// runScalePoint measures aggregate triggering-store throughput with p
+// producers on the sharded immediate backend.
+//
+// dist "uniform" gives each producer its own support thread attached to a
+// private scaleSpan-word window, so trigger dispatch spreads across the
+// producers' shards — the embarrassing-parallel best case. dist "hot"
+// attaches a single support thread to one shared window that every producer
+// hammers, so all dispatch serialises on one shard's lock — the worst case
+// the sharding exists to relieve. mode selects the scalar TStore loop or
+// scaleBatch-word TStoreBatch calls over the same address and value stream.
+//
+// The clock covers only the producer loops: draining is the workers'
 // concurrent job and is deliberately off the store path being measured.
-func runScalePoint(p int) (float64, error) {
-	const span = 1024
+func runScalePoint(p int, mode, dist string) (float64, error) {
 	rt, err := dtt.New(dtt.Config{
 		Backend:       dtt.BackendImmediate,
 		Workers:       p,
@@ -61,25 +86,52 @@ func runScalePoint(p int) (float64, error) {
 		return 0, err
 	}
 	defer rt.Close()
-	r := rt.NewRegion("scale", p*span)
-	for i := 0; i < p; i++ {
-		id := rt.Register(fmt.Sprintf("noop%d", i), func(dtt.Trigger) {})
-		if err := rt.Attach(id, r, i*span, span); err != nil {
+
+	var r *dtt.Region
+	if dist == "hot" {
+		r = rt.NewRegion("scale", scaleSpan)
+		id := rt.Register("noop", func(dtt.Trigger) {})
+		if err := rt.Attach(id, r, 0, scaleSpan); err != nil {
 			return 0, err
+		}
+	} else {
+		r = rt.NewRegion("scale", p*scaleSpan)
+		for i := 0; i < p; i++ {
+			id := rt.Register(fmt.Sprintf("noop%d", i), func(dtt.Trigger) {})
+			if err := rt.Attach(id, r, i*scaleSpan, (i+1)*scaleSpan); err != nil {
+				return 0, err
+			}
 		}
 	}
 
 	var wg sync.WaitGroup
 	start := make(chan struct{})
 	for i := 0; i < p; i++ {
+		base := 0
+		if dist != "hot" {
+			base = i * scaleSpan
+		}
+		// salt decorrelates producers' value streams so concurrent writers
+		// to the shared hot window rarely repeat each other's last value.
+		salt := dtt.Word(i)*0x9E37 + 1
 		wg.Add(1)
-		go func(base int) {
+		go func(base int, salt dtt.Word) {
 			defer wg.Done()
 			<-start
-			for j := 0; j < scaleStoresPerProducer; j++ {
-				r.TStore(base+j%span, dtt.Word(j+1))
+			if mode == "batch" {
+				var buf [scaleBatch]dtt.Word
+				for j := 0; j < scaleStoresPerProducer; j += scaleBatch {
+					for k := range buf {
+						buf[k] = salt + dtt.Word(j+k)
+					}
+					r.TStoreBatch(base+j%scaleSpan, buf[:])
+				}
+			} else {
+				for j := 0; j < scaleStoresPerProducer; j++ {
+					r.TStore(base+j%scaleSpan, salt+dtt.Word(j))
+				}
 			}
-		}(i * span)
+		}(base, salt)
 	}
 	t0 := time.Now()
 	close(start)
@@ -92,7 +144,7 @@ func runScalePoint(p int) (float64, error) {
 // newScaleReport builds the report header: the host block the curve is
 // meaningless without, and the single-core warning when the sweep cannot
 // show scaling.
-func newScaleReport() scaleReport {
+func newScaleReport(oversubscribe bool) scaleReport {
 	rep := scaleReport{
 		GOOS:              runtime.GOOS,
 		GOARCH:            runtime.GOARCH,
@@ -100,6 +152,7 @@ func newScaleReport() scaleReport {
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		NumCPU:            runtime.NumCPU(),
 		StoresPerProducer: scaleStoresPerProducer,
+		Oversubscribe:     oversubscribe,
 	}
 	if rep.GOMAXPROCS < 2 || rep.NumCPU < 2 {
 		rep.Warning = "swept on a single-core host; producers serialise, so the curve says nothing about scaling"
@@ -107,34 +160,70 @@ func newScaleReport() scaleReport {
 	return rep
 }
 
-// runScaleSweep sweeps producer counts 1..GOMAXPROCS, printing the curve and
-// writing it to outPath as JSON (the committed BENCH_scale.json). Each point
-// runs twice and keeps the higher throughput, discarding warmup noise.
-func runScaleSweep(stdout io.Writer, outPath string) error {
-	rep := newScaleReport()
+// scaleProducerCounts returns the producer counts to sweep: 1, 2, 4, ...
+// doubling up to the cap. The default cap is min(GOMAXPROCS, NumCPU) —
+// counts beyond the hardware cannot run in parallel and only measure the Go
+// scheduler. -oversubscribe raises the cap to scaleMaxProducers to measure
+// exactly that contention regime, and the report records the choice.
+func scaleProducerCounts(oversubscribe bool) []int {
+	limit := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < limit {
+		limit = n
+	}
+	if oversubscribe {
+		limit = scaleMaxProducers
+	}
+	var counts []int
+	for p := 1; p <= limit; p *= 2 {
+		counts = append(counts, p)
+	}
+	if last := counts[len(counts)-1]; last != limit {
+		counts = append(counts, limit)
+	}
+	return counts
+}
+
+// runScaleSweep sweeps scalar and batched triggering stores over the uniform
+// and hot-shard distributions for each producer count, printing the curves
+// and writing them to outPath as JSON (the committed BENCH_scale.json).
+// Each point runs twice and keeps the higher throughput, discarding warmup
+// noise.
+func runScaleSweep(stdout io.Writer, outPath string, oversubscribe bool) error {
+	rep := newScaleReport(oversubscribe)
 	if rep.Warning != "" {
 		fmt.Fprintf(stdout, "warning: %s\n", rep.Warning)
 	}
-	fmt.Fprintf(stdout, "changed-store scaling sweep (immediate backend, %s/%s %s, GOMAXPROCS=%d, numcpu=%d):\n",
-		rep.GOOS, rep.GOARCH, rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU)
-	for p := 1; p <= rep.GOMAXPROCS; p++ {
-		best := 0.0
-		for try := 0; try < 2; try++ {
-			ops, err := runScalePoint(p)
-			if err != nil {
-				return err
+	counts := scaleProducerCounts(oversubscribe)
+	fmt.Fprintf(stdout, "triggering-store scaling sweep (immediate backend, %s/%s %s, GOMAXPROCS=%d, num_cpu=%d, oversubscribe=%v):\n",
+		rep.GOOS, rep.GOARCH, rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU, rep.Oversubscribe)
+	for _, mode := range []string{"scalar", "batch"} {
+		for _, dist := range []string{"uniform", "hot"} {
+			fmt.Fprintf(stdout, "  %s/%s:\n", mode, dist)
+			var first, last scalePoint
+			for _, p := range counts {
+				best := 0.0
+				for try := 0; try < 2; try++ {
+					ops, err := runScalePoint(p, mode, dist)
+					if err != nil {
+						return err
+					}
+					if ops > best {
+						best = ops
+					}
+				}
+				pt := scalePoint{Mode: mode, Dist: dist, Producers: p, NsPerOp: 1e9 / best, OpsPerSec: best}
+				rep.Points = append(rep.Points, pt)
+				if first.Producers == 0 {
+					first = pt
+				}
+				last = pt
+				fmt.Fprintf(stdout, "    producers=%-3d %8.1f ns/op  %12.0f ops/s\n", pt.Producers, pt.NsPerOp, pt.OpsPerSec)
 			}
-			if ops > best {
-				best = ops
+			if last.Producers > first.Producers {
+				fmt.Fprintf(stdout, "    speedup %d->%d producers: %.2fx\n",
+					first.Producers, last.Producers, last.OpsPerSec/first.OpsPerSec)
 			}
 		}
-		pt := scalePoint{Producers: p, NsPerOp: 1e9 / best, OpsPerSec: best}
-		rep.Points = append(rep.Points, pt)
-		fmt.Fprintf(stdout, "  producers=%-3d %8.1f ns/op  %12.0f ops/s\n", pt.Producers, pt.NsPerOp, pt.OpsPerSec)
-	}
-	if len(rep.Points) > 1 {
-		first, last := rep.Points[0], rep.Points[len(rep.Points)-1]
-		fmt.Fprintf(stdout, "  speedup %d->%d producers: %.2fx\n", first.Producers, last.Producers, last.OpsPerSec/first.OpsPerSec)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -40,13 +40,19 @@ func (r *Region) Load(i int) mem.Word {
 func (r *Region) LoadF(i int) float64 { return math.Float64frombits(r.Load(i)) }
 
 // Store writes v to word i without trigger semantics and reports whether
-// the value changed. Changing stores are checked by the protocol sanitizer
-// when it is on; Poke bypasses the check for input-setup code.
+// the value changed. With the protocol sanitizer on, changing stores are
+// checked and stamped; silent stores are checked against the
+// write-confinement rule only (they publish nothing, so they create no
+// happens-before obligation, but where a thread writes is a property of
+// the instruction, not the value). Poke bypasses both for input-setup
+// code.
 func (r *Region) Store(i int, v mem.Word) bool {
 	changed := r.buf.Store(i, v)
-	if changed {
-		if c := r.rt.check; c != nil {
+	if c := r.rt.check; c != nil {
+		if changed {
 			c.OnStore(goid(), r.Name(), i, r.buf.Addr(i))
+		} else {
+			c.OnSilentStore(goid(), r.Name(), i, r.buf.Addr(i))
 		}
 	}
 	return changed
@@ -70,9 +76,48 @@ func (r *Region) StoreF(i int, f float64) bool { return r.Store(i, wordOf(f)) }
 // cores. allocs_test.go and the BenchmarkTStore* families enforce this.
 func (r *Region) TStore(i int, v mem.Word) bool { return r.rt.tstore(r, i, v) }
 
+// TStoreBatch is the vectorized form of TStore: it writes vs to words
+// [lo, lo+len(vs)) with word-at-a-time comparison and returns how many
+// words changed. Trigger semantics are identical to issuing len(vs)
+// scalar TStores — each changing word fires the threads attached to its
+// address, with duplicate squashing — but the dispatch cost is amortized:
+// the batch resolves attachments against one registry snapshot and takes
+// each target shard's lock once, enqueueing all of that shard's fired
+// entries under the single acquisition. Like TStore it is allocation-free
+// in the steady state (the grouping scratch is pooled by the runtime),
+// and on the seeded backend the whole batch is one preemption point where
+// a scalar loop would be len(vs) of them.
+func (r *Region) TStoreBatch(lo int, vs []mem.Word) int {
+	return r.rt.tstoreBatch(r, lo, vs)
+}
+
+// TStoreRange writes src[0:hi-lo] to words [lo, hi) with TStoreBatch
+// semantics. It panics if src holds fewer than hi-lo words or the range is
+// inverted or out of bounds.
+func (r *Region) TStoreRange(lo, hi int, src []mem.Word) {
+	if hi < lo {
+		panic("core: TStoreRange with inverted range")
+	}
+	r.rt.tstoreBatch(r, lo, src[:hi-lo])
+}
+
 // TStoreF is the float64 form of TStore; change detection compares IEEE-754
 // bit patterns, as hardware comparing raw memory would. It shares TStore's
 // allocation-free fast path.
+//
+// Bit comparison is deliberately not float equality, matching what the
+// paper's hardware — which compares the raw store data against memory —
+// would do. The edge cases follow from that choice and are pinned by test:
+//
+//   - A NaN overwritten by a differently-payloaded NaN FIRES (the bits
+//     differ), even though both compare unequal to everything as floats.
+//   - A NaN overwritten by the identically-payloaded NaN is SILENT, even
+//     though NaN != NaN as floats.
+//   - +0.0 overwritten by -0.0 (and vice versa) FIRES: the values compare
+//     equal as floats but their bit patterns differ in the sign bit.
+//
+// Numerically distinct values with equal bit patterns cannot exist, so
+// bit comparison never misses a real change.
 func (r *Region) TStoreF(i int, f float64) bool {
 	return r.rt.tstore(r, i, wordOf(f))
 }

@@ -61,6 +61,54 @@ func TestRegionTStoreFBitPattern(t *testing.T) {
 	}
 }
 
+// TestTStoreFBitPatternEdges pins the documented change-detection policy of
+// TStoreF: raw bit comparison, exactly as hardware comparing store data
+// against memory. The interesting rows are the ones where bit equality and
+// float equality disagree.
+func TestTStoreFBitPatternEdges(t *testing.T) {
+	nanA := math.NaN()                                           // canonical quiet NaN
+	nanB := math.Float64frombits(math.Float64bits(nanA) ^ 0b101) // different payload
+	cases := []struct {
+		name     string
+		old, new float64
+		fires    bool
+	}{
+		{"same value same bits", 1.5, 1.5, false},
+		{"distinct values", 1.5, 2.5, true},
+		{"identical NaN payload", nanA, nanA, false},
+		{"different NaN payload", nanA, nanB, true},
+		{"pos zero over neg zero", math.Copysign(0, -1), 0, true},
+		{"neg zero over pos zero", 0, math.Copysign(0, -1), true},
+		{"pos zero over pos zero", 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newDeferred(t, nil)
+			r := rt.NewRegion("f", 1)
+			fired := 0
+			id := rt.Register("watch", func(Trigger) { fired++ })
+			rt.Attach(id, r, 0, 1)
+			r.PokeF(0, tc.old)
+			changed := r.TStoreF(0, tc.new)
+			rt.Barrier()
+			if changed != tc.fires || fired != btoi(tc.fires) {
+				t.Fatalf("TStoreF(%v over %v): changed=%v fired=%d, want fires=%v",
+					tc.new, tc.old, changed, fired, tc.fires)
+			}
+			if got, want := r.Peek(0), wordOf(tc.new); got != want {
+				t.Fatalf("memory holds %#x, want the stored bit pattern %#x", got, want)
+			}
+		})
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func TestRuntimeConfigAccessor(t *testing.T) {
 	rt := newDeferred(t, func(c *Config) { c.QueueCapacity = 7 })
 	if rt.Config().QueueCapacity != 7 {

@@ -196,6 +196,16 @@ type Runtime struct {
 	// held.
 	elig []eligRef
 
+	// batchMu/batchFree recycle tstoreBatch's grouping scratch. Unlike
+	// elig the scratch must serve concurrent producers, so it is a free
+	// list of private scratch structs rather than a single runtime-owned
+	// slice. A mutex-guarded list rather than a sync.Pool on purpose: the
+	// pool's victim cache empties on GC, which would put stray
+	// allocations back on a path that contracts to 0 allocs/op. The two
+	// lock acquisitions are per batch, amortized over the whole span.
+	batchMu   sync.Mutex
+	batchFree []*batchScratch
+
 	// tel is the telemetry plane, nil when Config.Telemetry is off. Every
 	// hot-path use is behind a nil check, so the disabled configuration
 	// pays one predictable branch and no time reads.
@@ -477,6 +487,13 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 	rt.stats.tstores.Add(1)
 	if !changed {
 		rt.stats.silent.Add(1)
+		if rt.check != nil {
+			// A silent store still counts against write confinement: where
+			// a thread stores is decided by the instruction, not by the
+			// value already in memory. No happens-before stamp — nothing
+			// was published.
+			rt.check.OnSilentStore(goid(), r.Name(), i, r.buf.Addr(i))
+		}
 		return false
 	}
 	addr := r.buf.Addr(i)
@@ -551,6 +568,211 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 		rt.seededPoll()
 	}
 	return true
+}
+
+// firedTrigger is one (thread, trigger address) pair a batch collected for
+// dispatch.
+type firedTrigger struct {
+	id   queue.ThreadID
+	addr mem.Addr
+}
+
+// batchScratch is tstoreBatch's per-call working set: the fired pairs
+// collected during the write phase and the per-shard tally that lets the
+// dispatch phase skip shards with nothing to do. Instances live in
+// Runtime.batchPool; slices keep their capacity across calls, so a warmed
+// scratch serves any batch the program repeats without allocating.
+type batchScratch struct {
+	fired    []firedTrigger
+	perShard []int32
+	inline   []queue.Entry
+	// cands holds the attachments overlapping the batch span, resolved once
+	// per batch; it is truncated before each use, so begin need not reset it.
+	cands []queue.Attachment
+}
+
+func (sc *batchScratch) begin(shards int) {
+	sc.fired = sc.fired[:0]
+	sc.inline = sc.inline[:0]
+	if cap(sc.perShard) < shards {
+		sc.perShard = make([]int32, shards)
+	}
+	sc.perShard = sc.perShard[:shards]
+	for i := range sc.perShard {
+		sc.perShard[i] = 0
+	}
+}
+
+// getScratch pops a warmed scratch off the free list, or makes a fresh one
+// the first time a producer batches (the free list retains it afterwards).
+func (rt *Runtime) getScratch() *batchScratch {
+	rt.batchMu.Lock()
+	if n := len(rt.batchFree); n > 0 {
+		sc := rt.batchFree[n-1]
+		rt.batchFree = rt.batchFree[:n-1]
+		rt.batchMu.Unlock()
+		return sc
+	}
+	rt.batchMu.Unlock()
+	return new(batchScratch)
+}
+
+func (rt *Runtime) putScratch(sc *batchScratch) {
+	rt.batchMu.Lock()
+	rt.batchFree = append(rt.batchFree, sc)
+	rt.batchMu.Unlock()
+}
+
+// tstoreBatch is the batched triggering store behind Region.TStoreBatch and
+// Region.TStoreRange: semantically len(vs) scalar tstores, with the
+// dispatch overhead amortized over the span. It returns how many words
+// changed.
+//
+// The batch runs in two phases. The write phase performs the word-at-a-time
+// atomic compares and resolves every changed word against ONE registry
+// snapshot — all words of a batch see the same attachment set, so a
+// concurrent Attach/Detach orders entirely before or after the batch. The
+// dispatch phase groups the fired (thread, addr) pairs by target shard and
+// takes each shard's lock exactly once, walking shards in ascending index
+// order (locks are taken one at a time, never nested, so this matches the
+// documented shard-lock order). Within the critical section each entry
+// still moves fired plus exactly one of enqueued/squashed/overflowed, so
+// the per-shard identity Fired = Enqueued + Squashed + Overflowed holds at
+// every instant, exactly as for scalar tstores; busy and the queue-depth
+// sample settle once per shard rather than once per entry.
+//
+// On the seeded backend the whole batch is a single preemption point at
+// its end — the deterministic scheduler cannot observe a half-written
+// span. The scratch comes from rt.batchPool, keeping the steady-state path
+// at 0 allocs/op for silent, squashed and enqueueing batches alike.
+func (rt *Runtime) tstoreBatch(r *Region, lo int, vs []mem.Word) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	if lo < 0 || lo+len(vs) > r.buf.Len() {
+		panic(fmt.Sprintf("core: TStoreBatch [%d, %d) out of range of %q (%d words)",
+			lo, lo+len(vs), r.Name(), r.buf.Len()))
+	}
+	rec := rt.cfg.Recorder
+	var g uint64
+	if rt.check != nil {
+		g = goid()
+	}
+
+	sc := rt.getScratch()
+	sc.begin(len(rt.shards))
+	// One index resolution for the whole contiguous span: per word, trigger
+	// matching is then an interval test against the (usually zero or one)
+	// candidate attachments, in index order — the same matches in the same
+	// order a per-word lookup would produce.
+	sc.cands = rt.reg.Snapshot().Overlapping(r.buf.Addr(lo), r.buf.Addr(lo+len(vs)), sc.cands[:0])
+	changed, lookups, matches := 0, 0, 0
+	for j, v := range vs {
+		if !r.buf.Store(lo+j, v) {
+			if rec != nil {
+				rec.NoteTStore()
+			}
+			if rt.check != nil {
+				rt.check.OnSilentStore(g, r.Name(), lo+j, r.buf.Addr(lo+j))
+			}
+			continue
+		}
+		changed++
+		if rec != nil {
+			rec.NoteTStore()
+		}
+		addr := r.buf.Addr(lo + j)
+		if rt.check != nil {
+			rt.check.OnStore(g, r.Name(), lo+j, addr)
+		}
+		matched := 0
+		for _, a := range sc.cands {
+			if a.Lo <= addr && addr < a.Hi {
+				matched++
+				sc.fired = append(sc.fired, firedTrigger{id: a.Thread, addr: addr})
+				sc.perShard[uint32(a.Thread)&rt.shardMask]++
+			}
+		}
+		if matched > 0 {
+			// Mirror the scalar path's T3 accounting: a lookup is recorded
+			// only for covered probes (Covers rejections are free there).
+			lookups++
+			matches += matched
+		}
+	}
+	rt.stats.tstores.Add(int64(len(vs)))
+	if silent := len(vs) - changed; silent > 0 {
+		rt.stats.silent.Add(int64(silent))
+	}
+	rt.reg.NoteLookups(int64(lookups), int64(matches))
+	if rt.tel != nil {
+		rt.tel.BatchSize.Observe(int64(len(vs)))
+	}
+
+	if len(sc.fired) > 0 {
+		ths := rt.threadsSnap()
+		for s := range rt.shards {
+			if sc.perShard[s] == 0 {
+				continue
+			}
+			sh := &rt.shards[s]
+			enqueued := 0
+			sh.mu.Lock()
+			for _, ft := range sc.fired {
+				if uint32(ft.id)&rt.shardMask != uint32(s) {
+					continue
+				}
+				if !ths[ft.id].covers(ft.addr) {
+					// A concurrent Cancel detached the range between the
+					// registry snapshot and this shard lock; the trigger
+					// never happened.
+					continue
+				}
+				sh.c.fired++
+				if rt.check != nil {
+					rt.check.OnTrigger(g, ft.id)
+				}
+				switch sh.tq.Enqueue(ft.id, ft.addr) {
+				case queue.Enqueued:
+					sh.tqst.MarkPending(ft.id)
+					sh.c.enqueued++
+					enqueued++
+					rt.noteRelease(ft.id, ft.addr)
+				case queue.Squashed:
+					sh.c.squashed++
+					rt.noteRelease(ft.id, ft.addr)
+				case queue.Overflowed:
+					sh.c.overflowed++
+					if rt.cfg.Overflow == queue.OverflowInline {
+						sc.inline = append(sc.inline, queue.Entry{Thread: ft.id, Addr: ft.addr})
+					} else {
+						sh.c.dropped++
+					}
+				}
+			}
+			if enqueued > 0 {
+				sh.busy.Add(int64(enqueued))
+				if rt.tel != nil {
+					// One depth sample per shard per batch: the depth after
+					// the batch's admissions, not one sample per entry.
+					rt.tel.Shard(sh.idx).QueueDepth.Observe(int64(sh.tq.Len()))
+				}
+				rt.signalShardLocked(sh)
+			}
+			sh.mu.Unlock()
+		}
+	}
+
+	for _, e := range sc.inline {
+		rt.runInline(e)
+	}
+	sc.inline = sc.inline[:0]
+	rt.putScratch(sc)
+	if changed > 0 && rt.sched != nil {
+		// The whole batch is ONE preemption point, at its end.
+		rt.seededPoll()
+	}
+	return changed
 }
 
 // signalShardLocked hands one wake token to a worker for newly dispatchable

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dtt/internal/mem"
 	"dtt/internal/sanitize"
 )
 
@@ -106,6 +107,14 @@ type fuzzRun struct {
 }
 
 func runEquivalenceWorkload(t *testing.T, cfg Config) fuzzRun {
+	return runEquivalenceWorkloadStores(t, cfg, false)
+}
+
+// runEquivalenceWorkloadStores runs the equivalence workload issuing the
+// trigger stream either as scalar TStores or as batched stores (TStoreBatch
+// for the lo half, TStoreRange for the hi half, so both batch entry points
+// get coverage). The value stream is identical either way.
+func runEquivalenceWorkloadStores(t *testing.T, cfg Config, batch bool) fuzzRun {
 	t.Helper()
 	if cfg.Backend != BackendImmediate {
 		// The sanitizer checks the protocol, under which a main-thread
@@ -141,14 +150,23 @@ func runEquivalenceWorkload(t *testing.T, cfg Config) fuzzRun {
 	}
 
 	for round := 0; round < 5; round++ {
-		for i := 0; i < 2*half; i++ {
-			// Same value stream on every backend and seed; round 3
-			// repeats round 2's values, so those stores are silent.
-			r := round
-			if r == 3 {
-				r = 2
+		// Same value stream on every backend and seed; round 3 repeats
+		// round 2's values, so those stores are silent.
+		r := round
+		if r == 3 {
+			r = 2
+		}
+		if batch {
+			var vals [2 * half]mem.Word
+			for i := range vals {
+				vals[i] = uint64(r*31 + i*7 + 1)
 			}
-			in.TStore(i, uint64(r*31+i*7+1))
+			in.TStoreBatch(0, vals[:half])
+			in.TStoreRange(half, 2*half, vals[half:])
+		} else {
+			for i := 0; i < 2*half; i++ {
+				in.TStore(i, uint64(r*31+i*7+1))
+			}
 		}
 		switch round % 3 {
 		case 0:
@@ -267,6 +285,54 @@ func TestWriteEscapeFlagged(t *testing.T) {
 	}
 	if err := rt.CheckErr(); err == nil || !strings.Contains(err.Error(), "write-escape") {
 		t.Fatalf("CheckErr() = %v, want write-escape error", err)
+	}
+}
+
+// TestSilentWriteEscapeFlagged is the regression test for the silent-store
+// sanitizer blind spot: a support body writing OUTSIDE its attached and
+// granted windows used to dodge the checker entirely whenever the value it
+// wrote was already in memory (Region.Store and tstore only consulted the
+// checker on a change). A silent write is still a write for confinement
+// purposes — exactly one write-escape must be reported.
+func TestSilentWriteEscapeFlagged(t *testing.T) {
+	for _, mode := range []string{"store", "tstore", "tstore-batch"} {
+		t.Run(mode, func(t *testing.T) {
+			rt, err := New(Config{Backend: BackendDeferred, Checker: CheckStrict})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer rt.Close()
+			in := rt.NewRegion("in", 2)
+			out := rt.NewRegion("out", 2)
+			stray := rt.NewRegion("stray", 2)
+			stray.Poke(1, 99)
+			th := rt.Register("escapee", func(tg Trigger) {
+				// stray[1] already holds 99: every variant is silent.
+				switch mode {
+				case "store":
+					stray.Store(1, 99)
+				case "tstore":
+					stray.TStore(1, 99)
+				case "tstore-batch":
+					stray.TStoreBatch(1, []mem.Word{99})
+				}
+			})
+			if err := rt.Attach(th, in, 0, 2); err != nil {
+				t.Fatalf("Attach: %v", err)
+			}
+			if err := rt.AllowWrites(th, out, 0, 2); err != nil {
+				t.Fatalf("AllowWrites: %v", err)
+			}
+			in.TStore(0, 1)
+			rt.Wait(th)
+			vs := rt.Violations()
+			if len(vs) != 1 || vs[0].Kind != sanitize.KindWriteEscape {
+				t.Fatalf("violations = %v, want exactly one write-escape", vs)
+			}
+			if vs[0].Region != "stray" || vs[0].Index != 1 || vs[0].ThreadName != "escapee" {
+				t.Fatalf("write-escape context = %+v, want escapee at stray[1]", vs[0])
+			}
+		})
 	}
 }
 

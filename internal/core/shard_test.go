@@ -101,6 +101,54 @@ func TestShardedEquivalenceMatchesUnsharded(t *testing.T) {
 	}
 }
 
+// TestBatchEquivalenceMatchesScalar is the semantic acceptance gate for
+// batched triggering stores: the equivalence workload issued through
+// TStoreBatch/TStoreRange must land on the same final memory as the scalar
+// TStore stream on every backend and shard count, with identical
+// store-stream counters (TStores, Silent, Fired — properties of the value
+// stream, not the schedule) and the per-shard identity Fired = Enqueued +
+// Squashed + Overflowed intact. On the deterministic deferred backend the
+// batch preserves per-shard enqueue order exactly, so the WHOLE counter set
+// must match the scalar run; the seeded backend legitimately differs in its
+// enqueue/squash/inline split because a batch is one preemption point where
+// a scalar loop is many — that is the documented semantic difference.
+func TestBatchEquivalenceMatchesScalar(t *testing.T) {
+	for _, cfg := range []Config{
+		{Backend: BackendDeferred, Shards: 1},
+		{Backend: BackendDeferred, Shards: 2},
+		{Backend: BackendDeferred, Shards: 4},
+		{Backend: BackendSeeded, SchedSeed: 3, Shards: 4},
+		{Backend: BackendSeeded, SchedSeed: 11, Shards: 2},
+		{Backend: BackendImmediate, Workers: 3, Shards: 4},
+		{Backend: BackendImmediate, Workers: 2, Shards: 1},
+	} {
+		scalar := runEquivalenceWorkload(t, cfg)
+		batch := runEquivalenceWorkloadStores(t, cfg, true)
+		for i := range scalar.out {
+			if batch.out[i] != scalar.out[i] {
+				t.Fatalf("%v shards=%d: batched out[%d] = %d, scalar run has %d",
+					cfg.Backend, cfg.Shards, i, batch.out[i], scalar.out[i])
+			}
+		}
+		if got, want := batch.stats.Fired, batch.stats.Enqueued+batch.stats.Squashed+batch.stats.Overflowed; got != want {
+			t.Fatalf("%v shards=%d: batched Fired = %d but Enqueued+Squashed+Overflowed = %d",
+				cfg.Backend, cfg.Shards, got, want)
+		}
+		if cfg.Backend != BackendImmediate {
+			if batch.stats.TStores != scalar.stats.TStores ||
+				batch.stats.Silent != scalar.stats.Silent ||
+				batch.stats.Fired != scalar.stats.Fired {
+				t.Fatalf("%v shards=%d: batched trigger stats %+v diverge from scalar %+v",
+					cfg.Backend, cfg.Shards, batch.stats, scalar.stats)
+			}
+		}
+		if cfg.Backend == BackendDeferred && batch.stats != scalar.stats {
+			t.Fatalf("deferred shards=%d: batched stats diverge from scalar:\nbatch:  %+v\nscalar: %+v",
+				cfg.Shards, batch.stats, scalar.stats)
+		}
+	}
+}
+
 // TestShardedCascadesConserveCounters is the sharded counterpart of
 // TestOverflowInlineConcurrentCascades: the same cascading chains, but with
 // every chain's thread in its own shard segment. Cascades now find room in

@@ -267,7 +267,7 @@ func collectFacts(p *Package) *facts {
 			if !ok {
 				return true
 			}
-			if fn := calleeOf(info, call); isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF") {
+			if fn := calleeOf(info, call); isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF", "TStoreBatch", "TStoreRange") {
 				if o := rootObj(info, recvExpr(call)); o != nil {
 					f.outputs[o] = true
 				}

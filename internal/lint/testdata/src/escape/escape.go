@@ -55,3 +55,26 @@ func Unconfined() {
 	data.TStore(0, 9)
 	rt.Barrier()
 }
+
+// ConfinedBatch: batched triggering stores are body writes like any other;
+// a batch to an undeclared region escapes, a batch into the granted window
+// does not.
+func ConfinedBatch() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	scratch := rt.NewRegion("scratch", 8)
+	th := rt.Register("th", func(tg dtt.Trigger) {
+		out.TStoreBatch(0, []dtt.Word{1, 2})
+		scratch.TStoreRange(0, 2, []dtt.Word{3, 4}) // want: write-escape
+	})
+	if err := rt.Attach(th, data, 0, 8); err != nil {
+		panic(err)
+	}
+	if err := rt.AllowWrites(th, out, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 9)
+	rt.Barrier()
+}

@@ -141,3 +141,39 @@ func UnattachedStoreOK() dtt.Word {
 	free.TStore(0, 1)
 	return out.Load(0)
 }
+
+// BatchPositive: a batched triggering store leaves triggers outstanding
+// exactly like its scalar form; the unsynchronised load is flagged.
+func BatchPositive() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)*2)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStoreBatch(0, []dtt.Word{1, 2, 3})
+	return out.Load(0) // want: read-before-wait
+}
+
+// BatchNegative: a Barrier after a TStoreRange clears the outstanding bit,
+// matching the scalar contract word for word.
+func BatchNegative() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)*2)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	src := []dtt.Word{1, 2, 3}
+	data.TStoreRange(0, 3, src)
+	rt.Barrier()
+	return out.Load(0)
+}

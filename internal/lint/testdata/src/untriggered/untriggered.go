@@ -70,3 +70,20 @@ func UnattachedOK() {
 	data.TStore(0, 8)
 	rt.Barrier()
 }
+
+// BatchOK: TStoreBatch and TStoreRange are triggering writes — attached
+// threads see every changed word — so neither trips the rule the way a
+// plain Store does.
+func BatchOK() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStoreBatch(0, []dtt.Word{1, 2})
+	src := []dtt.Word{3, 4}
+	data.TStoreRange(2, 4, src)
+	rt.Barrier()
+}

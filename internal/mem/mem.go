@@ -87,12 +87,18 @@ func (s *System) AttachProbe(p Probe) {
 	} else {
 		s.probe = nil
 	}
+	for _, b := range s.bufs {
+		b.probed = true
+	}
 }
 
 // DetachProbes removes all probes.
 func (s *System) DetachProbes() {
 	s.probes = nil
 	s.probe = nil
+	for _, b := range s.bufs {
+		b.probed = false
+	}
 }
 
 // Probed reports whether at least one probe is attached.
@@ -104,12 +110,19 @@ func (s *System) Alloc(name string, n int) *Buffer {
 	if n < 0 {
 		panic(fmt.Sprintf("mem: Alloc %q with negative size %d", name, n))
 	}
-	b := &Buffer{name: name, base: s.next, data: make([]Word, n), sys: s}
+	b := &Buffer{name: name, base: s.next, data: make([]Word, n), sys: s, probed: len(s.probes) != 0}
 	bytes := Addr(n) * WordBytes
 	// Round the next base up to the following line boundary.
 	s.next += (bytes + LineBytes - 1) / LineBytes * LineBytes
 	if bytes == 0 {
 		s.next += LineBytes
+	}
+	// Addresses are contractually 48-bit: the thread queue's dedup key
+	// packs an address and a thread ID into one word. The bound is
+	// unreachable without 256 TB of live backing slices, but enforce it
+	// where addresses are minted rather than trust arithmetic elsewhere.
+	if s.next >= 1<<48 {
+		panic(fmt.Sprintf("mem: Alloc %q exhausts the 48-bit address arena", name))
 	}
 	s.bufs = append(s.bufs, b)
 	return b
@@ -174,6 +187,10 @@ type Buffer struct {
 	base Addr
 	data []Word
 	sys  *System
+	// probed mirrors len(sys.probes) != 0. Load and Store test it instead
+	// of chasing the sys pointer so both fit the compiler's inlining
+	// budget; System keeps it in sync on probe attach/detach.
+	probed bool
 }
 
 // Name returns the allocation name.
@@ -205,11 +222,18 @@ func (b *Buffer) Index(addr Addr) int {
 // Go-level data race.
 func (b *Buffer) Load(i int) Word {
 	v := atomic.LoadUint64(&b.data[i])
-	if len(b.sys.probes) != 0 {
-		b.sys.onLoad(b.Addr(i), v)
+	if b.probed {
+		b.loadProbed(i, v)
 	}
 	return v
 }
+
+// loadProbed is Load's probe notification, outlined so Load itself stays
+// within the inlining budget — the unprobed fast path is then a single
+// atomic load at every call site.
+//
+//go:noinline
+func (b *Buffer) loadProbed(i int, v Word) { b.sys.onLoad(b.Addr(i), v) }
 
 // Peek returns word i without generating a memory event. It exists for
 // validation and debugging; workloads must use Load.
@@ -219,12 +243,21 @@ func (b *Buffer) Peek(i int) Word { return b.data[i] }
 // value differs from the previous contents (i.e. the store was not silent).
 // Like Load, the word update is atomic.
 func (b *Buffer) Store(i int, v Word) bool {
-	old := atomic.SwapUint64(&b.data[i], v)
-	changed := old != v
-	if len(b.sys.probes) != 0 {
-		b.sys.onStore(b.Addr(i), old, v, !changed)
+	if b.probed {
+		return b.storeProbed(i, v)
 	}
-	return changed
+	return atomic.SwapUint64(&b.data[i], v) != v
+}
+
+// storeProbed is the probed store, outlined whole for the same reason as
+// loadProbed: with it out of line the triggering-store hot path pays one
+// atomic swap and a predicted-not-taken branch, no call.
+//
+//go:noinline
+func (b *Buffer) storeProbed(i int, v Word) bool {
+	old := atomic.SwapUint64(&b.data[i], v)
+	b.sys.onStore(b.Addr(i), old, v, old == v)
+	return old != v
 }
 
 // Poke writes v to word i without generating a memory event. It exists for

@@ -8,10 +8,13 @@ import (
 )
 
 // qModel is a naive reference implementation of the thread queue: a plain
-// slice, linear scans, and the same dedup-key function. The property test
-// below drives it in lock step with the real ring-buffer implementation and
-// fails on the first divergence, so any ring arithmetic or per-thread count
-// bug shows up as a concrete operation trace.
+// slice, linear scans, and its own struct-typed dedup key. The property
+// test below drives it in lock step with the real ring-buffer
+// implementation and fails on the first divergence, so any ring
+// arithmetic or per-thread count bug shows up as a concrete operation
+// trace. Keeping the model's key a plain struct (where the production
+// queue packs thread and address into one word for hashing speed) means
+// the test also verifies the packed key changes no dedup decision.
 type qModel struct {
 	cap     int
 	dedup   DedupPolicy
@@ -20,14 +23,20 @@ type qModel struct {
 	c       Counters
 }
 
-func (m *qModel) key(t ThreadID, addr mem.Addr) dedupKey {
+// modelKey is the model's dedup identity: field-wise equality, no packing.
+type modelKey struct {
+	thread ThreadID
+	addr   mem.Addr
+}
+
+func (m *qModel) key(t ThreadID, addr mem.Addr) modelKey {
 	switch m.dedup {
 	case DedupPerLine:
-		return dedupKey{thread: t, addr: addr &^ (mem.LineBytes - 1)}
+		return modelKey{thread: t, addr: addr &^ (mem.LineBytes - 1)}
 	case DedupPerThread:
-		return dedupKey{thread: t}
+		return modelKey{thread: t}
 	default:
-		return dedupKey{thread: t, addr: addr}
+		return modelKey{thread: t, addr: addr}
 	}
 }
 
@@ -150,7 +159,7 @@ func TestQueueAgainstModel(t *testing.T) {
 				// lines both occur.
 				addrs := []mem.Addr{0, 8, 16, mem.LineBytes, mem.LineBytes + 8, 4 * mem.LineBytes}
 				for step := 0; step < 4000; step++ {
-					switch op := rng.Intn(10); {
+					switch op := rng.Intn(11); {
 					case op < 5: // enqueue-heavy keeps the ring near full
 						id := ThreadID(rng.Intn(modelThreads))
 						addr := addrs[rng.Intn(len(addrs))]
@@ -185,12 +194,32 @@ func TestQueueAgainstModel(t *testing.T) {
 						if got != want {
 							t.Fatalf("step %d: DequeueAt(%d) = %+v, model says %+v", step, i, got, want)
 						}
-					default:
+					case op == 9:
 						id := ThreadID(rng.Intn(modelThreads))
 						got := q.Squash(id)
 						want := m.squash(id)
 						if got != want {
 							t.Fatalf("step %d: Squash(%d) = %d, model says %d", step, id, got, want)
+						}
+					default:
+						// A batched triggering store: a run of word-stride
+						// enqueues for one thread, issued back to back under
+						// one shard lock (TStoreBatch/TStoreRange). The queue
+						// has no batch entry point by design — the property
+						// pinned here is that a contiguous batch behaves
+						// exactly like N scalar enqueues, which is what the
+						// runtime's counter-identity proof relies on.
+						id := ThreadID(rng.Intn(modelThreads))
+						base := addrs[rng.Intn(len(addrs))]
+						n := 1 + rng.Intn(4)
+						for k := 0; k < n; k++ {
+							addr := base + mem.Addr(k*mem.WordBytes)
+							got := q.Enqueue(id, addr)
+							want := m.enqueue(id, addr)
+							if got != want {
+								t.Fatalf("step %d: batch word %d: Enqueue(%d, %#x) = %v, model says %v",
+									step, k, id, addr, got, want)
+							}
 						}
 					}
 					m.checkAgainst(t, q, step)

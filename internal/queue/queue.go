@@ -106,9 +106,110 @@ func (s EnqueueStatus) String() string {
 	return fmt.Sprintf("EnqueueStatus(%d)", int(s))
 }
 
-type dedupKey struct {
-	thread ThreadID
-	addr   mem.Addr
+// dedupKey packs (thread, dedup address) into one machine word so the
+// pending map hashes 8 bytes instead of a 16-byte struct — on the
+// triggering-store hot path the map probe is the dominant cost, and the
+// single-word key roughly halves it. The thread occupies the top 16 bits
+// and the address the low 48; both fit by construction: thread IDs are
+// dense runtime-assigned integers (the runtime caps registration well
+// below 1<<16) and mem.System addresses are arena offsets backed by live
+// slices — reaching 2^48 would take 256 TB of real memory, and
+// mem.System.Alloc enforces the bound.
+type dedupKey uint64
+
+// pendingTab maps dedupKey -> pending-entry count with open addressing and
+// linear probing. The ring's capacity bounds the number of live keys, so the
+// table is sized once at construction (2x capacity, rounded up to a power of
+// two, load factor <= 50%) and never grows, never allocates after New, and
+// replaces the generic Go map that dominated the triggering-store profile:
+// a multiplicative hash plus a one-or-two-slot probe is a fraction of the
+// hashed-map machinery. Empty slots are cnts[i] == 0 — key zero is a legal
+// dedup key (per-thread policy zeroes the address), so keys cannot encode
+// emptiness. Deletion uses backward-shift compaction instead of tombstones,
+// keeping probe chains minimal for the lifetime of the queue.
+type pendingTab struct {
+	keys  []dedupKey
+	cnts  []int32
+	mask  uint64
+	shift uint
+}
+
+func newPendingTab(capacity int) *pendingTab {
+	size := 8
+	for size < 2*capacity {
+		size *= 2
+	}
+	shift := uint(64)
+	for s := size; s > 1; s /= 2 {
+		shift--
+	}
+	return &pendingTab{
+		keys:  make([]dedupKey, size),
+		cnts:  make([]int32, size),
+		mask:  uint64(size - 1),
+		shift: shift,
+	}
+}
+
+// home is the preferred slot for k: a Fibonacci multiplicative hash taking
+// the high bits, which spreads the word-stride address runs that dominate
+// real trigger streams.
+func (p *pendingTab) home(k dedupKey) uint64 {
+	return (uint64(k) * 0x9E3779B97F4A7C15) >> p.shift
+}
+
+// lookup probes for k. It returns the slot holding k (found=true) or the
+// first empty slot of k's probe chain (found=false), which is exactly where
+// an insert of k must go.
+func (p *pendingTab) lookup(k dedupKey) (slot uint64, found bool) {
+	i := p.home(k)
+	for {
+		if p.cnts[i] == 0 {
+			return i, false
+		}
+		if p.keys[i] == k {
+			return i, true
+		}
+		i = (i + 1) & p.mask
+	}
+}
+
+// dec decrements k's count, removing the slot by backward-shift compaction
+// when it reaches zero so later probes never walk dead slots.
+func (p *pendingTab) dec(k dedupKey) {
+	i, found := p.lookup(k)
+	if !found {
+		return
+	}
+	if p.cnts[i] > 1 {
+		p.cnts[i]--
+		return
+	}
+	// Backward-shift deletion: repeatedly pull the next displaced entry of
+	// the probe chain into the vacated slot until an empty slot or an entry
+	// already sitting at its home terminates the chain.
+	for {
+		p.cnts[i] = 0
+		j := i
+		for {
+			j = (j + 1) & p.mask
+			if p.cnts[j] == 0 {
+				return
+			}
+			h := p.home(p.keys[j])
+			// The entry at j may move back to i only if i is cyclically
+			// within [h, j): moving it must not place it before its home.
+			if i <= j {
+				if h <= i || h > j {
+					break
+				}
+			} else if h <= i && h > j {
+				break
+			}
+		}
+		p.keys[i], p.cnts[i] = p.keys[j], p.cnts[j]
+		i = j
+	}
 }
 
 // ThreadQueue is the fixed-capacity pending-trigger queue. Entries enter in
@@ -128,8 +229,8 @@ type ThreadQueue struct {
 	// pending counts queue occupancy per dedup key. It is nil under
 	// DedupNone: synthesizing fake keys to disable squashing (as an earlier
 	// revision did with seq<<16) risks colliding with real addresses and
-	// wraps, so the no-squash policy simply never consults the map.
-	pending   map[dedupKey]int
+	// wraps, so the no-squash policy simply never consults the table.
+	pending   *pendingTab
 	perThread []int // pending entries per ThreadID, grown on demand
 	seq       int64
 	// clock stamps Entry.T0 at enqueue when non-nil; the runtime sets it
@@ -170,7 +271,7 @@ func NewThreadQueue(capacity int, dedup DedupPolicy) *ThreadQueue {
 	}
 	q := &ThreadQueue{cap: capacity, dedup: dedup, ring: make([]Entry, capacity)}
 	if dedup != DedupNone {
-		q.pending = make(map[dedupKey]int)
+		q.pending = newPendingTab(capacity)
 	}
 	return q
 }
@@ -178,15 +279,23 @@ func NewThreadQueue(capacity int, dedup DedupPolicy) *ThreadQueue {
 func (q *ThreadQueue) key(t ThreadID, addr mem.Addr) dedupKey {
 	switch q.dedup {
 	case DedupPerLine:
-		return dedupKey{thread: t, addr: addr &^ (mem.LineBytes - 1)}
+		addr &^= mem.LineBytes - 1
 	case DedupPerThread:
-		return dedupKey{thread: t}
-	default:
-		return dedupKey{thread: t, addr: addr}
+		addr = 0
 	}
+	return dedupKey(uint64(t)<<48 | uint64(addr))
 }
 
-func (q *ThreadQueue) at(i int) *Entry { return &q.ring[(q.head+i)%q.cap] }
+// at returns the i-th oldest slot. head < cap and i <= n <= cap always hold,
+// so a conditional subtract replaces the modulo — a measurable saving on the
+// enqueue hot path, where the divisor is not a compile-time constant.
+func (q *ThreadQueue) at(i int) *Entry {
+	j := q.head + i
+	if j >= q.cap {
+		j -= q.cap
+	}
+	return &q.ring[j]
+}
 
 func (q *ThreadQueue) countUp(t ThreadID) {
 	if int(t) >= len(q.perThread) {
@@ -202,20 +311,17 @@ func (q *ThreadQueue) dropKey(e Entry) {
 	if q.pending == nil {
 		return
 	}
-	k := q.key(e.Thread, e.Addr)
-	if q.pending[k] <= 1 {
-		delete(q.pending, k)
-	} else {
-		q.pending[k]--
-	}
+	q.pending.dec(q.key(e.Thread, e.Addr))
 }
 
 // Enqueue offers a fired trigger to the queue.
 func (q *ThreadQueue) Enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
 	var k dedupKey
+	var slot uint64
 	if q.pending != nil {
 		k = q.key(t, addr)
-		if q.pending[k] > 0 {
+		var found bool
+		if slot, found = q.pending.lookup(k); found {
 			q.c.Squashed++
 			return Squashed
 		}
@@ -232,7 +338,10 @@ func (q *ThreadQueue) Enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
 	*q.at(q.n) = e
 	q.n++
 	if q.pending != nil {
-		q.pending[k]++
+		// lookup already probed to the insert slot; found entries returned
+		// above, so this is always a fresh key with count one.
+		q.pending.keys[slot] = k
+		q.pending.cnts[slot] = 1
 	}
 	q.countUp(t)
 	q.c.Enqueued++
@@ -249,7 +358,10 @@ func (q *ThreadQueue) Dequeue() (e Entry, ok bool) {
 		return Entry{}, false
 	}
 	e = q.ring[q.head]
-	q.head = (q.head + 1) % q.cap
+	q.head++
+	if q.head == q.cap {
+		q.head = 0
+	}
 	q.n--
 	q.perThread[e.Thread]--
 	q.dropKey(e)
@@ -272,7 +384,10 @@ func (q *ThreadQueue) DequeueFirst(pred func(Entry) bool) (e Entry, ok bool) {
 		for j := i; j > 0; j-- {
 			*q.at(j) = *q.at(j - 1)
 		}
-		q.head = (q.head + 1) % q.cap
+		q.head++
+		if q.head == q.cap {
+			q.head = 0
+		}
 		q.n--
 		q.perThread[cand.Thread]--
 		q.dropKey(cand)
@@ -303,7 +418,10 @@ func (q *ThreadQueue) DequeueAt(i int) Entry {
 	for j := i; j > 0; j-- {
 		*q.at(j) = *q.at(j - 1)
 	}
-	q.head = (q.head + 1) % q.cap
+	q.head++
+	if q.head == q.cap {
+		q.head = 0
+	}
 	q.n--
 	q.perThread[e.Thread]--
 	q.dropKey(e)

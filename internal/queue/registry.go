@@ -164,6 +164,129 @@ func (r *Registry) Each(addr mem.Addr, fn func(ThreadID)) {
 	}
 }
 
+// Snapshot is the registry's published index pinned at one instant. All
+// lookups through one snapshot see the same attachment set, which is what
+// a batched triggering store needs: every word of the batch resolves
+// against identical state, so a concurrent Attach/Detach lands entirely
+// before or entirely after the batch. A Snapshot is a value (no
+// allocation) and stays valid indefinitely — the index it pins is
+// immutable. Snapshot lookups do not touch the registry's lookup/match
+// counters; batch callers accumulate locally and settle once via
+// NoteLookups, keeping one pair of atomic adds per batch instead of one
+// per word.
+type Snapshot struct {
+	idx *regIndex
+}
+
+// Snapshot pins the current published index.
+func (r *Registry) Snapshot() Snapshot { return Snapshot{idx: r.idx.Load()} }
+
+// searchAtts returns how many attachments of atts (sorted by Lo) have
+// Lo <= addr. It is sort.Search with the closure flattened out: the batch
+// store path calls it once per changed word, where the indirect predicate
+// call is measurable.
+func searchAtts(atts []Attachment, addr mem.Addr) int {
+	lo, hi := 0, len(atts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if atts[mid].Lo > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Each invokes fn once for every attachment covering addr in the pinned
+// index, in index order, and returns the number of matches. The callback
+// must not mutate the registry.
+func (s Snapshot) Each(addr mem.Addr, fn func(ThreadID)) int {
+	idx := s.idx
+	if addr < idx.lo || addr >= idx.hi {
+		return 0
+	}
+	n := searchAtts(idx.atts, addr)
+	matched := 0
+	for i := 0; i < n; i++ {
+		if addr < idx.atts[i].Hi {
+			matched++
+			fn(idx.atts[i].Thread)
+		}
+	}
+	return matched
+}
+
+// Overlapping appends onto dst every attachment in the pinned index whose
+// range intersects the span [lo, hi), in index order, and returns the
+// extended slice. A batched triggering store resolves its contiguous span
+// against the index once, then tests each changed word against the (almost
+// always zero or one) candidate ranges — two comparisons per word instead
+// of a search. Candidates appear in index order, so walking them per word
+// yields matches in exactly the order AppendMatches would.
+func (s Snapshot) Overlapping(lo, hi mem.Addr, dst []Attachment) []Attachment {
+	idx := s.idx
+	if hi <= idx.lo || lo >= idx.hi {
+		return dst
+	}
+	// Attachments are sorted by Lo; everything with Lo < hi is a candidate.
+	n := searchAtts(idx.atts, hi-1)
+	for i := 0; i < n; i++ {
+		if lo < idx.atts[i].Hi {
+			dst = append(dst, idx.atts[i])
+		}
+	}
+	return dst
+}
+
+// AppendMatches appends the thread of every attachment covering addr in the
+// pinned index onto dst, in index order, and returns the extended slice.
+// It is Each with the callback replaced by a destination slice: the batched
+// triggering store reuses one scratch slice across the whole batch, so the
+// per-word cost is the range check, the branch-free search and the candidate
+// scan — no indirect calls.
+func (s Snapshot) AppendMatches(addr mem.Addr, dst []ThreadID) []ThreadID {
+	idx := s.idx
+	if addr < idx.lo || addr >= idx.hi {
+		return dst
+	}
+	atts := idx.atts
+	n := searchAtts(atts, addr)
+	for i := 0; i < n; i++ {
+		if addr < atts[i].Hi {
+			dst = append(dst, atts[i].Thread)
+		}
+	}
+	return dst
+}
+
+// Covers reports whether any attachment in the pinned index covers addr.
+func (s Snapshot) Covers(addr mem.Addr) bool {
+	idx := s.idx
+	if addr < idx.lo || addr >= idx.hi {
+		return false
+	}
+	n := sort.Search(len(idx.atts), func(i int) bool { return idx.atts[i].Lo > addr })
+	for i := 0; i < n; i++ {
+		if addr < idx.atts[i].Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// NoteLookups settles lookup/match counts a Snapshot user accumulated
+// locally, preserving the T3 characterisation table's semantics (one
+// lookup per covered probe) at one pair of atomic adds per batch.
+func (r *Registry) NoteLookups(lookups, matches int64) {
+	if lookups > 0 {
+		r.lookups.Add(lookups)
+	}
+	if matches > 0 {
+		r.matches.Add(matches)
+	}
+}
+
 // Covers reports whether any attachment covers addr, without recording a
 // lookup or taking any lock. The triggering-store fast path uses it to
 // reject stores to unattached addresses before acquiring any dispatch

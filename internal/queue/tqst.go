@@ -61,15 +61,25 @@ type TQST struct {
 // NewTQST returns an empty status table.
 func NewTQST() *TQST { return &TQST{} }
 
+// entry returns id's slot, growing the table on first sight of id. The
+// in-range load is split from the grow-and-validate path so entry inlines
+// into MarkPending and friends — these sit inside every enqueue's shard
+// critical section.
 func (t *TQST) entry(id ThreadID) *tqstEntry {
+	if uint64(id) < uint64(len(t.entries)) {
+		return &t.entries[id]
+	}
+	return t.entryGrow(id)
+}
+
+//go:noinline
+func (t *TQST) entryGrow(id ThreadID) *tqstEntry {
 	if id < 0 {
 		panic(fmt.Sprintf("queue: TQST access with negative thread id %d", id))
 	}
-	if int(id) >= len(t.entries) {
-		grown := make([]tqstEntry, int(id)+1)
-		copy(grown, t.entries)
-		t.entries = grown
-	}
+	grown := make([]tqstEntry, int(id)+1)
+	copy(grown, t.entries)
+	t.entries = grown
 	return &t.entries[id]
 }
 

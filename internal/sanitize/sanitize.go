@@ -469,24 +469,43 @@ func (c *Checker) OnStore(g uint64, region string, index int, addr mem.Addr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	a := c.agentLocked(g)
-	if a != mainAgent {
-		t := queue.ThreadID(a - 1)
-		// Write confinement is opt-in per thread: a thread that declared
-		// no output windows has unknown outputs, and flagging every write
-		// would drown real findings. Once the program Grants any window,
-		// the thread's writes are confined to attachments ∪ grants.
-		if len(c.grants[t]) > 0 && !inWindows(c.atts[t], addr) && !inWindows(c.grants[t], addr) {
-			c.record(Violation{
-				Kind: KindWriteEscape, Thread: t, ThreadName: c.nameOf(t),
-				Accessor: c.nameOf(t), Region: region, Index: index, Addr: addr,
-			})
-		}
-	}
+	c.escapeCheckLocked(a, region, index, addr)
 	if rec, ok := c.writesLazy[addr]; ok && rec.agent != a && rec.tick > c.clockOf(a).at(rec.agent) {
 		c.recordAccessViolation(a, rec, access{region, index, addr}, false)
 	}
 	tick := c.clockOf(a).bump(a)
 	c.writesMap()[addr] = writeRec{agent: a, tick: tick}
+}
+
+// OnSilentStore checks a word write that left memory unchanged. A silent
+// store publishes nothing — no reader can observe it, so it neither stamps
+// the write map nor advances the writer's clock, and the happens-before
+// discipline is untouched. Confinement is a different matter: where a
+// thread writes is a property of the store instruction, not of the value
+// it happened to carry, so a support thread writing outside its windows
+// escapes whether or not the word already held that value.
+func (c *Checker) OnSilentStore(g uint64, region string, index int, addr mem.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.escapeCheckLocked(c.agentLocked(g), region, index, addr)
+}
+
+// escapeCheckLocked applies the write-confinement rule to a store at addr
+// by agent a. Write confinement is opt-in per thread: a thread that
+// declared no output windows has unknown outputs, and flagging every write
+// would drown real findings. Once the program Grants any window, the
+// thread's writes are confined to attachments ∪ grants.
+func (c *Checker) escapeCheckLocked(a int, region string, index int, addr mem.Addr) {
+	if a == mainAgent {
+		return
+	}
+	t := queue.ThreadID(a - 1)
+	if len(c.grants[t]) > 0 && !inWindows(c.atts[t], addr) && !inWindows(c.grants[t], addr) {
+		c.record(Violation{
+			Kind: KindWriteEscape, Thread: t, ThreadName: c.nameOf(t),
+			Accessor: c.nameOf(t), Region: region, Index: index, Addr: addr,
+		})
+	}
 }
 
 // recordAccessViolation classifies an unordered access of ac by agent a,

@@ -122,6 +122,49 @@ func TestWriteEscape(t *testing.T) {
 	}
 }
 
+// A silent store — one that left memory unchanged — is still a store
+// instruction, so it is held to the same write-confinement rule as a
+// changing store; but it publishes nothing, so it must not stamp the
+// happens-before state (a later main read of the word must stay clean).
+func TestSilentWriteEscape(t *testing.T) {
+	c := newTestChecker()
+	c.OnTrigger(gMain, 0)
+	c.EnterSupport(gWorker, 0)
+	c.OnSilentStore(gWorker, "in", 4, 0x110)    // inside trigger window: legal
+	c.OnSilentStore(gWorker, "out", 0, 0x200)   // granted: legal
+	c.OnSilentStore(gWorker, "other", 0, 0x500) // escape, silent or not
+	c.ExitSupport(gWorker, 0)
+	vs := c.Violations()
+	if len(vs) != 1 || vs[0].Kind != KindWriteEscape {
+		t.Fatalf("violations = %v, want one write-escape", vs)
+	}
+	if vs[0].Region != "other" || vs[0].Index != 0 || vs[0].Addr != 0x500 {
+		t.Fatalf("escape diagnostic = %+v", vs[0])
+	}
+	// No happens-before stamp: main may read the silently-written word
+	// without a Wait, because the silent store published nothing.
+	c.OnLoad(gMain, "other", 0, 0x500)
+	if got := c.Violations(); len(got) != 1 {
+		t.Fatalf("silent store stamped happens-before state: %v", got[1:])
+	}
+}
+
+// A silent store by the main agent is never an escape (main is unconfined),
+// and silent stores respect the same opt-in as changing ones.
+func TestSilentWriteEscapeOptIn(t *testing.T) {
+	c := NewChecker()
+	c.RegisterThread(0, "undeclared")
+	c.OnAttach(0, 0x100, 0x120)
+	c.OnSilentStore(gMain, "anywhere", 7, 0x900)
+	c.OnTrigger(gMain, 0)
+	c.EnterSupport(gWorker, 0)
+	c.OnSilentStore(gWorker, "anywhere", 3, 0x900)
+	c.ExitSupport(gWorker, 0)
+	if vs := c.Violations(); len(vs) != 0 {
+		t.Fatalf("silent escape flagged without granted windows: %v", vs)
+	}
+}
+
 // A thread that never declared an output window is not confined: its
 // outputs are unknown, so escape checking is opt-in via Grant.
 func TestWriteEscapeOptIn(t *testing.T) {

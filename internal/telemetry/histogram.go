@@ -21,6 +21,11 @@ var LatencyBounds = []int64{
 // powers of two through the largest per-shard capacities in use.
 var DepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
+// BatchBounds are the upper bucket bounds of the batched-store size
+// histogram: powers of two through the largest spans the workloads write
+// in one TStoreBatch/TStoreRange call.
+var BatchBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
 // Histogram is a fixed-bucket histogram safe for concurrent observation.
 // Observe is a short bounds scan plus two atomic adds and never
 // allocates; there is no lock anywhere. The zero value is not usable;

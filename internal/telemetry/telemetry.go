@@ -43,6 +43,11 @@ type ShardMetrics struct {
 // time. The zero value is not usable; use New.
 type T struct {
 	shards []ShardMetrics
+	// BatchSize is the words-per-call histogram of TStoreBatch/TStoreRange.
+	// It is runtime-global rather than per-shard: a batch spans shards, and
+	// one atomic observation per batch call (amortized over the whole span)
+	// adds no meaningful cross-core traffic.
+	BatchSize Histogram
 }
 
 // New returns a T with one metric block per dispatch shard.
@@ -54,6 +59,7 @@ func New(shards int) *T {
 		sm.RunDuration.init(LatencyBounds)
 		sm.QueueDepth.init(DepthBounds)
 	}
+	t.BatchSize.init(BatchBounds)
 	return t
 }
 
@@ -63,9 +69,9 @@ func (t *T) Shard(i int) *ShardMetrics { return &t.shards[i] }
 // Shards returns the number of per-shard blocks.
 func (t *T) Shards() int { return len(t.shards) }
 
-// Histograms returns the three histograms merged across shards, in a
-// fixed order (trigger latency, run duration, queue depth) with their
-// exported metric names attached.
+// Histograms returns the four histograms, in a fixed order (trigger
+// latency, run duration, queue depth merged across shards, then the
+// global batch size) with their exported metric names attached.
 func (t *T) Histograms() []HistogramSnapshot {
 	lat := newHistogramSnapshot("dtt_trigger_dispatch_latency_ns",
 		"Nanoseconds from a trigger entering the thread queue to its instance dispatching", LatencyBounds)
@@ -79,7 +85,10 @@ func (t *T) Histograms() []HistogramSnapshot {
 		sm.RunDuration.addTo(&run)
 		sm.QueueDepth.addTo(&depth)
 	}
-	return []HistogramSnapshot{lat, run, depth}
+	batch := newHistogramSnapshot("dtt_tstore_batch_size",
+		"Words written per TStoreBatch/TStoreRange call", BatchBounds)
+	t.BatchSize.addTo(&batch)
+	return []HistogramSnapshot{lat, run, depth, batch}
 }
 
 // Metric is one exported counter or gauge sample.

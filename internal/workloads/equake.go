@@ -191,13 +191,19 @@ func (equakeWorkload) RunDTT(env *Env, size Size) (Result, error) {
 	}
 
 	sum := uint64(0)
+	// One reusable span for the whole-vector write: the batched triggering
+	// store performs the same word-at-a-time comparison as the scalar loop
+	// (same silent/changed decisions, same per-word tstore accounting) but
+	// amortizes snapshotting and shard locking over the vector.
+	span := make([]mem.Word, st.m.n)
 	for step := 1; step <= size.Iters; step++ {
 		// Same whole-vector write; the triggering store detects that most
 		// entries did not change and fires nothing for them.
 		for j := 0; j < st.m.n; j++ {
-			dispRegion.TStore(j, word(equakeDisp(st.m, st.base, step, j)))
+			span[j] = word(equakeDisp(st.m, st.base, step, j))
 			st.sys.Compute(2)
 		}
+		dispRegion.TStoreBatch(0, span)
 		rt.Wait(smvp)
 		sum = st.consume(sum)
 	}

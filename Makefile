@@ -20,9 +20,9 @@ COVER_PKGS  := ./internal/core ./internal/queue
 # Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test race fuzz-smoke fuzz cover allocs-gate bench-fastpath bench-batch bench bench-scale bench-telemetry
+.PHONY: ci lint vet build test race fuzz-smoke fuzz cover allocs-gate serve-smoke bench-fastpath bench-batch bench bench-serve bench-scale bench-telemetry
 
-ci: lint vet build race allocs-gate fuzz-smoke cover bench-fastpath bench-batch
+ci: lint vet build race allocs-gate fuzz-smoke serve-smoke cover bench-fastpath bench-batch
 
 # Static DTT protocol check over the whole module (./... skips the
 # linter's own testdata fixtures by design). Findings are suppressed one
@@ -43,13 +43,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Bounded run of the native fuzz target over the tstore dispatch path; the
-# committed corpus under internal/core/testdata/fuzz seeds it. New crashers
-# are written there by `go test` — commit them as regression tests.
+# Bounded runs of the native fuzz targets: the tstore dispatch path and
+# the network frame decoder. The committed corpora under
+# internal/core/testdata/fuzz and internal/serve/testdata/fuzz seed them.
+# New crashers are written there by `go test` — commit them as regression
+# tests.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzFrame$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 fuzz: fuzz-smoke
+
+# End-to-end acceptance of the network trigger plane: an in-process
+# loopback server, one scripted session, a /metrics scrape, and the
+# counter identity (fired = enqueued + squashed + overflowed) asserted
+# from the scraped values. Fails non-zero on any mismatch.
+serve-smoke:
+	$(GO) run ./cmd/dttclient -smoke
 
 # Coverage floor for the runtime-critical packages. Fails if the combined
 # statement coverage of $(COVER_PKGS) drops below $(COVER_FLOOR)%. The
@@ -87,6 +97,14 @@ allocs-gate:
 bench-batch:
 	$(GO) test -run '^$$' -bench 'BenchmarkTStoreBatch' -benchmem . | tee bench-batch.out
 	@echo "wrote bench-batch.out; compare runs with: benchstat <saved-baseline>.out bench-batch.out"
+
+# Loopback benchmark of the network trigger plane: one session
+# round-tripping 64-word batches through a real TCP socket. ns/store here
+# minus bench-batch's batch64 ns/store is the framing + syscall bill; both
+# sides must hold 0 allocs/op in steady state.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeBatch' -benchmem . | tee bench-serve.out
+	@echo "wrote bench-serve.out; compare runs with: benchstat <saved-baseline>.out bench-serve.out"
 
 # Full evaluation benchmark sweep (paper tables/figures).
 bench:

@@ -15,6 +15,7 @@ import (
 	"dtt/internal/harness"
 	"dtt/internal/mem"
 	"dtt/internal/queue"
+	"dtt/internal/serve"
 	"dtt/internal/sim"
 	"dtt/internal/trace"
 	"dtt/internal/workloads"
@@ -606,4 +607,52 @@ func BenchmarkSimulatorEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeBatch is the loopback cost of the network trigger plane:
+// one client session round-trips a 64-word TSTORE_BATCH per op through a
+// real TCP socket into the same dispatch path the local benches measure,
+// so ns/store here minus BenchmarkTStoreBatchChanging's ns/store is the
+// framing + syscall bill. Notifies stay unsubscribed — this measures the
+// request/reply spine, not the streaming plane.
+func BenchmarkServeBatch(b *testing.B) {
+	rt, err := dtt.New(dtt.Config{Backend: dtt.BackendImmediate, Workers: 2, QueueCapacity: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	srv := serve.NewServer(rt, serve.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cs, err := serve.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cs.Close() })
+	const batch = 64
+	h, err := cs.Attach("bench", 1024, 0, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]mem.Word, batch)
+	var v mem.Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v++
+		for k := range vals {
+			vals[k] = v
+		}
+		if _, err := cs.Batch(h, (i*batch)%1024, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := cs.Wait(h); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/store")
 }

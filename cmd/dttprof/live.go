@@ -16,6 +16,7 @@ import (
 type liveVars struct {
 	DTT struct {
 		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
 		Shards   []struct {
 			Depth int `json:"depth"`
 		} `json:"shards"`
@@ -111,5 +112,14 @@ func runLive(stdout, stderr io.Writer, target string, interval time.Duration, sa
 	c := prev.DTT.Counters
 	fmt.Fprintf(stdout, "totals: tstores %d (silent %d), fired %d, squashed %d, executed %d\n",
 		c["tstores"], c["silent"], c["fired"], c["squashed"], c["executed"])
+	// A dttserve exporter carries the network plane's counters too; show
+	// the serving totals when they are present.
+	if _, ok := c["serve_frames_in"]; ok {
+		fmt.Fprintf(stdout, "serve: sessions %d live / %d total, frames %d in / %d out, batches %d (%d stores), notifies %d (dropped %d), errors %d\n",
+			prev.DTT.Gauges["serve_sessions"], c["serve_sessions"],
+			c["serve_frames_in"], c["serve_frames_out"],
+			c["serve_batches"], c["serve_stores"],
+			c["serve_notifies"], c["serve_notify_dropped"], c["serve_errors"])
+	}
 	return 0
 }

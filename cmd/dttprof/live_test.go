@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"dtt/internal/core"
+	"dtt/internal/mem"
+	"dtt/internal/serve"
 )
 
 func TestNormalizeLiveURL(t *testing.T) {
@@ -61,6 +63,55 @@ func TestLiveAgainstRuntime(t *testing.T) {
 	// Two sample rows plus title, header, separator and totals.
 	if rows := strings.Count(s, "\n"); rows < 6 {
 		t.Fatalf("expected 2 rate rows, got:\n%s", s)
+	}
+}
+
+// TestLiveShowsServeTotals points -live at a dttserve exporter and checks
+// the network plane's totals line renders alongside the trigger rates.
+func TestLiveShowsServeTotals(t *testing.T) {
+	rt, err := core.New(core.Config{Backend: core.BackendImmediate, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv := serve.NewServer(rt, serve.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	maddr, err := srv.StartMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	h, err := cs.Attach("r", 8, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Batch(h, 0, []mem.Word{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Wait(h); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-live", maddr, "-interval", "10ms", "-samples", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "serve: sessions 1 live / 1 total") {
+		t.Fatalf("output missing serve totals line:\n%s", s)
+	}
+	if !strings.Contains(s, "batches 1 (3 stores)") {
+		t.Fatalf("serve totals line has wrong batch accounting:\n%s", s)
 	}
 }
 

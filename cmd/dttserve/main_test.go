@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"dtt/internal/mem"
+	"dtt/internal/serve"
+)
+
+func TestServeHoldExitsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-listen", "127.0.0.1:0", "-hold", "50ms"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"listening on", "served 0 sessions", "triggers fired 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestServeDrivesRealSession boots the binary's run function, reads the
+// bound address off stdout, drives one client session against it and
+// checks the shutdown summary accounted for the traffic.
+func TestServeDrivesRealSession(t *testing.T) {
+	pr, pw := io.Pipe()
+	var errb bytes.Buffer
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run([]string{"-listen", "127.0.0.1:0", "-hold", "2s", "-check"}, pw, &errb)
+		pw.Close()
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no stdout line; stderr: %s", errb.String())
+	}
+	addr := strings.TrimPrefix(sc.Text(), "dttserve: listening on ")
+	if addr == sc.Text() {
+		t.Fatalf("first line is not the listen address: %q", sc.Text())
+	}
+	var rest strings.Builder
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+	}()
+
+	cs, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial %s: %v", addr, err)
+	}
+	h, err := cs.Attach("r", 8, 0, 8)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if err := cs.Subscribe(h); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if _, err := cs.Batch(h, 0, []mem.Word{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if err := cs.Wait(h); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := cs.Notifies(); len(got) == 0 {
+		t.Fatal("no notifies over the binary's plane")
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dttserve did not exit after its hold")
+	}
+	<-done
+	for _, want := range []string{"served 1 sessions", "1 batches", "8 stores", "sanitizer: clean"} {
+		if !strings.Contains(rest.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, rest.String())
+		}
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-listen", "not-an-address", "-hold", "10ms"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with bad listen address, want 1", code)
+	}
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d with unknown flag, want 2", code)
+	}
+}

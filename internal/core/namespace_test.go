@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func nsRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	rt, err := New(Config{Backend: BackendImmediate, Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestNamespaceRegionGetOrCreate(t *testing.T) {
+	rt := nsRuntime(t)
+	ns := rt.NewNamespace("s0")
+	if ns.Name() != "s0" {
+		t.Fatalf("Name() = %q, want %q", ns.Name(), "s0")
+	}
+	if n := ns.Threads(); n != 0 {
+		t.Fatalf("fresh namespace has %d threads", n)
+	}
+	r1, err := ns.Region("acc", 8)
+	if err != nil {
+		t.Fatalf("Region: %v", err)
+	}
+	if !strings.HasPrefix(r1.Name(), "s0/") {
+		t.Fatalf("region name %q lacks namespace prefix", r1.Name())
+	}
+	r2, err := ns.Region("acc", 8)
+	if err != nil {
+		t.Fatalf("repeat Region: %v", err)
+	}
+	if r1 != r2 {
+		t.Fatal("repeat Region returned a different region")
+	}
+	if _, err := ns.Region("acc", 16); err == nil {
+		t.Fatal("size-mismatched Region did not error")
+	}
+	if _, err := ns.Region("bad", 0); err == nil {
+		t.Fatal("zero-word Region did not error")
+	}
+}
+
+func TestNamespaceOwnershipEnforced(t *testing.T) {
+	rt := nsRuntime(t)
+	a, b := rt.NewNamespace("a"), rt.NewNamespace("b")
+	ra, err := a.Region("r", 4)
+	if err != nil {
+		t.Fatalf("Region: %v", err)
+	}
+	ta, err := a.Register("t", func(Trigger) {})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	// b owns neither the thread nor the region.
+	if err := b.Attach(ta, ra, 0, 4); err == nil {
+		t.Fatal("Attach of foreign thread through namespace b did not error")
+	}
+	tb, err := b.Register("t", func(Trigger) {})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := b.Attach(tb, ra, 0, 4); err == nil {
+		t.Fatal("Attach to foreign region through namespace b did not error")
+	}
+	if err := b.Wait(ta); err == nil {
+		t.Fatal("Wait on foreign thread did not error")
+	}
+	if err := a.Attach(ta, ra, 0, 4); err != nil {
+		t.Fatalf("legitimate Attach: %v", err)
+	}
+	if err := a.Wait(ta); err != nil {
+		t.Fatalf("legitimate Wait: %v", err)
+	}
+}
+
+func TestNamespaceIsolationPhysical(t *testing.T) {
+	rt := nsRuntime(t)
+	a, b := rt.NewNamespace("a"), rt.NewNamespace("b")
+	var fired atomic.Int64
+	ta, _ := a.Register("watch", func(Trigger) { fired.Add(1) })
+	ra, _ := a.Region("r", 4)
+	rb, _ := b.Region("r", 4)
+	if err := a.Attach(ta, ra, 0, 4); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	// Same region name, same index, different namespace: must not fire.
+	for i := 0; i < 4; i++ {
+		rb.TStore(i, 7)
+	}
+	if err := b.Barrier(); err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+	if err := a.Barrier(); err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("cross-namespace stores fired %d triggers, want 0", n)
+	}
+	ra.TStore(1, 7)
+	if err := a.Wait(ta); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("own-namespace store fired %d triggers, want 1", n)
+	}
+}
+
+func TestNamespaceCloseCancelsOwned(t *testing.T) {
+	rt := nsRuntime(t)
+	ns := rt.NewNamespace("s")
+	r, _ := ns.Region("r", 2)
+	tid, _ := ns.Register("t", func(Trigger) {})
+	if err := ns.Attach(tid, r, 0, 2); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	before := rt.Stats().Cancels
+	ns.Close()
+	ns.Close() // idempotent
+	if got := rt.Stats().Cancels - before; got != 1 {
+		t.Fatalf("Close issued %d cancels, want 1", got)
+	}
+	// Post-close management calls all fail cleanly.
+	if _, err := ns.Region("r", 2); err == nil {
+		t.Fatal("Region after Close did not error")
+	}
+	if _, err := ns.Register("t2", func(Trigger) {}); err == nil {
+		t.Fatal("Register after Close did not error")
+	}
+	if err := ns.Attach(tid, r, 0, 2); err == nil {
+		t.Fatal("Attach after Close did not error")
+	}
+	if err := ns.Wait(tid); err == nil {
+		t.Fatal("Wait after Close did not error")
+	}
+	if err := ns.Barrier(); err == nil {
+		t.Fatal("Barrier after Close did not error")
+	}
+	// A cancelled thread's former range no longer fires.
+	if changed := r.TStore(0, 99); changed {
+		st := rt.Stats()
+		if st.Fired != st.Enqueued+st.Squashed+st.Overflowed {
+			t.Fatalf("counter identity broken after Close: %+v", st)
+		}
+	}
+}

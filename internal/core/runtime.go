@@ -318,7 +318,11 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 func (rt *Runtime) ShardCount() int { return len(rt.shards) }
 
 // NewRegion allocates a region of n words in the runtime's address space.
+// Allocation is serialised under rt.mu: mem.System carries no lock of its
+// own, and the serving plane creates regions from concurrent sessions.
 func (rt *Runtime) NewRegion(name string, n int) *Region {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	return &Region{rt: rt, buf: rt.sys.Alloc(name, n)}
 }
 

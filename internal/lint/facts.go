@@ -80,6 +80,31 @@ func isCoreNew(fn *types.Func) bool {
 		fn.Name() == "New" && recvNamed(fn) == ""
 }
 
+// isServePath reports whether path declares the network trigger-plane API.
+func isServePath(path string) bool {
+	return strings.HasSuffix(path, "/internal/serve")
+}
+
+// isServeMethod reports whether fn is method name on serve type recv
+// (e.g. recv "Server", name "Serve").
+func isServeMethod(fn *types.Func, recv string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || !isServePath(fn.Pkg().Path()) || recvNamed(fn) != recv {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isServeNew reports whether fn is serve.NewServer.
+func isServeNew(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && isServePath(fn.Pkg().Path()) &&
+		fn.Name() == "NewServer" && recvNamed(fn) == ""
+}
+
 // recvExpr returns the receiver expression of a method call (the X of its
 // selector), or nil.
 func recvExpr(call *ast.CallExpr) ast.Expr {
@@ -128,12 +153,12 @@ func constIntOf(info *types.Info, e ast.Expr) (int64, bool) {
 // thread: its body, the regions attached to it, and its granted output
 // windows.
 type threadFacts struct {
-	obj     types.Object  // the ThreadID variable; nil when discarded
-	body    ast.Node      // *ast.FuncLit or *ast.FuncDecl; nil when not in-package
-	stack   []ast.Node    // ancestors of the Register call (for capture analysis)
+	obj     types.Object // the ThreadID variable; nil when discarded
+	body    ast.Node     // *ast.FuncLit or *ast.FuncDecl; nil when not in-package
+	stack   []ast.Node   // ancestors of the Register call (for capture analysis)
 	atts    map[types.Object]bool
 	grants  map[types.Object]bool
-	grantN  int  // grants declared, even when the region object is unresolvable
+	grantN  int // grants declared, even when the region object is unresolvable
 	regName string
 }
 
@@ -144,7 +169,7 @@ type facts struct {
 	// attached holds region objects that appear as the region argument of
 	// an Attach call; unresolvedAttach counts Attach calls whose region
 	// argument had no nameable object.
-	attached        map[types.Object]bool
+	attached         map[types.Object]bool
 	unresolvedAttach int
 
 	// outputs holds region objects a support thread writes (any Store /

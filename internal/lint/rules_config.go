@@ -20,6 +20,17 @@ import (
 //     silently, so the program's stated geometry is not the real one;
 //   - a Workers literal with a single-goroutine backend — Workers only
 //     exists on BackendImmediate; anywhere else the value is ignored.
+//
+// The network trigger plane (internal/serve) has the same failure shapes,
+// so the rule covers its API too:
+//
+//   - a Server.Serve error discarded (including `go srv.Serve(ln)`, where
+//     the error dies with the goroutine) — an accept-loop failure is
+//     otherwise invisible;
+//   - a Session.Attach error discarded — the handle is invalid and every
+//     later frame on it fails at the server;
+//   - a server built with NewServer and never Closed in the same function
+//     (when it does not escape) — the listener and session goroutines leak.
 func runConfigMisuse(f *facts, rep *reporter) {
 	info := f.pkg.Info
 	for _, file := range f.pkg.Files {
@@ -36,10 +47,38 @@ func runConfigMisuse(f *facts, rep *reporter) {
 	}
 }
 
-// checkDiscarded flags Register/Attach/AllowWrites calls whose result is
-// thrown away — as a bare statement or assigned to blank.
+// checkDiscarded flags Register/Attach/AllowWrites/Serve calls whose result
+// is thrown away — as a bare statement, assigned to blank, or (for the
+// error-returning calls) launched with go so the error dies with the
+// goroutine. serve's two-valued Session.Attach is handled separately: there
+// the error is the second result, discarded by a blank in the second slot.
 func checkDiscarded(info *types.Info, stack []ast.Node, call *ast.CallExpr, rep *reporter) {
+	if len(stack) == 0 {
+		return
+	}
 	fn := calleeOf(info, call)
+	parent := stack[len(stack)-1]
+
+	if isServeMethod(fn, "Session", "Attach") {
+		discarded := false
+		switch p := parent.(type) {
+		case *ast.ExprStmt:
+			discarded = true
+		case *ast.AssignStmt:
+			if len(p.Rhs) == 1 && unparen(p.Rhs[0]) == call && len(p.Lhs) == 2 {
+				if id, ok := p.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+					discarded = true
+				}
+			}
+		}
+		if discarded {
+			rep.report(call.Pos(), "config-misuse",
+				"discarded error returned by Session.Attach",
+				"check the error: a rejected attach leaves the handle invalid and every later frame on it failing")
+		}
+		return
+	}
+
 	var what, hint string
 	switch {
 	case isCoreMethod(fn, "Runtime", "Register"):
@@ -51,15 +90,17 @@ func checkDiscarded(info *types.Info, stack []ast.Node, call *ast.CallExpr, rep 
 	case isCoreMethod(fn, "Runtime", "AllowWrites"):
 		what = "error returned by AllowWrites"
 		hint = "check the error: a rejected grant leaves the output window undeclared"
+	case isServeMethod(fn, "Server", "Serve"):
+		what = "error returned by Serve"
+		hint = "check the error (or capture it from the serving goroutine, as Server.Start does): an accept-loop failure is silent otherwise"
 	default:
 		return
 	}
-	if len(stack) == 0 {
-		return
-	}
 	discarded := false
-	switch parent := stack[len(stack)-1].(type) {
+	switch parent := parent.(type) {
 	case *ast.ExprStmt:
+		discarded = true
+	case *ast.GoStmt:
 		discarded = true
 	case *ast.AssignStmt:
 		for i, r := range parent.Rhs {
@@ -76,14 +117,24 @@ func checkDiscarded(info *types.Info, stack []ast.Node, call *ast.CallExpr, rep 
 	}
 }
 
-// checkNewWithoutClose flags a core.New/dtt.New whose runtime is neither
-// Closed in the enclosing function nor handed to anything that could close
-// it. The escape analysis is deliberately coarse and one-sided: any use of
-// the runtime variable other than a method call or a reassignment-free
-// read makes the rule stand down, so only the self-contained leak pattern
-// is reported.
+// checkNewWithoutClose flags a core.New/dtt.New runtime — or a
+// serve.NewServer trigger plane — that is neither Closed in the enclosing
+// function nor handed to anything that could close it. The escape analysis
+// is deliberately coarse and one-sided: any use of the variable other than
+// a method call or a reassignment-free read makes the rule stand down, so
+// only the self-contained leak pattern is reported.
 func checkNewWithoutClose(info *types.Info, stack []ast.Node, call *ast.CallExpr, rep *reporter) {
-	if !isCoreNew(calleeOf(info, call)) || len(stack) == 0 {
+	fn := calleeOf(info, call)
+	var kind, builder, leak string
+	switch {
+	case isCoreNew(fn):
+		kind, builder, leak = "runtime", "New", "worker goroutines leak otherwise"
+	case isServeNew(fn):
+		kind, builder, leak = "server", "NewServer", "the listener and session goroutines leak otherwise"
+	default:
+		return
+	}
+	if len(stack) == 0 {
 		return
 	}
 	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
@@ -101,12 +152,12 @@ func checkNewWithoutClose(info *types.Info, stack []ast.Node, call *ast.CallExpr
 	if obj == nil {
 		return
 	}
-	fn := enclosingFunc(stack)
-	if fn == nil {
+	encl := enclosingFunc(stack)
+	if encl == nil {
 		return
 	}
 	closed, escapes := false, false
-	walkStack(fn, func(stk []ast.Node, n ast.Node) bool {
+	walkStack(encl, func(stk []ast.Node, n ast.Node) bool {
 		ident, ok := n.(*ast.Ident)
 		if !ok || (info.Uses[ident] != obj) || len(stk) == 0 {
 			return true
@@ -137,8 +188,8 @@ func checkNewWithoutClose(info *types.Info, stack []ast.Node, call *ast.CallExpr
 	})
 	if !closed && !escapes {
 		rep.report(call.Pos(), "config-misuse",
-			fmt.Sprintf("runtime %q built with New is never Closed in this function", id.Name),
-			"add defer "+id.Name+".Close(); worker goroutines leak otherwise")
+			fmt.Sprintf("%s %q built with %s is never Closed in this function", kind, id.Name, builder),
+			"add defer "+id.Name+".Close(); "+leak)
 	}
 }
 

@@ -1,0 +1,60 @@
+// Package servemisuse is golden-file input for the config-misuse rule's
+// network-trigger-plane checks: discarded Serve and Session.Attach errors,
+// and a Server built with NewServer that is never Closed.
+package servemisuse
+
+import (
+	"net"
+
+	"dtt/internal/core"
+	"dtt/internal/serve"
+)
+
+// DiscardedServe: an accept-loop failure is invisible in every one of
+// these forms — the go-statement form is the classic, where the error
+// dies with the goroutine.
+func DiscardedServe(srv *serve.Server, ln net.Listener) {
+	srv.Serve(ln)     // want: config-misuse
+	_ = srv.Serve(ln) // want: config-misuse
+	go srv.Serve(ln)  // want: config-misuse
+}
+
+// CheckedServeOK: returning (or otherwise consuming) the error is the
+// clean form; Server.Start wraps exactly this for the background case.
+func CheckedServeOK(srv *serve.Server, ln net.Listener) error {
+	return srv.Serve(ln)
+}
+
+// DiscardedAttach: the handle is only half the result; dropping the error
+// leaves the client batching into a handle the server never granted.
+func DiscardedAttach(cs *serve.Session) {
+	cs.Attach("r", 8, 0, 8)         // want: config-misuse
+	h, _ := cs.Attach("r", 8, 0, 8) // want: config-misuse
+	_ = h
+}
+
+// CheckedAttachOK: binding both results is the clean form.
+func CheckedAttachOK(cs *serve.Session) (uint32, error) {
+	return cs.Attach("r", 8, 0, 8)
+}
+
+// Leaked: a server built and never Closed in a function it never leaves;
+// its listener and per-session goroutines outlive the caller.
+func Leaked(rt *core.Runtime, ln net.Listener) {
+	srv := serve.NewServer(rt, serve.Options{}) // want: config-misuse
+	go srv.Serve(ln)                            // want: config-misuse
+}
+
+// ClosedOK: the deferred Close makes the same shape clean.
+func ClosedOK(rt *core.Runtime, ln net.Listener) error {
+	srv := serve.NewServer(rt, serve.Options{})
+	defer srv.Close()
+	return srv.Serve(ln)
+}
+
+// EscapesOK: handing the server to another function moves ownership; the
+// rule stands down rather than guess.
+func EscapesOK(rt *core.Runtime, sink func(*serve.Server)) {
+	srv := serve.NewServer(rt, serve.Options{})
+	sink(srv)
+}

@@ -1,0 +1,40 @@
+package queue
+
+// IDPool allocates small dense integer IDs with free-list reuse — the
+// session-slot allocator of the serving plane, shaped like the classic
+// actor-mailbox pattern (a fixed table of mailboxes indexed by a recycled
+// ID). Get returns the most recently released ID when one is free and
+// extends the dense range otherwise, so a table indexed by the IDs stays
+// as small as the peak concurrent population, not the lifetime total.
+//
+// An IDPool carries no lock of its own: the caller serialises Get/Put, the
+// same contract as the other hardware-shaped structures in this package
+// (the server holds its session-table lock across both).
+type IDPool struct {
+	free []int
+	next int
+}
+
+// Get returns a free ID: the most recently Put one if any, otherwise the
+// next never-used integer (starting at 0).
+func (p *IDPool) Get() int {
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		return id
+	}
+	id := p.next
+	p.next++
+	return id
+}
+
+// Put releases id for reuse. Releasing an ID that is not currently
+// allocated corrupts the pool; the caller's session table is the guard.
+func (p *IDPool) Put(id int) { p.free = append(p.free, id) }
+
+// Live returns the number of currently allocated IDs.
+func (p *IDPool) Live() int { return p.next - len(p.free) }
+
+// Cap returns the dense range ever allocated ([0, Cap)): the size a table
+// indexed by the pool's IDs must have.
+func (p *IDPool) Cap() int { return p.next }

@@ -1,0 +1,56 @@
+package queue
+
+import "testing"
+
+func TestIDPoolDenseAllocation(t *testing.T) {
+	var p IDPool
+	for i := 0; i < 4; i++ {
+		if id := p.Get(); id != i {
+			t.Fatalf("Get() = %d, want %d", id, i)
+		}
+	}
+	if p.Live() != 4 || p.Cap() != 4 {
+		t.Fatalf("Live() = %d, Cap() = %d, want 4, 4", p.Live(), p.Cap())
+	}
+}
+
+func TestIDPoolReusesFreedLIFO(t *testing.T) {
+	var p IDPool
+	a, b, c := p.Get(), p.Get(), p.Get()
+	p.Put(b)
+	p.Put(a)
+	// Most recently released first: a, then b; the dense range must not
+	// grow while freed IDs are available.
+	if got := p.Get(); got != a {
+		t.Fatalf("Get() after Put(a) = %d, want %d", got, a)
+	}
+	if got := p.Get(); got != b {
+		t.Fatalf("Get() = %d, want %d", got, b)
+	}
+	if got := p.Get(); got != c+1 {
+		t.Fatalf("Get() with empty free list = %d, want %d", got, c+1)
+	}
+	if p.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", p.Cap())
+	}
+}
+
+func TestIDPoolChurnBoundsDenseRange(t *testing.T) {
+	var p IDPool
+	// Connect/disconnect churn with at most 3 live sessions must never
+	// allocate an ID >= 3.
+	for round := 0; round < 100; round++ {
+		ids := []int{p.Get(), p.Get(), p.Get()}
+		for _, id := range ids {
+			if id >= 3 {
+				t.Fatalf("round %d: Get() = %d, want < 3 (peak live is 3)", round, id)
+			}
+		}
+		for _, id := range ids {
+			p.Put(id)
+		}
+	}
+	if p.Live() != 0 {
+		t.Fatalf("Live() after full release = %d, want 0", p.Live())
+	}
+}

@@ -1,0 +1,190 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+
+	"dtt/internal/mem"
+)
+
+// The registry's read plane has two generations of API: the per-probe
+// reads (Covers/Lookup/Each against the live published index) and the
+// batch reads (Snapshot pinning one index, then Each/AppendMatches/
+// Overlapping/Covers against it). These tests pin both against a naive
+// scan of Attachments(), including the match order contract (index order
+// = sorted by range start).
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	// Overlapping ranges with distinct starts so index order is
+	// deterministic: addr 40 matches threads 1 and 2, addr 300 matches 3.
+	for _, a := range []Attachment{
+		{Thread: 1, Lo: 0, Hi: 64},
+		{Thread: 2, Lo: 32, Hi: 128},
+		{Thread: 3, Lo: 256, Hi: 320},
+	} {
+		if err := r.Attach(a.Thread, a.Lo, a.Hi); err != nil {
+			t.Fatalf("Attach(%+v): %v", a, err)
+		}
+	}
+	return r
+}
+
+// naiveMatches is the reference resolution: every attachment covering
+// addr, in order of range start.
+func naiveMatches(r *Registry, addr mem.Addr) []ThreadID {
+	atts := r.Attachments()
+	sort.Slice(atts, func(i, j int) bool { return atts[i].Lo < atts[j].Lo })
+	var out []ThreadID
+	for _, a := range atts {
+		if addr >= a.Lo && addr < a.Hi {
+			out = append(out, a.Thread)
+		}
+	}
+	return out
+}
+
+func eqIDs(a, b []ThreadID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegistryReadsAgreeWithNaiveScan(t *testing.T) {
+	r := testRegistry(t)
+	s := r.Snapshot()
+	for addr := mem.Addr(0); addr < 384; addr += 8 {
+		want := naiveMatches(r, addr)
+
+		if got := r.Covers(addr); got != (len(want) > 0) {
+			t.Fatalf("Covers(%d) = %v, want %v", addr, got, len(want) > 0)
+		}
+		if got := s.Covers(addr); got != (len(want) > 0) {
+			t.Fatalf("Snapshot.Covers(%d) = %v, want %v", addr, got, len(want) > 0)
+		}
+		if got := r.Lookup(addr, nil); !eqIDs(got, want) {
+			t.Fatalf("Lookup(%d) = %v, want %v", addr, got, want)
+		}
+		var each []ThreadID
+		r.Each(addr, func(id ThreadID) { each = append(each, id) })
+		if !eqIDs(each, want) {
+			t.Fatalf("Each(%d) = %v, want %v", addr, each, want)
+		}
+		var snapEach []ThreadID
+		if n := s.Each(addr, func(id ThreadID) { snapEach = append(snapEach, id) }); n != len(want) || !eqIDs(snapEach, want) {
+			t.Fatalf("Snapshot.Each(%d) = %v (n=%d), want %v", addr, snapEach, n, want)
+		}
+		if got := s.AppendMatches(addr, nil); !eqIDs(got, want) {
+			t.Fatalf("Snapshot.AppendMatches(%d) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+// TestRegistrySnapshotPinsOneInstant: a pinned snapshot keeps resolving
+// the attachment set it was taken against, while live reads and fresh
+// snapshots see mutations — the property batched stores rely on so a
+// concurrent Attach lands entirely before or entirely after a batch.
+func TestRegistrySnapshotPinsOneInstant(t *testing.T) {
+	r := testRegistry(t)
+	old := r.Snapshot()
+	if err := r.Attach(4, 512, 576); err != nil {
+		t.Fatal(err)
+	}
+	if old.Covers(512) {
+		t.Fatal("pinned snapshot sees an attachment made after it was taken")
+	}
+	if !r.Snapshot().Covers(512) || !r.Covers(512) {
+		t.Fatal("fresh snapshot / live read misses the new attachment")
+	}
+	if r.Detach(4) != 1 {
+		t.Fatal("Detach(4) did not remove the attachment")
+	}
+}
+
+func TestRegistryOverlapping(t *testing.T) {
+	r := testRegistry(t)
+	s := r.Snapshot()
+	for _, tc := range []struct {
+		lo, hi mem.Addr
+		want   []ThreadID
+	}{
+		{0, 8, []ThreadID{1}},         // inside the first range only
+		{40, 48, []ThreadID{1, 2}},    // in the overlap of 1 and 2
+		{0, 384, []ThreadID{1, 2, 3}}, // spans everything
+		{128, 256, nil},               // the gap between 2 and 3
+		{1 << 20, 1 << 21, nil},       // entirely past the index bounds
+		{200, 512, []ThreadID{3}},     // straddles range 3
+	} {
+		var got []ThreadID
+		for _, a := range s.Overlapping(tc.lo, tc.hi, nil) {
+			got = append(got, a.Thread)
+		}
+		if !eqIDs(got, tc.want) {
+			t.Errorf("Overlapping(%d, %d) = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+// TestRegistryLookupAccounting: per-probe reads count one lookup each and
+// one match per returned thread; snapshot reads count nothing until the
+// caller settles them with NoteLookups (zero settles are free).
+func TestRegistryLookupAccounting(t *testing.T) {
+	r := testRegistry(t)
+	r.Lookup(40, nil)              // 2 matches
+	r.Each(300, func(ThreadID) {}) // 1 match
+	r.Each(200, func(ThreadID) {}) // covered-gap probe, 0 matches
+	if l, m := r.Lookups(), r.Matches(); l != 3 || m != 3 {
+		t.Fatalf("after per-probe reads: lookups %d matches %d, want 3 and 3", l, m)
+	}
+	s := r.Snapshot()
+	s.AppendMatches(40, nil)
+	if l, m := r.Lookups(), r.Matches(); l != 3 || m != 3 {
+		t.Fatalf("snapshot read touched the counters: lookups %d matches %d", l, m)
+	}
+	r.NoteLookups(0, 0)
+	r.NoteLookups(5, 2)
+	if l, m := r.Lookups(), r.Matches(); l != 8 || m != 5 {
+		t.Fatalf("after NoteLookups: lookups %d matches %d, want 8 and 5", l, m)
+	}
+}
+
+// TestRegistryEmptyAndErrors: the empty index rejects every probe with
+// the bounds pre-check, inverted ranges are attach errors, and detaching
+// the last attachment returns the registry to the empty index.
+func TestRegistryEmptyAndErrors(t *testing.T) {
+	r := NewRegistry()
+	if r.Covers(0) || r.Snapshot().Covers(0) {
+		t.Fatal("empty registry covers an address")
+	}
+	if got := r.Snapshot().Overlapping(0, 1<<30, nil); len(got) != 0 {
+		t.Fatalf("empty registry Overlapping = %v", got)
+	}
+	if err := r.Attach(1, 64, 64); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if err := r.Attach(1, 128, 64); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if err := r.Attach(1, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || !r.Covers(8) {
+		t.Fatalf("Len %d Covers(8) %v after one attach", r.Len(), r.Covers(8))
+	}
+	if n := r.Detach(1); n != 1 {
+		t.Fatalf("Detach removed %d, want 1", n)
+	}
+	if r.Detach(1) != 0 {
+		t.Fatal("second Detach removed something")
+	}
+	if r.Covers(8) || r.Len() != 0 {
+		t.Fatal("registry not empty after detaching everything")
+	}
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"dtt/internal/mem"
+)
+
+// Notify is one CHANGE_NOTIFY received from the server: the subscribed
+// handle, the changed word's index in its region, and the value the
+// support thread observed.
+type Notify struct {
+	Handle uint32
+	Index  int
+	Value  mem.Word
+}
+
+// Session is a client connection to a dttserve server. It is a
+// synchronous single-caller API: each request writes one frame and reads
+// until the matching reply, buffering any CHANGE_NOTIFY frames that
+// arrive in between (the server writes a batch's notifications before the
+// WAIT reply that covers them, so after Wait returns, Notifies holds
+// everything that batch triggered). A Session is not safe for concurrent
+// use; open one per goroutine — sessions are cheap on the server side by
+// design.
+type Session struct {
+	conn    net.Conn
+	fr      *frameReader
+	bw      *bufio.Writer
+	scratch []byte
+	id      uint32
+	pending []Notify
+}
+
+// Dial connects to a dttserve server and performs the HELLO handshake.
+func Dial(addr string) (*Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{conn: conn, fr: newFrameReader(conn), bw: bufio.NewWriter(conn)}
+	reply, err := s.roundTrip(OpHello, func(b []byte) []byte {
+		b = appendU32(b, Magic)
+		return appendU16(b, Version)
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := cursor{b: reply}
+	s.id = c.u32()
+	if !c.done() {
+		conn.Close()
+		return nil, fmt.Errorf("serve: malformed HELLO reply of %d bytes", len(reply))
+	}
+	return s, nil
+}
+
+// ID returns the session ID the server assigned at HELLO.
+func (s *Session) ID() uint32 { return s.id }
+
+// roundTrip writes one request frame and reads until the reply of the
+// same opcode (or an ERROR) arrives, buffering notifications. The
+// returned payload is valid until the next read on the session.
+func (s *Session) roundTrip(op byte, payload func([]byte) []byte) ([]byte, error) {
+	var err error
+	s.scratch, _, err = writeFrame(s.bw, s.scratch, op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return nil, err
+	}
+	for {
+		rop, rp, err := s.fr.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch rop {
+		case op:
+			return rp, nil
+		case OpChangeNotify:
+			c := cursor{b: rp}
+			n := Notify{Handle: c.u32()}
+			n.Index = int(c.u32())
+			n.Value = c.u64()
+			if !c.done() {
+				return nil, fmt.Errorf("serve: malformed CHANGE_NOTIFY of %d bytes", len(rp))
+			}
+			s.pending = append(s.pending, n)
+		case OpError:
+			c := cursor{b: rp}
+			text := string(c.take(int(c.u16())))
+			if !c.done() {
+				return nil, fmt.Errorf("serve: malformed ERROR frame of %d bytes", len(rp))
+			}
+			return nil, fmt.Errorf("serve: server error: %s", text)
+		default:
+			return nil, fmt.Errorf("serve: unexpected %s awaiting %s reply", opName(rop), opName(op))
+		}
+	}
+}
+
+// u32Reply decodes a single-u32 reply payload.
+func u32Reply(op byte, payload []byte) (uint32, error) {
+	c := cursor{b: payload}
+	v := c.u32()
+	if !c.done() {
+		return 0, fmt.Errorf("serve: malformed %s reply of %d bytes", opName(op), len(payload))
+	}
+	return v, nil
+}
+
+// emptyReply checks an empty reply payload.
+func emptyReply(op byte, payload []byte) error {
+	if len(payload) != 0 {
+		return fmt.Errorf("serve: malformed %s reply of %d bytes", opName(op), len(payload))
+	}
+	return nil
+}
+
+// Attach asks the server to arm a fresh support thread on words [lo, hi)
+// of the session's region named region (created sized words on first
+// use), returning the handle for batches, waits and subscription.
+func (s *Session) Attach(region string, words, lo, hi int) (uint32, error) {
+	if len(region) > 1<<16-1 {
+		return 0, fmt.Errorf("serve: region name of %d bytes", len(region))
+	}
+	reply, err := s.roundTrip(OpAttach, func(b []byte) []byte {
+		b = appendU32(b, uint32(words))
+		b = appendU32(b, uint32(lo))
+		b = appendU32(b, uint32(hi))
+		b = appendU16(b, uint16(len(region)))
+		return append(b, region...)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return u32Reply(OpAttach, reply)
+}
+
+// Batch issues a TSTORE_BATCH of vs starting at word lo of the handle's
+// region and returns how many of the words changed (fired triggers).
+func (s *Session) Batch(handle uint32, lo int, vs []mem.Word) (int, error) {
+	if headerLen+12+8*len(vs) > MaxFrame {
+		return 0, fmt.Errorf("serve: batch of %d words exceeds the frame cap", len(vs))
+	}
+	reply, err := s.roundTrip(OpTStoreBatch, func(b []byte) []byte {
+		b = appendU32(b, handle)
+		b = appendU32(b, uint32(lo))
+		b = appendU32(b, uint32(len(vs)))
+		for _, v := range vs {
+			b = appendU64(b, v)
+		}
+		return b
+	})
+	if err != nil {
+		return 0, err
+	}
+	changed, err := u32Reply(OpTStoreBatch, reply)
+	return int(changed), err
+}
+
+// Wait blocks until the handle's support thread has quiesced; every
+// notification its runs produced is buffered in Notifies when it returns.
+func (s *Session) Wait(handle uint32) error {
+	reply, err := s.roundTrip(OpWait, func(b []byte) []byte { return appendU32(b, handle) })
+	if err != nil {
+		return err
+	}
+	return emptyReply(OpWait, reply)
+}
+
+// Barrier blocks until every support thread of this session has quiesced.
+func (s *Session) Barrier() error {
+	reply, err := s.roundTrip(OpBarrier, nil)
+	if err != nil {
+		return err
+	}
+	return emptyReply(OpBarrier, reply)
+}
+
+// Subscribe turns on CHANGE_NOTIFY streaming for the handle's thread.
+func (s *Session) Subscribe(handle uint32) error {
+	reply, err := s.roundTrip(OpSubscribe, func(b []byte) []byte { return appendU32(b, handle) })
+	if err != nil {
+		return err
+	}
+	return emptyReply(OpSubscribe, reply)
+}
+
+// Notifies drains and returns the notifications buffered so far, in
+// arrival order.
+func (s *Session) Notifies() []Notify {
+	n := s.pending
+	s.pending = nil
+	return n
+}
+
+// Close closes the connection. The server cancels the session's support
+// threads and releases its namespace.
+func (s *Session) Close() error { return s.conn.Close() }

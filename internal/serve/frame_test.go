@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	var scratch []byte
+	var err error
+	scratch, n, err := writeFrame(bw, scratch, OpTStoreBatch, func(b []byte) []byte {
+		b = appendU32(b, 7)
+		b = appendU32(b, 3)
+		b = appendU32(b, 2)
+		b = appendU64(b, 0xdeadbeefcafe)
+		return appendU64(b, 42)
+	})
+	if err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if want := headerLen + 12 + 16; n != want {
+		t.Fatalf("wrote %d bytes, want %d", n, want)
+	}
+	if _, _, err := writeFrame(bw, scratch, OpBarrier, nil); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	fr := newFrameReader(&buf)
+	op, payload, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if op != OpTStoreBatch || len(payload) != 28 {
+		t.Fatalf("frame 1 = %s with %d payload bytes, want TSTORE_BATCH with 28", opName(op), len(payload))
+	}
+	c := cursor{b: payload}
+	if h, lo, n := c.u32(), c.u32(), c.u32(); h != 7 || lo != 3 || n != 2 {
+		t.Fatalf("decoded header %d %d %d, want 7 3 2", h, lo, n)
+	}
+	if v1, v2 := c.u64(), c.u64(); v1 != 0xdeadbeefcafe || v2 != 42 {
+		t.Fatalf("decoded words %#x %d", v1, v2)
+	}
+	if !c.done() {
+		t.Fatal("cursor not exactly consumed")
+	}
+	op, payload, err = fr.ReadFrame()
+	if err != nil || op != OpBarrier || len(payload) != 0 {
+		t.Fatalf("frame 2 = %s/%d bytes, err %v; want empty BARRIER", opName(op), len(payload), err)
+	}
+	if _, _, err := fr.ReadFrame(); err != io.EOF {
+		t.Fatalf("ReadFrame at stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderRejectsBadLengths(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		length uint32
+	}{
+		{"zero length", 0},
+		{"over MaxFrame", MaxFrame + 1},
+		{"absurd length", 1 << 31},
+	} {
+		hdr := make([]byte, headerLen)
+		binary.BigEndian.PutUint32(hdr, tc.length)
+		hdr[4] = OpHello
+		fr := newFrameReader(bytes.NewReader(hdr))
+		if _, _, err := fr.ReadFrame(); err == nil || err == io.EOF {
+			t.Errorf("%s: ReadFrame err = %v, want length error", tc.name, err)
+		}
+	}
+}
+
+func TestFrameReaderTruncation(t *testing.T) {
+	// A frame claiming 100 payload bytes but delivering 3.
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(hdr, 101)
+	hdr[4] = OpAttach
+	in := append(hdr, 1, 2, 3)
+	fr := newFrameReader(bytes.NewReader(in))
+	_, _, err := fr.ReadFrame()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated payload: err = %v, want unexpected-EOF error", err)
+	}
+	if !strings.Contains(err.Error(), "ATTACH") {
+		t.Fatalf("truncation error %q does not name the opcode", err)
+	}
+
+	// A header cut mid-way is distinguishable from a clean EOF.
+	fr = newFrameReader(bytes.NewReader(hdr[:2]))
+	if _, _, err := fr.ReadFrame(); err == nil || err == io.EOF {
+		t.Fatalf("truncated header: err = %v, want unexpected-EOF error", err)
+	}
+}
+
+func TestCursorOverreadSetsBad(t *testing.T) {
+	c := cursor{b: []byte{1, 2, 3}}
+	if v := c.u16(); v != 0x0102 {
+		t.Fatalf("u16 = %#x", v)
+	}
+	if v := c.u32(); v != 0 || !c.bad {
+		t.Fatalf("overread u32 = %d, bad = %v; want 0, true", v, c.bad)
+	}
+	// Once bad, everything stays zero and done never reports true.
+	if v := c.u64(); v != 0 {
+		t.Fatalf("u64 after bad = %d", v)
+	}
+	if c.done() {
+		t.Fatal("done() on a bad cursor")
+	}
+	if b := c.take(-1); b != nil || !c.bad {
+		t.Fatal("negative take did not stay bad")
+	}
+}
+
+// TestFrameReaderReusesBuffer pins the decoder's allocation discipline: a
+// stream of equal-size frames must not allocate per frame, and the buffer
+// never exceeds the largest frame seen (which is itself capped by
+// MaxFrame).
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte{0xab}, 512)
+	for i := 0; i < 8; i++ {
+		hdr := make([]byte, headerLen)
+		binary.BigEndian.PutUint32(hdr, uint32(1+len(payload)))
+		hdr[4] = OpTStoreBatch
+		buf.Write(hdr)
+		buf.Write(payload)
+	}
+	fr := newFrameReader(&buf)
+	if _, _, err := fr.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	first := &fr.buf[0]
+	for i := 1; i < 8; i++ {
+		_, p, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &p[0] != first {
+			t.Fatalf("frame %d reallocated the decode buffer", i)
+		}
+	}
+	if cap(fr.buf) > MaxFrame {
+		t.Fatalf("decode buffer grew to %d, above MaxFrame", cap(fr.buf))
+	}
+}

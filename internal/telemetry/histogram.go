@@ -38,6 +38,25 @@ type Histogram struct {
 	sum    atomic.Int64
 }
 
+// NewHistogram returns a standalone histogram over the given ascending
+// bucket bounds (the last implicit bucket is +Inf). Subsystems outside the
+// per-shard ShardMetrics blocks — the serving plane's trigger-to-notify
+// latency, for one — build their histograms this way and fold them into a
+// Snapshot via Histogram.Snapshot.
+func NewHistogram(bounds []int64) *Histogram {
+	h := &Histogram{}
+	h.init(bounds)
+	return h
+}
+
+// Snapshot returns a point-in-time copy of the histogram under the given
+// metric name, suitable for appending to Snapshot.Histograms.
+func (h *Histogram) Snapshot(name, help string) HistogramSnapshot {
+	s := newHistogramSnapshot(name, help, h.bounds)
+	h.addTo(&s)
+	return s
+}
+
 func (h *Histogram) init(bounds []int64) {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {

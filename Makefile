@@ -20,9 +20,9 @@ COVER_PKGS  := ./internal/core ./internal/queue
 # Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test race fuzz-smoke fuzz cover allocs-gate serve-smoke bench-fastpath bench-batch bench bench-serve bench-scale bench-telemetry
+.PHONY: ci lint vet build test race fuzz-smoke fuzz cover allocs-gate serve-smoke bench-fastpath bench-batch bench bench-serve bench-scale bench-telemetry bench-update
 
-ci: lint vet build race allocs-gate fuzz-smoke serve-smoke cover bench-fastpath bench-batch
+ci: lint vet build race allocs-gate fuzz-smoke serve-smoke cover bench-fastpath bench-batch bench-update
 
 # Static DTT protocol check over the whole module (./... skips the
 # linter's own testdata fixtures by design). Findings are suppressed one
@@ -87,7 +87,7 @@ bench-fastpath:
 # runs them without -race instrumentation (which changes allocation
 # behaviour) and names the contract in the CI log.
 allocs-gate:
-	$(GO) test -count=1 -run 'TestTStore(Batch)?FastPathAllocs' -v . | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
+	$(GO) test -count=1 -run 'Test(TStore(Batch)?|TUpdate)FastPathAllocs' -v . | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
 
 # Batched triggering-store benchmarks: the scalar-vs-batch throughput pair
 # plus the silent and squash batch paths, with allocation reporting. The
@@ -97,6 +97,17 @@ allocs-gate:
 bench-batch:
 	$(GO) test -run '^$$' -bench 'BenchmarkTStoreBatch' -benchmem . | tee bench-batch.out
 	@echo "wrote bench-batch.out; compare runs with: benchstat <saved-baseline>.out bench-batch.out"
+
+# Commutative-update plane benchmarks: the producer-side folds, the full
+# fold->merge->drain cycle, and the hot-contended A/B against TStoreBatch
+# from 8 producers over one shared 64-word window. The A/B's tupdatebatch
+# ns/store at <= 1/4 of tstorebatch is the headline ratio (>=4x per-store
+# throughput under contention at 0 allocs/op); TestTUpdateFastPathAllocs
+# in the allocs-gate is what fails the build if the allocation contract
+# breaks.
+bench-update:
+	$(GO) test -run '^$$' -bench 'BenchmarkTUpdate' -benchmem . | tee bench-update.out
+	@echo "wrote bench-update.out; compare runs with: benchstat <saved-baseline>.out bench-update.out"
 
 # Loopback benchmark of the network trigger plane: one session
 # round-tripping 64-word batches through a real TCP socket. ns/store here

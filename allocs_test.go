@@ -167,3 +167,61 @@ func TestTStoreBatchFastPathAllocsTelemetry(t *testing.T) {
 func TestTStoreFastPathAllocsTelemetry(t *testing.T) {
 	assertFastPathAllocs(t, "telemetry on", true)
 }
+
+// assertUpdateFastPathAllocs holds the commutative-update plane to the
+// same 0 allocs/op contract: producer-side folds (scalar and batch) after
+// the stripe cells are lazily sized, and whole fold→merge→drain cycles —
+// the merge scratch and inline list are plane- and pool-owned.
+func assertUpdateFastPathAllocs(t *testing.T, label string, telemetry bool) {
+	rt, hot, cold := allocRuntime(t, telemetry)
+
+	const batch = 64
+	var vals [batch]dtt.Word
+	for i := range vals {
+		vals[i] = 1
+	}
+	// Warm the update plane: first folds size the stripe cells and the
+	// merge scratch; a Barrier warms the merge path and inline pool.
+	hot.TUpdate(0, dtt.UpdAdd, 1)
+	hot.TUpdateBatch(0, dtt.UpdAdd, vals[:])
+	cold.TUpdate(0, dtt.UpdAdd, 1)
+	rt.Barrier()
+
+	// Producer-side fold: stripe lock + cell write, nothing shared.
+	if got := testing.AllocsPerRun(200, func() { hot.TUpdate(0, dtt.UpdAdd, 1) }); got != 0 {
+		t.Errorf("%s: scalar fold allocates %.1f allocs/op, want 0", label, got)
+	}
+	rt.Barrier()
+
+	// Batched fold over a span.
+	if got := testing.AllocsPerRun(200, func() { hot.TUpdateBatch(0, dtt.UpdAdd, vals[:]) }); got != 0 {
+		t.Errorf("%s: batched fold allocates %.1f allocs/op, want 0", label, got)
+	}
+	rt.Barrier()
+
+	// Full cycle: fold, merge at the sync point, fire and drain.
+	if got := testing.AllocsPerRun(20, func() {
+		for lo := 0; lo < 1024; lo += batch {
+			hot.TUpdateBatch(lo, dtt.UpdAdd, vals[:])
+		}
+		rt.Barrier()
+	}); got != 0 {
+		t.Errorf("%s: fold+merge+drain cycle allocates %.1f allocs/op, want 0", label, got)
+	}
+
+	// Uncovered fold+merge: merge stores that fire no one.
+	if got := testing.AllocsPerRun(200, func() {
+		cold.TUpdate(0, dtt.UpdAdd, 1)
+		rt.Barrier()
+	}); got != 0 {
+		t.Errorf("%s: uncovered fold+merge allocates %.1f allocs/op, want 0", label, got)
+	}
+}
+
+func TestTUpdateFastPathAllocs(t *testing.T) {
+	assertUpdateFastPathAllocs(t, "telemetry off", false)
+}
+
+func TestTUpdateFastPathAllocsTelemetry(t *testing.T) {
+	assertUpdateFastPathAllocs(t, "telemetry on", true)
+}

@@ -609,6 +609,138 @@ func BenchmarkSimulatorEngine(b *testing.B) {
 	}
 }
 
+// The BenchmarkTUpdate* family measures the commutative-update plane.
+// The producer-side benches time the privatized fold alone; the cycle
+// bench times fold + merge + dispatch; the contended A/B is the
+// acceptance benchmark for the tentpole.
+
+// BenchmarkTUpdateFold is the producer fast path: one stripe-local lock
+// and a cell write per op, nothing shared, nothing dispatched.
+func BenchmarkTUpdateFold(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred})
+	r.TUpdate(0, dtt.UpdAdd, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TUpdate(0, dtt.UpdAdd, 1)
+	}
+	b.StopTimer()
+	rt.Barrier()
+}
+
+// BenchmarkTUpdateBatchFold folds 64 words per op under one stripe lock.
+func BenchmarkTUpdateBatchFold(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred})
+	const batch = 64
+	var vals [batch]dtt.Word
+	for k := range vals {
+		vals[k] = 1
+	}
+	r.TUpdateBatch(0, dtt.UpdAdd, vals[:])
+	rt.Barrier()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TUpdateBatch(0, dtt.UpdAdd, vals[:])
+	}
+	b.StopTimer()
+	rt.Barrier()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/store")
+}
+
+// BenchmarkTUpdateMergeCycle is the full pipeline: fold a 64-word span,
+// then merge, fire and drain at the Barrier — the update-plane analogue
+// of BenchmarkTStoreBatchChanging with the drain inside the timer.
+func BenchmarkTUpdateMergeCycle(b *testing.B) {
+	rt, r, _ := benchRuntime(b, dtt.Config{Backend: dtt.BackendDeferred, QueueCapacity: 2048})
+	const batch = 64
+	var vals [batch]dtt.Word
+	for k := range vals {
+		vals[k] = 1
+	}
+	r.TUpdateBatch(0, dtt.UpdAdd, vals[:])
+	rt.Barrier()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TUpdateBatch(0, dtt.UpdAdd, vals[:])
+		rt.Barrier()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/store")
+}
+
+// BenchmarkTUpdateHotContended is the tentpole's acceptance benchmark:
+// 8 producer goroutines hammer the SAME 64-word hot window — the
+// shape that serializes scalar triggering stores on the target words and
+// their shard locks. The tstorebatch variant issues always-changing
+// TStoreBatch calls (each word compare-and-swaps the shared line and
+// takes the dispatch path); the tupdatebatch variant folds the same
+// traffic into per-stripe privatized deltas with eager merges every 512
+// stripe ops, so triggers still fire during timing. The bar is
+// tupdatebatch at <= 1/4 of tstorebatch's ns/store (>= 4x per-store
+// throughput at 8 contended producers).
+func BenchmarkTUpdateHotContended(b *testing.B) {
+	const (
+		producers = 8
+		batch     = 64
+	)
+	run := func(b *testing.B, cfg dtt.Config, store func(r *dtt.Region, vals []dtt.Word, v dtt.Word)) {
+		rt, err := dtt.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(rt.Close)
+		r := rt.NewRegion("hot", batch)
+		id := rt.Register("noop", func(dtt.Trigger) {})
+		if err := rt.Attach(id, r, 0, batch); err != nil {
+			b.Fatal(err)
+		}
+		// Warm both planes: scratch pools, stripe cells, pending entry.
+		var warm [batch]dtt.Word
+		for k := range warm {
+			warm[k] = 1
+		}
+		store(r, warm[:], 1)
+		rt.Barrier()
+		gomax := runtime.GOMAXPROCS(0)
+		b.SetParallelism((producers + gomax - 1) / gomax)
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			p := next.Add(1)
+			var vals [batch]dtt.Word
+			v := dtt.Word(p) << 32 // distinct per producer: stores keep changing
+			for pb.Next() {
+				v++
+				store(r, vals[:], v)
+			}
+		})
+		b.StopTimer()
+		rt.Barrier()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/store")
+	}
+	b.Run("tstorebatch", func(b *testing.B) {
+		run(b, dtt.Config{Backend: dtt.BackendImmediate, Workers: 2, Shards: 8, QueueCapacity: 2048},
+			func(r *dtt.Region, vals []dtt.Word, v dtt.Word) {
+				for k := range vals {
+					vals[k] = v + dtt.Word(k)
+				}
+				r.TStoreBatch(0, vals)
+			})
+	})
+	b.Run("tupdatebatch", func(b *testing.B) {
+		run(b, dtt.Config{Backend: dtt.BackendImmediate, Workers: 2, Shards: 8, QueueCapacity: 2048, MergeEvery: 512},
+			func(r *dtt.Region, vals []dtt.Word, v dtt.Word) {
+				for k := range vals {
+					vals[k] = v + dtt.Word(k)
+				}
+				r.TUpdateBatch(0, dtt.UpdAdd, vals)
+			})
+	})
+}
+
 // BenchmarkServeBatch is the loopback cost of the network trigger plane:
 // one client session round-trips a 64-word TSTORE_BATCH per op through a
 // real TCP socket into the same dispatch path the local benches measure,

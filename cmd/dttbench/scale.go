@@ -13,11 +13,11 @@ import (
 )
 
 // scalePoint is one (mode, distribution, producer count) cell of the sweep.
-// OpsPerSec is the aggregate triggering-store throughput across all
-// producers — words written per second, whichever of the scalar or batched
-// entry points wrote them.
+// OpsPerSec is the aggregate triggering-write throughput across all
+// producers — words written (or folded, for the update mode) per second,
+// whichever entry point carried them.
 type scalePoint struct {
-	Mode      string  `json:"mode"` // "scalar" or "batch"
+	Mode      string  `json:"mode"` // "scalar", "batch" or "update"
 	Dist      string  `json:"dist"` // "uniform" or "hot"
 	Producers int     `json:"producers"`
 	NsPerOp   float64 `json:"ns_per_op"`
@@ -58,6 +58,10 @@ const (
 	// scaleBatch is the words-per-TStoreBatch of the batched mode, matching
 	// the batch=64 point the repo's alloc and throughput gates pin.
 	scaleBatch = 64
+	// scaleMergeEvery is the update mode's eager-merge cadence in per-stripe
+	// ops, matching BenchmarkTUpdateHotContended so merges (and the trigger
+	// dispatch they carry) land inside the measured producer loops.
+	scaleMergeEvery = 512
 	// scaleMaxProducers bounds the oversubscribed sweep.
 	scaleMaxProducers = 64
 )
@@ -70,18 +74,24 @@ const (
 // producers' shards — the embarrassing-parallel best case. dist "hot"
 // attaches a single support thread to one shared window that every producer
 // hammers, so all dispatch serialises on one shard's lock — the worst case
-// the sharding exists to relieve. mode selects the scalar TStore loop or
-// scaleBatch-word TStoreBatch calls over the same address and value stream.
+// the sharding exists to relieve. mode selects the scalar TStore loop,
+// scaleBatch-word TStoreBatch calls, or scaleBatch-word TUpdateBatch adds
+// (per-stripe privatized folds with eager merges every scaleMergeEvery
+// stripe ops) over the same address and value stream.
 //
 // The clock covers only the producer loops: draining is the workers'
 // concurrent job and is deliberately off the store path being measured.
 func runScalePoint(p int, mode, dist string) (float64, error) {
-	rt, err := dtt.New(dtt.Config{
+	cfg := dtt.Config{
 		Backend:       dtt.BackendImmediate,
 		Workers:       p,
 		Shards:        p, // rounded up to a power of two by the runtime
 		QueueCapacity: 2048,
-	})
+	}
+	if mode == "update" {
+		cfg.MergeEvery = scaleMergeEvery
+	}
+	rt, err := dtt.New(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -118,7 +128,8 @@ func runScalePoint(p int, mode, dist string) (float64, error) {
 		go func(base int, salt dtt.Word) {
 			defer wg.Done()
 			<-start
-			if mode == "batch" {
+			switch mode {
+			case "batch":
 				var buf [scaleBatch]dtt.Word
 				for j := 0; j < scaleStoresPerProducer; j += scaleBatch {
 					for k := range buf {
@@ -126,7 +137,15 @@ func runScalePoint(p int, mode, dist string) (float64, error) {
 					}
 					r.TStoreBatch(base+j%scaleSpan, buf[:])
 				}
-			} else {
+			case "update":
+				var buf [scaleBatch]dtt.Word
+				for j := 0; j < scaleStoresPerProducer; j += scaleBatch {
+					for k := range buf {
+						buf[k] = salt + dtt.Word(j+k)
+					}
+					r.TUpdateBatch(base+j%scaleSpan, dtt.UpdAdd, buf[:])
+				}
+			default:
 				for j := 0; j < scaleStoresPerProducer; j++ {
 					r.TStore(base+j%scaleSpan, salt+dtt.Word(j))
 				}
@@ -196,7 +215,7 @@ func runScaleSweep(stdout io.Writer, outPath string, oversubscribe bool) error {
 	counts := scaleProducerCounts(oversubscribe)
 	fmt.Fprintf(stdout, "triggering-store scaling sweep (immediate backend, %s/%s %s, GOMAXPROCS=%d, num_cpu=%d, oversubscribe=%v):\n",
 		rep.GOOS, rep.GOARCH, rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU, rep.Oversubscribe)
-	for _, mode := range []string{"scalar", "batch"} {
+	for _, mode := range []string{"scalar", "batch", "update"} {
 		for _, dist := range []string{"uniform", "hot"} {
 			fmt.Fprintf(stdout, "  %s/%s:\n", mode, dist)
 			var first, last scalePoint

@@ -92,6 +92,21 @@ const (
 	BackendSeeded    = core.BackendSeeded
 )
 
+// UpdateOp is a commutative update operation for Region.TUpdate and
+// Region.TUpdateBatch. See mem.UpdateOp.
+type UpdateOp = core.UpdateOp
+
+// Commutative update operations. Min and max compare words as unsigned
+// integers; set is last-writer-wins.
+const (
+	UpdAdd = core.UpdAdd
+	UpdMin = core.UpdMin
+	UpdMax = core.UpdMax
+	UpdAnd = core.UpdAnd
+	UpdOr  = core.UpdOr
+	UpdSet = core.UpdSet
+)
+
 // CheckMode selects the protocol sanitizer level in Config.Checker.
 type CheckMode = core.CheckMode
 

@@ -156,6 +156,18 @@ type Config struct {
 	// Re-running the same program with the same seed replays the same
 	// support-thread interleaving.
 	SchedSeed uint64
+	// MergeThreshold, when > 0, merges a region's privatized update deltas
+	// eagerly once the number of distinct dirty words pending merge reaches
+	// the threshold. Zero (the default) disables count-of-words eager
+	// merging; deltas then merge at Wait/Barrier/Load or per MergeEvery.
+	// See Region.TUpdate.
+	MergeThreshold int
+	// MergeEvery, when > 0, merges a region's privatized update deltas
+	// eagerly every MergeEvery updates applied through one producer stripe.
+	// The cadence is op-count based, not time based, so the seeded backend
+	// replays eager merges deterministically. Zero (the default) disables
+	// interval merging.
+	MergeEvery int
 	// Telemetry enables the metrics plane: per-shard latency, run-duration
 	// and queue-depth histograms, pprof labels on support-thread instances,
 	// and runtime/trace annotations. Off by default; when off the trigger
@@ -214,6 +226,12 @@ func (c *Config) validate() error {
 	}
 	if c.Backend != BackendRecorded && c.Recorder != nil {
 		return fmt.Errorf("core: Recorder set but backend is %v", c.Backend)
+	}
+	if c.MergeThreshold < 0 {
+		return fmt.Errorf("core: negative MergeThreshold %d", c.MergeThreshold)
+	}
+	if c.MergeEvery < 0 {
+		return fmt.Errorf("core: negative MergeEvery %d", c.MergeEvery)
 	}
 	return nil
 }

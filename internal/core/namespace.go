@@ -156,10 +156,13 @@ func (ns *Namespace) Threads() int {
 }
 
 // Close cancels every owned thread (squashing their pending triggers and
-// detaching their ranges) and retires the namespace. Idempotent; the
-// regions' address ranges are not reclaimed — mem.System only grows — and
-// the runtime's thread table keeps the cancelled entries, both accepted
-// costs of session churn recorded in DESIGN.md.
+// detaching their ranges), retires the quiet ones so their IDs recycle,
+// and returns the regions' address ranges to the arena free list.
+// Idempotent. A thread still running when Close is called is cancelled
+// but not retired — its table slot stays until the body drains — which
+// bounds the leak to in-flight work rather than session count. The caller
+// must have stopped issuing stores into the namespace's regions before
+// closing; Close frees their backing memory.
 func (ns *Namespace) Close() {
 	ns.mu.Lock()
 	if ns.closed {
@@ -169,8 +172,20 @@ func (ns *Namespace) Close() {
 	ns.closed = true
 	owned := ns.owned
 	ns.owned = nil
+	regions := ns.regions
+	ns.regions = nil
 	ns.mu.Unlock()
 	for _, t := range owned {
 		ns.rt.Cancel(t)
 	}
+	// Retire and free under rt.mu: retirement mutates the free-ID list and
+	// region release prunes the merge set and the arena, both rt.mu-guarded.
+	ns.rt.mu.Lock()
+	for _, t := range owned {
+		ns.rt.retireThreadLocked(t)
+	}
+	for _, r := range regions {
+		ns.rt.releaseRegionLocked(r)
+	}
+	ns.rt.mu.Unlock()
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"strings"
+
+	"dtt/internal/mem"
 	"sync/atomic"
 	"testing"
 )
@@ -148,5 +151,76 @@ func TestNamespaceCloseCancelsOwned(t *testing.T) {
 		if st.Fired != st.Enqueued+st.Squashed+st.Overflowed {
 			t.Fatalf("counter identity broken after Close: %+v", st)
 		}
+	}
+}
+
+// TestNamespaceChurnBoundsResources is the session-churn acceptance test:
+// repeated open → work → close cycles must not grow the arena footprint or
+// the runtime thread table, because Close returns region ranges to the
+// free list and retires quiet threads for ID reuse.
+func TestNamespaceChurnBoundsResources(t *testing.T) {
+	rt := nsRuntime(t)
+
+	cycle := func(k int) {
+		ns := rt.NewNamespace(fmt.Sprintf("s%d", k))
+		r, err := ns.Region("acc", 64)
+		if err != nil {
+			t.Fatalf("cycle %d: Region: %v", k, err)
+		}
+		var runs atomic.Int64
+		id, err := ns.Register("obs", func(Trigger) { runs.Add(1) })
+		if err != nil {
+			t.Fatalf("cycle %d: Register: %v", k, err)
+		}
+		if err := ns.Attach(id, r, 0, 64); err != nil {
+			t.Fatalf("cycle %d: Attach: %v", k, err)
+		}
+		r.TStoreBatch(0, []mem.Word{1, 2, 3})
+		r.TUpdate(4, UpdAdd, mem.Word(k+1))
+		if err := ns.Barrier(); err != nil {
+			t.Fatalf("cycle %d: Barrier: %v", k, err)
+		}
+		if runs.Load() == 0 {
+			t.Fatalf("cycle %d: thread never ran", k)
+		}
+		ns.Close()
+	}
+
+	// Warm up once so lazily-sized structures reach steady state, then
+	// pin the footprint and thread-table size.
+	cycle(0)
+	footprint := rt.sys.Footprint()
+	tableLen := len(rt.threadsSnap())
+	for k := 1; k < 50; k++ {
+		cycle(k)
+	}
+	if got := rt.sys.Footprint(); got != footprint {
+		t.Errorf("arena footprint grew from %d to %d over 50 churn cycles", footprint, got)
+	}
+	if got := len(rt.threadsSnap()); got != tableLen {
+		t.Errorf("thread table grew from %d to %d entries over 50 churn cycles", tableLen, got)
+	}
+	// Stats survive the churn monotonically: every cycle folded one update.
+	if got := rt.Stats().TUpdates; got != 50 {
+		t.Errorf("TUpdates = %d after 50 cycles, want 50", got)
+	}
+}
+
+// TestNamespaceCloseIsIdempotentWithRelease double-closes a namespace that
+// owned memory: the second Close must not double-free.
+func TestNamespaceCloseIsIdempotentWithRelease(t *testing.T) {
+	rt := nsRuntime(t)
+	ns := rt.NewNamespace("s0")
+	if _, err := ns.Region("acc", 8); err != nil {
+		t.Fatalf("Region: %v", err)
+	}
+	ns.Close()
+	free := rt.sys.FreeBytes()
+	if free == 0 {
+		t.Fatal("Close released no memory")
+	}
+	ns.Close()
+	if got := rt.sys.FreeBytes(); got != free {
+		t.Fatalf("second Close changed FreeBytes from %d to %d", free, got)
 	}
 }

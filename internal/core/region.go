@@ -2,16 +2,23 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"dtt/internal/mem"
 )
 
 // Region is a trigger-capable array of words allocated from the runtime's
 // address space. Ordinary loads and stores behave like memory accesses;
-// TStore and TStoreF are the paper's triggering stores.
+// TStore and TStoreF are the paper's triggering stores, and TStore's
+// commutative cousin TUpdate (update.go) folds declared-commutative ops
+// into a privatized delta plane that triggers on merge.
 type Region struct {
 	rt  *Runtime
 	buf *mem.Buffer
+	// upd is the region's privatized update plane, created lazily by the
+	// first TUpdate and read lock-free on Load (one pointer load for
+	// regions that never update). See update.go.
+	upd atomic.Pointer[updatePlane]
 }
 
 // Name returns the region's allocation name.
@@ -28,7 +35,18 @@ func (r *Region) Buffer() *mem.Buffer { return r.buf }
 // against the happens-before discipline (a read of a support thread's
 // output requires an intervening Wait/Barrier); Peek bypasses the check
 // for validation code.
+//
+// Load is a merge point for pending TUpdate deltas: when the region's
+// privatized update plane has dirty cells the load first merges them (and
+// fires the resulting triggers), so a reader never observes memory that a
+// completed TUpdate on its own goroutine has not reached. The merge is
+// best-effort under contention — if another merger holds the plane's
+// merge lock the load proceeds with current memory; Wait and Barrier are
+// the blocking merge points.
 func (r *Region) Load(i int) mem.Word {
+	if u := r.upd.Load(); u != nil && u.plane.Pending() > 0 {
+		r.rt.mergePlane(u, false)
+	}
 	v := r.buf.Load(i)
 	if c := r.rt.check; c != nil {
 		c.OnLoad(goid(), r.Name(), i, r.buf.Addr(i))

@@ -206,6 +206,16 @@ type Runtime struct {
 	batchMu   sync.Mutex
 	batchFree []*batchScratch
 
+	// updPlanes is the copy-on-write list of regions with an armed
+	// privatized update plane: readers (Wait/Barrier merge points, Stats)
+	// load it lock-free; armUpdates appends under rt.mu. Planes of freed
+	// regions are removed by releaseRegionLocked.
+	updPlanes atomic.Pointer[[]*updatePlane]
+
+	// freeIDs are thread-table slots recycled by retireThreadLocked;
+	// Register reuses them before growing the table. Guarded by rt.mu.
+	freeIDs []ThreadID
+
 	// tel is the telemetry plane, nil when Config.Telemetry is off. Every
 	// hot-path use is behind a nil check, so the disabled configuration
 	// pays one predictable branch and no time reads.
@@ -327,6 +337,8 @@ func (rt *Runtime) NewRegion(name string, n int) *Region {
 }
 
 // Register records a support thread body under name and returns its ID.
+// Slots retired by Namespace.Close are reused before the table grows, so
+// steady session churn keeps the thread table at a fixed size.
 func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
 	if fn == nil {
 		panic("core: Register with nil ThreadFunc")
@@ -334,15 +346,23 @@ func (rt *Runtime) Register(name string, fn ThreadFunc) ThreadID {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	old := rt.threadsSnap()
-	id := ThreadID(len(old))
+	var id ThreadID
+	var grown []*threadEntry
+	if n := len(rt.freeIDs); n > 0 {
+		id = rt.freeIDs[n-1]
+		rt.freeIDs = rt.freeIDs[:n-1]
+		grown = make([]*threadEntry, len(old))
+	} else {
+		id = ThreadID(len(old))
+		grown = make([]*threadEntry, len(old)+1)
+	}
 	te := &threadEntry{name: name, fn: fn}
 	if rt.tel != nil {
 		te.labels = pprof.WithLabels(context.Background(),
 			pprof.Labels("dtt_thread", name, "dtt_thread_id", strconv.Itoa(int(id))))
 	}
-	grown := make([]*threadEntry, len(old)+1)
 	copy(grown, old)
-	grown[len(old)] = te
+	grown[id] = te
 	rt.threads.Store(&grown)
 	if rt.check != nil {
 		rt.check.RegisterThread(id, name)
@@ -464,6 +484,72 @@ func (rt *Runtime) Cancel(t ThreadID) {
 	sh.mu.Unlock()
 }
 
+// retireThreadLocked recycles cancelled thread t's table slot: the entry
+// is replaced by an inert tombstone (dropping the registered closure and
+// whatever it captured) and the ID goes on the free list for the next
+// Register, so steady namespace churn keeps the thread table at a fixed
+// size. Only a fully quiet thread retires — no pending or running
+// instance, run token free, no attachments; otherwise the slot is left
+// as-is and the call reports false (a still-running instance finishes
+// against the old entry it captured). Callers hold rt.mu.
+func (rt *Runtime) retireThreadLocked(t ThreadID) bool {
+	ths := rt.threadsSnap()
+	if int(t) < 0 || int(t) >= len(ths) {
+		return false
+	}
+	te := ths[t]
+	sh := rt.shardOf(t)
+	sh.mu.Lock()
+	_, running := sh.tqst.InFlight(t)
+	quiet := !te.running && running == 0 && !sh.tq.Pending(t) && sh.tqst.Quiet(t) && len(te.atts) == 0
+	if quiet {
+		sh.tqst.Forget(t)
+	}
+	sh.mu.Unlock()
+	if !quiet {
+		return false
+	}
+	grown := make([]*threadEntry, len(ths))
+	copy(grown, ths)
+	grown[t] = &threadEntry{name: te.name + " (retired)"}
+	rt.threads.Store(&grown)
+	rt.freeIDs = append(rt.freeIDs, t)
+	if rt.check != nil {
+		rt.check.RetireThread(t)
+	}
+	return true
+}
+
+// releaseRegionLocked returns r's backing range to the arena free list and
+// removes its update plane (if armed) from the merge set. The caller must
+// guarantee that no further accesses through r happen and that no thread
+// is attached inside it — Namespace.Close cancels its threads first.
+// Callers hold rt.mu.
+func (rt *Runtime) releaseRegionLocked(r *Region) {
+	if u := r.upd.Load(); u != nil {
+		// Fold the plane's lifetime op count into the retired counter so
+		// Stats.TUpdates stays monotone once the plane leaves the live set.
+		rt.stats.retiredUpdates.Add(u.plane.Ops())
+		if ps := rt.updPlanes.Load(); ps != nil {
+			pruned := make([]*updatePlane, 0, len(*ps))
+			for _, p := range *ps {
+				if p != u {
+					pruned = append(pruned, p)
+				}
+			}
+			rt.updPlanes.Store(&pruned)
+		}
+	}
+	lo := r.buf.Base()
+	hi := lo + mem.Addr(r.buf.Len())*mem.WordBytes
+	rt.sys.Free(r.buf)
+	if rt.check != nil {
+		// Drop stale write stamps so a later tenant reusing the range does
+		// not inherit the old tenant's happens-before obligations.
+		rt.check.ReleaseRange(lo, hi)
+	}
+}
+
 // chargeMgmt accounts a management instruction in recorded mode. Callers
 // are on the single driver goroutine (the recorded backend's contract).
 func (rt *Runtime) chargeMgmt(op isa.Opcode) {
@@ -518,49 +604,7 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 
 	var inline []queue.Entry
 	rt.reg.Each(addr, func(id queue.ThreadID) {
-		// The thread table is loaded after the registry snapshot, so an id
-		// the registry knows is always in range here.
-		te := rt.threadsSnap()[id]
-		sh := rt.shardOf(id)
-		sh.mu.Lock()
-		if !te.covers(addr) {
-			// A concurrent Cancel detached the range between the registry
-			// snapshot and this shard lock; the trigger never happened.
-			sh.mu.Unlock()
-			return
-		}
-		// fired and exactly one of its decomposition counters move in the
-		// same critical section, so the Fired = Enqueued + Squashed +
-		// Overflowed identity holds under the shard lock at all times.
-		sh.c.fired++
-		if rt.check != nil {
-			// Every outcome — enqueued, squashed, overflowed — ends in an
-			// instance that observes this store, so the release edge is
-			// recorded unconditionally.
-			rt.check.OnTrigger(g, id)
-		}
-		switch sh.tq.Enqueue(id, addr) {
-		case queue.Enqueued:
-			sh.tqst.MarkPending(id)
-			sh.busy.Add(1)
-			sh.c.enqueued++
-			if rt.tel != nil {
-				rt.tel.Shard(sh.idx).QueueDepth.Observe(int64(sh.tq.Len()))
-			}
-			rt.noteRelease(id, addr)
-			rt.signalShardLocked(sh)
-		case queue.Squashed:
-			sh.c.squashed++
-			rt.noteRelease(id, addr)
-		case queue.Overflowed:
-			sh.c.overflowed++
-			if rt.cfg.Overflow == queue.OverflowInline {
-				inline = append(inline, queue.Entry{Thread: id, Addr: addr})
-			} else {
-				sh.c.dropped++
-			}
-		}
-		sh.mu.Unlock()
+		rt.fireOne(id, addr, g, &inline)
 	})
 
 	for _, e := range inline {
@@ -572,6 +616,58 @@ func (rt *Runtime) tstore(r *Region, i int, v mem.Word) bool {
 		rt.seededPoll()
 	}
 	return true
+}
+
+// fireOne dispatches one fired (thread, addr) trigger: it takes the
+// thread's shard lock, re-checks coverage against a racing Cancel, and
+// moves fired plus exactly one decomposition counter in the same critical
+// section, so the Fired = Enqueued + Squashed + Overflowed identity holds
+// under the shard lock at all times. Overflowed triggers under
+// OverflowInline are appended through inline for the caller to run after
+// its dispatch completes — never with a shard lock held. Both the scalar
+// tstore path and the update-merge plane dispatch through here, so merge
+// stores are trigger-identical to scalar triggering stores.
+func (rt *Runtime) fireOne(id queue.ThreadID, addr mem.Addr, g uint64, inline *[]queue.Entry) {
+	// The thread table is loaded after the registry snapshot, so an id
+	// the registry knows is always in range here.
+	te := rt.threadsSnap()[id]
+	sh := rt.shardOf(id)
+	sh.mu.Lock()
+	if !te.covers(addr) {
+		// A concurrent Cancel detached the range between the registry
+		// snapshot and this shard lock; the trigger never happened.
+		sh.mu.Unlock()
+		return
+	}
+	sh.c.fired++
+	if rt.check != nil {
+		// Every outcome — enqueued, squashed, overflowed — ends in an
+		// instance that observes this store, so the release edge is
+		// recorded unconditionally.
+		rt.check.OnTrigger(g, id)
+	}
+	switch sh.tq.Enqueue(id, addr) {
+	case queue.Enqueued:
+		sh.tqst.MarkPending(id)
+		sh.busy.Add(1)
+		sh.c.enqueued++
+		if rt.tel != nil {
+			rt.tel.Shard(sh.idx).QueueDepth.Observe(int64(sh.tq.Len()))
+		}
+		rt.noteRelease(id, addr)
+		rt.signalShardLocked(sh)
+	case queue.Squashed:
+		sh.c.squashed++
+		rt.noteRelease(id, addr)
+	case queue.Overflowed:
+		sh.c.overflowed++
+		if rt.cfg.Overflow == queue.OverflowInline {
+			*inline = append(*inline, queue.Entry{Thread: id, Addr: addr})
+		} else {
+			sh.c.dropped++
+		}
+	}
+	sh.mu.Unlock()
 }
 
 // firedTrigger is one (thread, trigger address) pair a batch collected for
@@ -1357,6 +1453,11 @@ func (rt *Runtime) Wait(t ThreadID) {
 	if rt.tel != nil && rtrace.IsEnabled() {
 		defer rtrace.StartRegion(context.Background(), "dtt.Wait").End()
 	}
+	// Wait is a blocking merge point: pending commutative deltas reach
+	// memory — and fire their triggers — before the quiescence predicate
+	// is evaluated, so the post-Wait state reflects every TUpdate this
+	// goroutine issued.
+	rt.mergeAllPlanes()
 	if rt.cfg.Backend == BackendSeeded {
 		rt.drainSeeded()
 		rt.noteJoin(func(g uint64) { rt.check.OnWait(g, t) })
@@ -1411,6 +1512,9 @@ func (rt *Runtime) Barrier() {
 	if rt.tel != nil && rtrace.IsEnabled() {
 		defer rtrace.StartRegion(context.Background(), "dtt.Barrier").End()
 	}
+	// Like Wait, Barrier merges pending commutative deltas (blocking)
+	// before confirming quiescence.
+	rt.mergeAllPlanes()
 	if rt.cfg.Backend == BackendSeeded {
 		rt.drainSeeded()
 		rt.noteJoin(rt.check.OnBarrier)

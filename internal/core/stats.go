@@ -13,6 +13,17 @@ type statsCounters struct {
 	waits    atomic.Int64
 	barriers atomic.Int64
 	cancels  atomic.Int64
+	// Merge-plane counters (see update.go). They are updated only under a
+	// plane's merge lock, so within one plane silentMerges and
+	// mergedUpdates move together; across planes a torn read is harmless
+	// and the loading order in Stats keeps SilentMerges <= MergedUpdates.
+	merges        atomic.Int64
+	mergedUpdates atomic.Int64
+	silentMerges  atomic.Int64
+	// retiredUpdates carries the lifetime op counts of update planes whose
+	// regions have been released (releaseRegionLocked folds them in), so
+	// TUpdates stays monotone across namespace churn.
+	retiredUpdates atomic.Int64
 }
 
 // shardStats are one dispatch shard's trigger counters: plain int64s
@@ -46,6 +57,16 @@ type shardStats struct {
 //	Fired     = Enqueued + Squashed + Overflowed
 //	Overflowed = InlineRuns + Dropped   (once the run has quiesced)
 //	Executed  = queue-dispatched instances completed successfully
+//	MergedUpdates = SilentMerges + value-changing merge stores (quiescent)
+//
+// The merge-plane counters (TUpdates, Merges, MergedUpdates, SilentMerges)
+// describe the commutative-update path: TUpdates counts producer-side ops
+// folded into privatized deltas, MergedUpdates counts words a merge
+// applied to memory, and SilentMerges counts the merges whose net effect
+// was the value already there — the generalized silent store. A changing
+// merge store enters the Fired accounting exactly like a changing tstore,
+// so the Fired identity is undisturbed. TStores/Silent do NOT include
+// updates or merges.
 //
 // A support-thread body that panics is recovered by the runtime and counted
 // in FailedRuns instead of Executed (an inline overflow run that panics
@@ -80,6 +101,17 @@ type Stats struct {
 	Barriers int64
 	// Cancels counts tcancel operations.
 	Cancels int64
+	// TUpdates counts commutative update operations applied to privatized
+	// delta planes (Region.TUpdate/TUpdateBatch).
+	TUpdates int64
+	// Merges counts merge operations (lazy or eager) that found pending
+	// deltas to apply.
+	Merges int64
+	// MergedUpdates counts words a merge applied to memory.
+	MergedUpdates int64
+	// SilentMerges counts merged words whose net effect left memory
+	// unchanged: the redundant computation the update plane skipped.
+	SilentMerges int64
 }
 
 // SilentFraction returns Silent/TStores, or 0 when no tstores ran.
@@ -155,5 +187,20 @@ func (rt *Runtime) Stats() Stats {
 	s.Waits = rt.stats.waits.Load()
 	s.Barriers = rt.stats.barriers.Load()
 	s.Cancels = rt.stats.cancels.Load()
+	// SilentMerges loads before MergedUpdates for the same reason Silent
+	// loads before TStores: a concurrent merge can never make the silent
+	// count exceed the total in the snapshot.
+	s.SilentMerges = rt.stats.silentMerges.Load()
+	s.MergedUpdates = rt.stats.mergedUpdates.Load()
+	s.Merges = rt.stats.merges.Load()
+	// TUpdates is summed from the planes' stripe counters under their
+	// stripe locks: counting there keeps the apply fast path free of any
+	// cross-producer shared write.
+	s.TUpdates = rt.stats.retiredUpdates.Load()
+	if ps := rt.updPlanes.Load(); ps != nil {
+		for _, u := range *ps {
+			s.TUpdates += u.plane.Ops()
+		}
+	}
 	return s
 }

@@ -25,6 +25,10 @@ func (rt *Runtime) TelemetrySnapshot() telemetry.Snapshot {
 		Counters: []telemetry.Metric{
 			{Name: "dtt_tstores_total", Help: "Triggering stores issued.", Value: s.TStores},
 			{Name: "dtt_silent_total", Help: "Triggering stores that wrote an unchanged value (redundant computation skipped).", Value: s.Silent},
+			{Name: "dtt_tupdates_total", Help: "Commutative update ops folded into privatized deltas.", Value: s.TUpdates},
+			{Name: "dtt_merges_total", Help: "Update-plane merges performed.", Value: s.Merges},
+			{Name: "dtt_merged_updates_total", Help: "Words applied to memory by merges.", Value: s.MergedUpdates},
+			{Name: "dtt_silent_merges_total", Help: "Merged words whose net effect was the value already in memory (redundant computation skipped at merge).", Value: s.SilentMerges},
 			{Name: "dtt_fired_total", Help: "Value-changing tstores per attached thread.", Value: s.Fired},
 			{Name: "dtt_enqueued_total", Help: "New thread-queue entries.", Value: s.Enqueued},
 			{Name: "dtt_squashed_total", Help: "Triggers absorbed by duplicate squashing.", Value: s.Squashed},

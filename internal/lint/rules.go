@@ -60,7 +60,7 @@ func runWriteEscape(f *facts, rep *reporter) {
 				return true
 			}
 			fn := calleeOf(info, call)
-			if !isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF", "TStoreBatch", "TStoreRange") {
+			if !isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF", "TStoreBatch", "TStoreRange", "TUpdate", "TUpdateBatch") {
 				return true
 			}
 			recv := recvExpr(call)

@@ -78,3 +78,26 @@ func ConfinedBatch() {
 	data.TStore(0, 9)
 	rt.Barrier()
 }
+
+// ConfinedUpdate: commutative updates are body writes like stores — where
+// the delta folds is where the merge will land it, so an update to an
+// undeclared region escapes and one into the granted window does not.
+func ConfinedUpdate() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	scratch := rt.NewRegion("scratch", 8)
+	th := rt.Register("th", func(tg dtt.Trigger) {
+		out.TUpdateBatch(0, dtt.UpdAdd, []dtt.Word{1, 2})
+		scratch.TUpdate(0, dtt.UpdOr, 4) // want: write-escape
+	})
+	if err := rt.Attach(th, data, 0, 8); err != nil {
+		panic(err)
+	}
+	if err := rt.AllowWrites(th, out, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TStore(0, 9)
+	rt.Barrier()
+}

@@ -177,3 +177,39 @@ func BatchNegative() dtt.Word {
 	rt.Barrier()
 	return out.Load(0)
 }
+
+// UpdatePositive: TUpdate is a triggering write — the trigger just fires
+// later, at the merge — so reading the output region before a sync point
+// is exactly as dangerous as after a scalar TStore.
+func UpdatePositive() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)*2)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TUpdate(0, dtt.UpdAdd, 1)
+	return out.Load(0) // want: read-before-wait
+}
+
+// UpdateNegative: Barrier is a merge point and a sync point — it applies
+// the pending deltas, drains the triggers they fire, and orders the load.
+func UpdateNegative() dtt.Word {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	out := rt.NewRegion("out", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {
+		out.Store(tg.Index, tg.Region.Load(tg.Index)*2)
+	})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TUpdateBatch(0, dtt.UpdAdd, []dtt.Word{1, 2, 3})
+	rt.Barrier()
+	return out.Load(0)
+}

@@ -87,3 +87,19 @@ func BatchOK() {
 	data.TStoreRange(2, 4, src)
 	rt.Barrier()
 }
+
+// UpdateOK: TUpdate and TUpdateBatch are triggering writes — attached
+// threads observe every changed word once the deltas merge — so neither
+// trips the rule the way a plain Store does.
+func UpdateOK() {
+	rt := newRT()
+	defer rt.Close()
+	data := rt.NewRegion("data", 8)
+	sq := rt.Register("sq", func(tg dtt.Trigger) {})
+	if err := rt.Attach(sq, data, 0, 8); err != nil {
+		panic(err)
+	}
+	data.TUpdate(0, dtt.UpdAdd, 1)
+	data.TUpdateBatch(2, dtt.UpdMax, []dtt.Word{3, 4})
+	rt.Barrier()
+}

@@ -1,0 +1,419 @@
+// Privatized replica storage for commutative triggering updates.
+//
+// A DeltaPlane shadows one Buffer with per-stripe private delta cells:
+// producers fold commutative operations (add, min, max, and, or,
+// set-last-wins) into their own stripe under a stripe-local lock, so hot
+// counter-shaped regions stop serializing every producer through the
+// buffer word and its dispatch shard. Nothing reaches the real Buffer —
+// and so nothing can trigger a support thread — until a *merge* collects
+// the net pending effect of every stripe and applies it word by word.
+// That generalizes the triggering store's dedup from "value unchanged"
+// to "net effect unchanged": a +5 followed by a -5 merges silently.
+//
+// The plane is storage and folding only. Merge policy (when), trigger
+// dispatch (what fires) and visibility rules live in the runtime; the
+// contract here is that exactly one merger at a time calls
+// Collect/MergeWord (the runtime's per-plane merge lock enforces it)
+// while producers keep applying concurrently.
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// UpdateOp identifies a commutative update operation. The op set is fixed
+// and closed: every op must commute with itself across producers (set is
+// the documented exception — it is last-writer-wins and only
+// order-deterministic within a single producer), so merges may fold
+// per-stripe accumulations in any stripe order.
+type UpdateOp uint8
+
+const (
+	// UpdAdd is wrapping 64-bit addition.
+	UpdAdd UpdateOp = iota
+	// UpdMin keeps the smaller value, comparing words as unsigned
+	// integers (a Word is a raw bit pattern; callers using floats or
+	// signed values must map them to an order-preserving unsigned key).
+	UpdMin
+	// UpdMax keeps the larger value, comparing as unsigned integers.
+	UpdMax
+	// UpdAnd is bitwise AND (set intersection on bit sets).
+	UpdAnd
+	// UpdOr is bitwise OR (set union on bit sets).
+	UpdOr
+	// UpdSet overwrites: last writer wins. Within one producer the last
+	// value is deterministic; across producers the merge order decides.
+	UpdSet
+
+	// NumUpdateOps bounds the valid op range.
+	NumUpdateOps
+)
+
+// Valid reports whether op is one of the defined operations.
+func (op UpdateOp) Valid() bool { return op < NumUpdateOps }
+
+// String returns the op name.
+func (op UpdateOp) String() string {
+	switch op {
+	case UpdAdd:
+		return "add"
+	case UpdMin:
+		return "min"
+	case UpdMax:
+		return "max"
+	case UpdAnd:
+		return "and"
+	case UpdOr:
+		return "or"
+	case UpdSet:
+		return "set"
+	}
+	return fmt.Sprintf("UpdateOp(%d)", uint8(op))
+}
+
+// Combine folds operand b (the newer value) into accumulator a. The same
+// function serves both producer-side folding (a = pending, b = operand)
+// and merge-time application (a = memory, b = folded pending): for every
+// op, folding then applying equals applying each operand in order.
+func (op UpdateOp) Combine(a, b Word) Word {
+	switch op {
+	case UpdAdd:
+		return a + b
+	case UpdMin:
+		if b < a {
+			return b
+		}
+		return a
+	case UpdMax:
+		if b > a {
+			return b
+		}
+		return a
+	case UpdAnd:
+		return a & b
+	case UpdOr:
+		return a | b
+	default: // UpdSet
+		return b
+	}
+}
+
+// deltaCell is one word's pending accumulation in one stripe.
+type deltaCell struct {
+	val Word
+	op  UpdateOp
+	set bool
+}
+
+// stripePend is a displaced accumulation: when a producer switches ops on
+// a cell mid-epoch (add then set, say), the old (op, val) moves here so
+// the merge can replay the two phases in order.
+type stripePend struct {
+	val Word
+	idx int32
+	op  UpdateOp
+}
+
+// deltaStripe is one producer shard's private replica. cells and dirty are
+// allocated lazily on first use, under the stripe lock, and retain their
+// capacity across merges — the steady-state apply path allocates nothing.
+type deltaStripe struct {
+	mu    sync.Mutex
+	cells []deltaCell
+	// dirty lists the set cells' indices in first-touch order; Collect
+	// walks it instead of scanning cells.
+	dirty []int32
+	extra []stripePend
+	// ops counts updates applied through this stripe over its lifetime;
+	// sinceMerge counts them since the last Collect (the MergeEvery
+	// cadence input).
+	ops        int64
+	sinceMerge int64
+	// Pad stripes apart so neighbouring producers' locks and counters
+	// never share a cache line.
+	_ [32]byte
+}
+
+// DeltaPlane is the striped privatized replica of one Buffer.
+type DeltaPlane struct {
+	words   int
+	smask   uint32
+	stripes []deltaStripe
+
+	// pending approximates the number of distinct dirty (stripe, word)
+	// cells. It is the lock-free "anything to merge?" probe and the
+	// MergeThreshold input; it can transiently lag a concurrent Apply,
+	// which is why Wait/Barrier merge under a blocking lock.
+	pending atomic.Int64
+
+	// Merge scratch, touched only under the runtime's per-plane merge
+	// lock. mergeIdx lists distinct dirty words in collection order;
+	// mergeSeq holds per-word ordered (op, val) chains linked through
+	// next so mixed-op epochs replay in application order.
+	mergeIdx []int32
+	mergeSeq []pendingOp
+	has      []bool
+	head     []int32
+	tail     []int32
+}
+
+type pendingOp struct {
+	val  Word
+	idx  int32
+	next int32
+	op   UpdateOp
+}
+
+// NewDeltaPlane returns a plane shadowing a buffer of words words with
+// stripes producer stripes (rounded up to a power of two, minimum 1).
+// Cell storage is allocated per stripe on first touch, so idle stripes
+// cost one padded header.
+func NewDeltaPlane(words, stripes int) *DeltaPlane {
+	if words < 0 {
+		panic(fmt.Sprintf("mem: NewDeltaPlane with negative size %d", words))
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &DeltaPlane{words: words, smask: uint32(n - 1), stripes: make([]deltaStripe, n)}
+}
+
+// Words returns the shadowed buffer's length.
+func (p *DeltaPlane) Words() int { return p.words }
+
+// StripeCount returns the number of producer stripes.
+func (p *DeltaPlane) StripeCount() int { return len(p.stripes) }
+
+// Pending returns the approximate count of dirty cells awaiting merge.
+func (p *DeltaPlane) Pending() int64 { return p.pending.Load() }
+
+// Hint returns a goroutine-affine stripe index. It hashes the address of
+// a stack local: distinct goroutines run on distinct stacks, so steady
+// producers land on stable, mostly-distinct stripes without any
+// per-goroutine registration. The pointer is consumed immediately as an
+// integer — it never escapes and the hint costs no allocation.
+func (p *DeltaPlane) Hint() uint32 {
+	var x byte
+	h := uint64(uintptr(unsafe.Pointer(&x))) >> 10
+	return uint32((h*0x9E3779B97F4A7C15)>>33) & p.smask
+}
+
+// Apply folds (op, v) into word i of stripe s (masked into range). It
+// reports whether the cell was newly dirtied and the stripe's op count
+// since its last merge — the MergeThreshold and MergeEvery inputs,
+// returned from here so the caller's fast path reads no extra atomics.
+func (p *DeltaPlane) Apply(s uint32, i int, op UpdateOp, v Word) (newly bool, since int64) {
+	st := &p.stripes[s&p.smask]
+	st.mu.Lock()
+	if st.cells == nil {
+		st.cells = make([]deltaCell, p.words)
+	}
+	newly = st.apply(i, op, v)
+	st.ops++
+	st.sinceMerge++
+	since = st.sinceMerge
+	st.mu.Unlock()
+	if newly {
+		p.pending.Add(1)
+	}
+	return newly, since
+}
+
+// ApplyBatch folds vs[j] into words lo+j of stripe s under one stripe
+// lock, amortizing the lock and the counter maintenance across the span.
+// It returns the count of newly-dirtied cells and the stripe's op count
+// since its last merge.
+//
+// The op dispatch is hoisted out of the per-word loop: each op gets its
+// own loop whose warm path (cell already accumulating under the same op)
+// is a single combine on the private cell, with cold cells (first touch,
+// op switch) falling back to the generic apply. Hot counter-shaped
+// batches spend the whole loop in the specialized arm.
+func (p *DeltaPlane) ApplyBatch(s uint32, lo int, op UpdateOp, vs []Word) (newly int, since int64) {
+	st := &p.stripes[s&p.smask]
+	st.mu.Lock()
+	if st.cells == nil {
+		st.cells = make([]deltaCell, p.words)
+	}
+	cells := st.cells[lo : lo+len(vs)]
+	switch op {
+	case UpdAdd:
+		for j, v := range vs {
+			if c := &cells[j]; c.set && c.op == UpdAdd {
+				c.val += v
+			} else if st.apply(lo+j, op, v) {
+				newly++
+			}
+		}
+	case UpdMin:
+		for j, v := range vs {
+			if c := &cells[j]; c.set && c.op == UpdMin {
+				if v < c.val {
+					c.val = v
+				}
+			} else if st.apply(lo+j, op, v) {
+				newly++
+			}
+		}
+	case UpdMax:
+		for j, v := range vs {
+			if c := &cells[j]; c.set && c.op == UpdMax {
+				if v > c.val {
+					c.val = v
+				}
+			} else if st.apply(lo+j, op, v) {
+				newly++
+			}
+		}
+	case UpdAnd:
+		for j, v := range vs {
+			if c := &cells[j]; c.set && c.op == UpdAnd {
+				c.val &= v
+			} else if st.apply(lo+j, op, v) {
+				newly++
+			}
+		}
+	case UpdOr:
+		for j, v := range vs {
+			if c := &cells[j]; c.set && c.op == UpdOr {
+				c.val |= v
+			} else if st.apply(lo+j, op, v) {
+				newly++
+			}
+		}
+	default: // UpdSet and any future op without a specialized arm.
+		for j, v := range vs {
+			if c := &cells[j]; c.set && c.op == op {
+				c.val = op.Combine(c.val, v)
+			} else if st.apply(lo+j, op, v) {
+				newly++
+			}
+		}
+	}
+	st.ops += int64(len(vs))
+	st.sinceMerge += int64(len(vs))
+	since = st.sinceMerge
+	st.mu.Unlock()
+	if newly != 0 {
+		p.pending.Add(int64(newly))
+	}
+	return newly, since
+}
+
+// apply folds one op into one cell; the stripe lock is held.
+func (st *deltaStripe) apply(i int, op UpdateOp, v Word) (newly bool) {
+	c := &st.cells[i]
+	switch {
+	case !c.set:
+		c.set = true
+		c.op = op
+		c.val = v
+		st.dirty = append(st.dirty, int32(i))
+		return true
+	case c.op == op:
+		c.val = op.Combine(c.val, v)
+	default:
+		// Op switch mid-epoch: displace the finished phase, in order,
+		// and restart accumulation under the new op.
+		st.extra = append(st.extra, stripePend{idx: int32(i), op: c.op, val: c.val})
+		c.op = op
+		c.val = v
+	}
+	return false
+}
+
+// Collect drains every stripe's pending deltas into the merge scratch and
+// returns the number of distinct dirty words. The caller must hold the
+// plane's merge lock and then call MergeWord exactly once for each
+// k in [0, n). Stripes are visited in index order and, per word, each
+// stripe's displaced phases precede its live cell — so a single
+// producer's op sequence replays in its original order.
+func (p *DeltaPlane) Collect() int {
+	if p.has == nil {
+		p.has = make([]bool, p.words)
+		p.head = make([]int32, p.words)
+		p.tail = make([]int32, p.words)
+	}
+	p.mergeIdx = p.mergeIdx[:0]
+	p.mergeSeq = p.mergeSeq[:0]
+	var collected int64
+	for s := range p.stripes {
+		st := &p.stripes[s]
+		st.mu.Lock()
+		for _, e := range st.extra {
+			p.push(e.idx, e.op, e.val)
+		}
+		st.extra = st.extra[:0]
+		for _, i := range st.dirty {
+			c := &st.cells[i]
+			p.push(i, c.op, c.val)
+			c.set = false
+			collected++
+		}
+		st.dirty = st.dirty[:0]
+		st.sinceMerge = 0
+		st.mu.Unlock()
+	}
+	if collected != 0 {
+		p.pending.Add(-collected)
+	}
+	return len(p.mergeIdx)
+}
+
+// push appends one pending (op, val) to word i's merge chain, folding
+// into the chain tail when the op matches (the common single-op case
+// collapses to one entry per word regardless of stripe count).
+func (p *DeltaPlane) push(i int32, op UpdateOp, v Word) {
+	k := int32(len(p.mergeSeq))
+	if !p.has[i] {
+		p.has[i] = true
+		p.mergeIdx = append(p.mergeIdx, i)
+		p.head[i] = k
+	} else {
+		t := p.tail[i]
+		if p.mergeSeq[t].op == op {
+			p.mergeSeq[t].val = op.Combine(p.mergeSeq[t].val, v)
+			return
+		}
+		p.mergeSeq[t].next = k
+	}
+	p.tail[i] = k
+	p.mergeSeq = append(p.mergeSeq, pendingOp{val: v, idx: i, next: -1, op: op})
+}
+
+// MergeIndex returns the word index of collected entry k, valid after a
+// Collect until the next one. Callers read memory's current value at the
+// index, then hand it to MergeWord as the fold base.
+func (p *DeltaPlane) MergeIndex(k int) int { return int(p.mergeIdx[k]) }
+
+// MergeWord folds collected entry k into base — the shadowed word's
+// current memory value — and returns the word index and merged value.
+// Must be called exactly once per k after a Collect; it retires the
+// word's chain as it goes.
+func (p *DeltaPlane) MergeWord(k int, base Word) (int, Word) {
+	i := p.mergeIdx[k]
+	v := base
+	for e := p.head[i]; e >= 0; e = p.mergeSeq[e].next {
+		v = p.mergeSeq[e].op.Combine(v, p.mergeSeq[e].val)
+	}
+	p.has[i] = false
+	return int(i), v
+}
+
+// Ops returns the lifetime count of updates applied to the plane, summed
+// across stripes under their locks. This is the TUpdates stat: counting
+// here keeps the apply fast path free of any cross-stripe shared write.
+func (p *DeltaPlane) Ops() int64 {
+	var t int64
+	for s := range p.stripes {
+		st := &p.stripes[s]
+		st.mu.Lock()
+		t += st.ops
+		st.mu.Unlock()
+	}
+	return t
+}

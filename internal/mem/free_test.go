@@ -1,0 +1,112 @@
+package mem
+
+import "testing"
+
+// TestFreeAndReuse covers the arena free list: a freed buffer's range is
+// handed back to the next fitting Alloc instead of growing the footprint.
+func TestFreeAndReuse(t *testing.T) {
+	s := NewSystem()
+	a := s.Alloc("a", 64)
+	b := s.Alloc("b", 64)
+	footprint := s.Footprint()
+	base := a.Base()
+	s.Free(a)
+	if s.FreeBytes() == 0 {
+		t.Fatal("FreeBytes = 0 after a Free")
+	}
+	c := s.Alloc("c", 64)
+	if c.Base() != base {
+		t.Errorf("reallocation landed at %#x, want the freed base %#x", c.Base(), base)
+	}
+	if got := s.Footprint(); got != footprint {
+		t.Errorf("Footprint grew to %d on a fitting realloc, was %d", got, footprint)
+	}
+	if s.FreeBytes() != 0 {
+		t.Errorf("FreeBytes = %d after exact-fit reuse, want 0", s.FreeBytes())
+	}
+	_ = b
+}
+
+// TestFreeCoalescesNeighbours frees three adjacent buffers out of order
+// and checks the spans merge into one, reusable by a larger allocation.
+func TestFreeCoalescesNeighbours(t *testing.T) {
+	s := NewSystem()
+	a := s.Alloc("a", 64)
+	b := s.Alloc("b", 64)
+	c := s.Alloc("c", 64)
+	guard := s.Alloc("guard", 8)
+	footprint := s.Footprint()
+	lo := a.Base()
+	s.Free(a)
+	s.Free(c)
+	s.Free(b) // middle last: must coalesce with both sides
+	big := s.Alloc("big", 192)
+	if big.Base() != lo {
+		t.Errorf("coalesced alloc landed at %#x, want %#x", big.Base(), lo)
+	}
+	if got := s.Footprint(); got != footprint {
+		t.Errorf("Footprint grew to %d despite a coalesced fit, was %d", got, footprint)
+	}
+	_ = guard
+}
+
+// TestFreeSplitsSpan reuses the front of a larger freed span and keeps the
+// remainder on the list.
+func TestFreeSplitsSpan(t *testing.T) {
+	s := NewSystem()
+	a := s.Alloc("a", 64)
+	guard := s.Alloc("guard", 8)
+	base := a.Base()
+	s.Free(a)
+	small := s.Alloc("small", 8)
+	if small.Base() != base {
+		t.Errorf("split alloc landed at %#x, want the span front %#x", small.Base(), base)
+	}
+	if s.FreeBytes() == 0 {
+		t.Error("remainder of the split span vanished from the free list")
+	}
+	_ = guard
+}
+
+// TestFreePanicsOnDoubleAndForeign checks Free rejects buffers the arena
+// does not currently own.
+func TestFreePanicsOnDoubleAndForeign(t *testing.T) {
+	s := NewSystem()
+	a := s.Alloc("a", 8)
+	s.Free(a)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("double free", func() { s.Free(a) })
+	other := NewSystem().Alloc("x", 8)
+	mustPanic("foreign free", func() { s.Free(other) })
+}
+
+// TestBufferAtAfterChurn checks the sorted buffer index survives
+// interleaved Alloc/Free cycles.
+func TestBufferAtAfterChurn(t *testing.T) {
+	s := NewSystem()
+	var live []*Buffer
+	for i := 0; i < 8; i++ {
+		live = append(live, s.Alloc("buf", 16+8*i))
+	}
+	for i := 0; i < len(live); i += 2 {
+		s.Free(live[i])
+	}
+	for i := 1; i < len(live); i += 2 {
+		b := live[i]
+		if got := s.BufferAt(b.Addr(0)); got != b {
+			t.Errorf("BufferAt(%#x) = %v, want buffer %q", b.Addr(0), got, b.Name())
+		}
+	}
+	for i := 0; i < len(live); i += 2 {
+		if got := s.BufferAt(live[i].Addr(0)); got != nil && got == live[i] {
+			t.Errorf("BufferAt still resolves freed buffer %d", i)
+		}
+	}
+}

@@ -67,6 +67,16 @@ type System struct {
 	// probe is the single active probe fan-out target when exactly one
 	// probe is attached; it lets the hot path skip slice iteration.
 	probe Probe
+	// free holds address ranges returned by Free, sorted by base and
+	// coalesced, so namespace churn (allocate, close, allocate again)
+	// reuses the arena instead of growing it without bound.
+	free []freeSpan
+}
+
+// freeSpan is a reclaimed, line-aligned address range [base, base+bytes).
+type freeSpan struct {
+	base  Addr
+	bytes Addr
 }
 
 // NewSystem returns an empty address space. The first allocation starts at a
@@ -105,30 +115,103 @@ func (s *System) DetachProbes() {
 func (s *System) Probed() bool { return len(s.probes) > 0 }
 
 // Alloc reserves a Buffer of n words named name. The buffer is zero-filled
-// and line-aligned. Alloc panics if n is negative.
+// and line-aligned. Freed ranges (see Free) are reused first-fit before the
+// arena grows. Alloc panics if n is negative.
 func (s *System) Alloc(name string, n int) *Buffer {
 	if n < 0 {
 		panic(fmt.Sprintf("mem: Alloc %q with negative size %d", name, n))
 	}
-	b := &Buffer{name: name, base: s.next, data: make([]Word, n), sys: s, probed: len(s.probes) != 0}
 	bytes := Addr(n) * WordBytes
-	// Round the next base up to the following line boundary.
-	s.next += (bytes + LineBytes - 1) / LineBytes * LineBytes
-	if bytes == 0 {
-		s.next += LineBytes
+	// Round up to whole lines; zero-word buffers still own one line so
+	// every buffer has a distinct base.
+	need := (bytes + LineBytes - 1) / LineBytes * LineBytes
+	if need == 0 {
+		need = LineBytes
 	}
-	// Addresses are contractually 48-bit: the thread queue's dedup key
-	// packs an address and a thread ID into one word. The bound is
-	// unreachable without 256 TB of live backing slices, but enforce it
-	// where addresses are minted rather than trust arithmetic elsewhere.
-	if s.next >= 1<<48 {
-		panic(fmt.Sprintf("mem: Alloc %q exhausts the 48-bit address arena", name))
+	b := &Buffer{name: name, data: make([]Word, n), sys: s, probed: len(s.probes) != 0}
+	if i := s.fit(need); i >= 0 {
+		// Carve the front of the free span; an exact fit removes it.
+		fs := &s.free[i]
+		b.base = fs.base
+		fs.base += need
+		fs.bytes -= need
+		if fs.bytes == 0 {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+		}
+	} else {
+		b.base = s.next
+		s.next += need
+		// Addresses are contractually 48-bit: the thread queue's dedup key
+		// packs an address and a thread ID into one word. The bound is
+		// unreachable without 256 TB of live backing slices, but enforce it
+		// where addresses are minted rather than trust arithmetic elsewhere.
+		if s.next >= 1<<48 {
+			panic(fmt.Sprintf("mem: Alloc %q exhausts the 48-bit address arena", name))
+		}
 	}
-	s.bufs = append(s.bufs, b)
+	// Keep bufs sorted by base — BufferAt binary-searches it, and reused
+	// bases land below the bump frontier.
+	i := sort.Search(len(s.bufs), func(i int) bool { return s.bufs[i].base > b.base })
+	s.bufs = append(s.bufs, nil)
+	copy(s.bufs[i+1:], s.bufs[i:])
+	s.bufs[i] = b
 	return b
 }
 
-// Buffers returns the allocated buffers in allocation order.
+// fit returns the index of the first free span of at least need bytes, or
+// -1 when the bump frontier must grow.
+func (s *System) fit(need Addr) int {
+	for i := range s.free {
+		if s.free[i].bytes >= need {
+			return i
+		}
+	}
+	return -1
+}
+
+// Free returns b's address range to the allocator. The caller must ensure
+// no further accesses through b occur: the range may be handed to a later
+// Alloc, whose Buffer has fresh zeroed backing. Freeing a buffer the system
+// does not own (or freeing twice) panics. Adjacent free spans coalesce, so
+// steady namespace churn reaches a fixed footprint.
+func (s *System) Free(b *Buffer) {
+	i := sort.Search(len(s.bufs), func(i int) bool { return s.bufs[i].base >= b.base })
+	if i >= len(s.bufs) || s.bufs[i] != b {
+		panic(fmt.Sprintf("mem: Free of unowned or already-freed buffer %q", b.name))
+	}
+	s.bufs = append(s.bufs[:i], s.bufs[i+1:]...)
+	bytes := Addr(len(b.data)) * WordBytes
+	need := (bytes + LineBytes - 1) / LineBytes * LineBytes
+	if need == 0 {
+		need = LineBytes
+	}
+	// Insert sorted by base, then coalesce with both neighbours.
+	j := sort.Search(len(s.free), func(j int) bool { return s.free[j].base > b.base })
+	s.free = append(s.free, freeSpan{})
+	copy(s.free[j+1:], s.free[j:])
+	s.free[j] = freeSpan{base: b.base, bytes: need}
+	if j+1 < len(s.free) && s.free[j].base+s.free[j].bytes == s.free[j+1].base {
+		s.free[j].bytes += s.free[j+1].bytes
+		s.free = append(s.free[:j+1], s.free[j+2:]...)
+	}
+	if j > 0 && s.free[j-1].base+s.free[j-1].bytes == s.free[j].base {
+		s.free[j-1].bytes += s.free[j].bytes
+		s.free = append(s.free[:j], s.free[j+1:]...)
+	}
+}
+
+// FreeBytes returns the total bytes currently sitting on the free list —
+// reclaimed by Free and not yet reused. Footprint minus FreeBytes is the
+// live footprint.
+func (s *System) FreeBytes() int64 {
+	var t Addr
+	for _, fs := range s.free {
+		t += fs.bytes
+	}
+	return int64(t)
+}
+
+// Buffers returns the allocated buffers in base-address order.
 func (s *System) Buffers() []*Buffer { return s.bufs }
 
 // Footprint returns the total number of bytes allocated, including
@@ -238,6 +321,12 @@ func (b *Buffer) loadProbed(i int, v Word) { b.sys.onLoad(b.Addr(i), v) }
 // Peek returns word i without generating a memory event. It exists for
 // validation and debugging; workloads must use Load.
 func (b *Buffer) Peek(i int) Word { return b.data[i] }
+
+// LoadQuiet returns word i atomically without notifying probes. Merge-time
+// folding of privatized deltas reads the base value with it: the read is
+// part of applying a store, not a workload load, so it must not appear in
+// redundancy profiles or charge the cache model.
+func (b *Buffer) LoadQuiet(i int) Word { return atomic.LoadUint64(&b.data[i]) }
 
 // Store writes v to word i, notifying probes. It returns true if the stored
 // value differs from the previous contents (i.e. the store was not silent).

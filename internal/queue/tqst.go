@@ -145,6 +145,22 @@ func (t *TQST) Cancel(id ThreadID, n int) {
 	t.busy -= n
 }
 
+// Forget clears id's slot entirely — execution counts and failure colour
+// included — so a recycled thread ID starts with a fresh history. The
+// caller must ensure id is quiet (no pending or running instance);
+// forgetting an active slot would corrupt the busy count, so that is a
+// panic.
+func (t *TQST) Forget(id ThreadID) {
+	if int(id) < 0 || int(id) >= len(t.entries) {
+		return
+	}
+	e := &t.entries[id]
+	if e.pending != 0 || e.running != 0 {
+		panic(fmt.Sprintf("queue: TQST Forget(%d) with %d pending, %d running", id, e.pending, e.running))
+	}
+	*e = tqstEntry{}
+}
+
 // Get returns the current status of id.
 func (t *TQST) Get(id ThreadID) Status {
 	if int(id) < 0 || int(id) >= len(t.entries) {

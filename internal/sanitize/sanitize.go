@@ -490,6 +490,49 @@ func (c *Checker) OnSilentStore(g uint64, region string, index int, addr mem.Add
 	c.escapeCheckLocked(c.agentLocked(g), region, index, addr)
 }
 
+// OnUpdate checks a commutative triggering update (Region.TUpdate) at
+// addr by the agent on goroutine g. An update folds into a privatized
+// delta cell: nothing reaches memory and no reader can observe it until a
+// merge, so — exactly like a silent store — it neither stamps the write
+// map nor advances the updater's clock. The merge is the visibility
+// point: the runtime reports the merged result through OnStore (or
+// OnSilentStore when the net effect changed nothing) on the merging
+// agent's clock. Confinement still applies here: where a thread updates
+// is a property of the instruction, whatever the eventual net effect.
+func (c *Checker) OnUpdate(g uint64, region string, index int, addr mem.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.escapeCheckLocked(c.agentLocked(g), region, index, addr)
+}
+
+// ReleaseRange drops the write stamps of every word in [lo, hi). The
+// runtime calls it when a region's address range is returned to the
+// allocator: a later tenant reusing the range must not inherit the old
+// tenant's happens-before obligations (its first read would otherwise be
+// flagged against a writer that no longer exists).
+func (c *Checker) ReleaseRange(lo, hi mem.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr := range c.writesLazy {
+		if addr >= lo && addr < hi {
+			delete(c.writesLazy, addr)
+		}
+	}
+}
+
+// RetireThread forgets thread t's windows and grants ahead of its table
+// slot being recycled; the next RegisterThread under the same ID starts
+// with a clean confinement state. Clocks are deliberately retained: the
+// agent's timeline must stay monotone across reuse so stamps from the
+// previous tenant (in ranges that were not released) still order
+// correctly against everyone else's accumulated knowledge.
+func (c *Checker) RetireThread(t queue.ThreadID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.atts, t)
+	delete(c.grants, t)
+}
+
 // escapeCheckLocked applies the write-confinement rule to a store at addr
 // by agent a. Write confinement is opt-in per thread: a thread that
 // declared no output windows has unknown outputs, and flagging every write

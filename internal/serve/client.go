@@ -163,6 +163,32 @@ func (s *Session) Batch(handle uint32, lo int, vs []mem.Word) (int, error) {
 	return int(changed), err
 }
 
+// Update issues a TUPDATE folding op with operands vs into words starting
+// at lo of the handle's region, and returns how many operands the server
+// folded (always len(vs) on success). Triggers fire when the server
+// merges — at the next Wait/Barrier, or eagerly under the runtime's merge
+// policy — not per request.
+func (s *Session) Update(handle uint32, lo int, op mem.UpdateOp, vs []mem.Word) (int, error) {
+	if headerLen+13+8*len(vs) > MaxFrame {
+		return 0, fmt.Errorf("serve: update of %d words exceeds the frame cap", len(vs))
+	}
+	reply, err := s.roundTrip(OpTUpdate, func(b []byte) []byte {
+		b = appendU32(b, handle)
+		b = append(b, byte(op))
+		b = appendU32(b, uint32(lo))
+		b = appendU32(b, uint32(len(vs)))
+		for _, v := range vs {
+			b = appendU64(b, v)
+		}
+		return b
+	})
+	if err != nil {
+		return 0, err
+	}
+	applied, err := u32Reply(OpTUpdate, reply)
+	return int(applied), err
+}
+
 // Wait blocks until the handle's support thread has quiesced; every
 // notification its runs produced is buffered in Notifies when it returns.
 func (s *Session) Wait(handle uint32) error {

@@ -50,6 +50,7 @@ const (
 	OpSubscribe    byte = 6 // req: handle u32 → reply: empty
 	OpChangeNotify byte = 7 // server→client: handle u32 | index u32 | value u64
 	OpError        byte = 8 // server→client: msgLen u16 | msg
+	OpTUpdate      byte = 9 // req: handle u32 | op u8 | lo u32 | n u32 | n×8B operands → reply: applied u32
 )
 
 // opName returns a human-readable opcode name for error messages.
@@ -71,6 +72,8 @@ func opName(op byte) string {
 		return "CHANGE_NOTIFY"
 	case OpError:
 		return "ERROR"
+	case OpTUpdate:
+		return "TUPDATE"
 	}
 	return fmt.Sprintf("opcode %d", op)
 }
@@ -132,6 +135,14 @@ func (c *cursor) take(n int) []byte {
 	b := c.b[c.off : c.off+n]
 	c.off += n
 	return b
+}
+
+func (c *cursor) u8() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 func (c *cursor) u16() uint16 {

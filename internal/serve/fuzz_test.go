@@ -57,6 +57,9 @@ func FuzzFrame(f *testing.F) {
 	batch := []byte{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2}
 	batch = append(batch, make([]byte, 16)...)
 	f.Add(frame(OpTStoreBatch, batch), byte(7))
+	update := []byte{0, 0, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0, 2}
+	update = append(update, make([]byte, 16)...)
+	f.Add(frame(OpTUpdate, update), byte(6))
 
 	f.Fuzz(func(t *testing.T, data []byte, chunk byte) {
 		fr := newFrameReader(&chunkReader{b: data, chunk: int(chunk)})
@@ -87,6 +90,17 @@ func FuzzFrame(f *testing.F) {
 					}
 					if !c.done() {
 						t.Fatal("exact-size batch payload not fully consumed")
+					}
+				}
+			case OpTUpdate:
+				_, _, _ = c.u32(), c.u8(), c.u32()
+				n := c.u32()
+				if !c.bad && n <= MaxFrame/8 && len(payload)-c.off == int(n)*8 {
+					for i := uint32(0); i < n; i++ {
+						_ = c.u64()
+					}
+					if !c.done() {
+						t.Fatal("exact-size update payload not fully consumed")
 					}
 				}
 			case OpWait, OpSubscribe, OpChangeNotify:

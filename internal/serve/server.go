@@ -38,6 +38,9 @@ type Counters struct {
 	// Batches counts TSTORE_BATCH requests, Stores the words they
 	// carried, Changed the non-silent stores among them.
 	Batches, Stores, Changed int64
+	// Updates counts operands folded by TUPDATE requests; their triggers
+	// fire at merge time, so they have no Changed analogue here.
+	Updates int64
 	// Notifies counts CHANGE_NOTIFY frames queued; NotifyDropped counts
 	// notifications shed at the mailbox cap.
 	Notifies, NotifyDropped int64
@@ -190,6 +193,7 @@ func addCounters(c *Counters, sess *session) {
 	c.Batches += sess.batches.Load()
 	c.Stores += sess.stores.Load()
 	c.Changed += sess.changed.Load()
+	c.Updates += sess.updates.Load()
 	c.Notifies += sess.notifies.Load()
 	c.NotifyDropped += sess.notifyDropped.Load()
 	c.Errors += sess.errors.Load()
@@ -254,6 +258,7 @@ func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
 		telemetry.Metric{Name: "dtt_serve_batches_total", Help: "TSTORE_BATCH requests handled.", Value: c.Batches},
 		telemetry.Metric{Name: "dtt_serve_stores_total", Help: "Words carried by TSTORE_BATCH requests.", Value: c.Stores},
 		telemetry.Metric{Name: "dtt_serve_changed_total", Help: "Value-changing stores among the batched words.", Value: c.Changed},
+		telemetry.Metric{Name: "dtt_serve_updates_total", Help: "Operands folded by TUPDATE requests.", Value: c.Updates},
 		telemetry.Metric{Name: "dtt_serve_notifies_total", Help: "CHANGE_NOTIFY frames queued to clients.", Value: c.Notifies},
 		telemetry.Metric{Name: "dtt_serve_notify_dropped_total", Help: "Notifications shed at the session mailbox cap.", Value: c.NotifyDropped},
 		telemetry.Metric{Name: "dtt_serve_errors_total", Help: "ERROR replies sent (semantic request failures).", Value: c.Errors},

@@ -125,6 +125,7 @@ type session struct {
 	framesIn, framesOut   atomic.Int64
 	bytesIn, bytesOut     atomic.Int64
 	batches, stores       atomic.Int64
+	updates               atomic.Int64
 	changed, notifies     atomic.Int64
 	notifyDropped, errors atomic.Int64
 }
@@ -205,6 +206,12 @@ func (s *session) handle(op byte, payload []byte) bool {
 			return false
 		}
 		s.handleBatch(handle, lo, int(n), &c)
+	case OpTUpdate:
+		handle, uop, lo, n := c.u32(), c.u8(), c.u32(), c.u32()
+		if c.bad || n > MaxFrame/8 || len(payload)-c.off != int(n)*8 {
+			return false
+		}
+		s.handleUpdate(handle, uop, lo, int(n), &c)
 	case OpWait:
 		handle := c.u32()
 		if !c.done() {
@@ -308,6 +315,42 @@ func (s *session) handleBatch(handle, lo uint32, n int, c *cursor) {
 	s.reply(msg{op: OpTStoreBatch, a: uint32(changed)})
 }
 
+// handleUpdate decodes the operand span and folds it through TUpdateBatch:
+// the commutative-update analogue of handleBatch. The reply acknowledges
+// the n operands folded; triggers fire later, at the merge (Wait/Barrier
+// or the runtime's eager merge policy), so unlike TSTORE_BATCH there is no
+// changed count to report yet.
+func (s *session) handleUpdate(handle uint32, uop byte, lo uint32, n int, c *cursor) {
+	h := s.lookup(handle, OpTUpdate)
+	if h == nil {
+		return
+	}
+	op := mem.UpdateOp(uop)
+	if !op.Valid() {
+		s.sendErr(fmt.Sprintf("serve: TUPDATE with invalid op %d", uop))
+		return
+	}
+	if n == 0 {
+		s.reply(msg{op: OpTUpdate})
+		return
+	}
+	if int(lo)+n > h.region.Len() {
+		s.sendErr(fmt.Sprintf("serve: TUPDATE span [%d, %d) outside region of %d words", lo, int(lo)+n, h.region.Len()))
+		return
+	}
+	if cap(s.words) < n {
+		s.words = make([]mem.Word, n)
+	}
+	s.words = s.words[:n]
+	for i := range s.words {
+		s.words[i] = c.u64()
+	}
+	s.batchT0.Store(telemetry.Now())
+	h.region.TUpdateBatch(int(lo), op, s.words)
+	s.updates.Add(int64(n))
+	s.reply(msg{op: OpTUpdate, a: uint32(n)})
+}
+
 // lookup resolves a client handle, pushing an ERROR reply when it is out
 // of range.
 func (s *session) lookup(handle uint32, op byte) *attachHandle {
@@ -340,7 +383,7 @@ func (s *session) writeLoop() {
 			var start int
 			scratch, start = appendFrameHeader(scratch[:0], m.op)
 			switch m.op {
-			case OpHello, OpAttach, OpTStoreBatch:
+			case OpHello, OpAttach, OpTStoreBatch, OpTUpdate:
 				scratch = appendU32(scratch, m.a)
 			case OpWait, OpBarrier, OpSubscribe:
 				// empty payload

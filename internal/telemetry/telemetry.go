@@ -48,6 +48,12 @@ type T struct {
 	// one atomic observation per batch call (amortized over the whole span)
 	// adds no meaningful cross-core traffic.
 	BatchSize Histogram
+	// MergeLatency is nanoseconds per update-plane merge (collect + apply
+	// + dispatch), observed once per merge by the merging goroutine.
+	MergeLatency Histogram
+	// DeltaOccupancy is the distinct-dirty-word count each merge drained
+	// from a privatized update plane.
+	DeltaOccupancy Histogram
 }
 
 // New returns a T with one metric block per dispatch shard.
@@ -60,6 +66,8 @@ func New(shards int) *T {
 		sm.QueueDepth.init(DepthBounds)
 	}
 	t.BatchSize.init(BatchBounds)
+	t.MergeLatency.init(LatencyBounds)
+	t.DeltaOccupancy.init(BatchBounds)
 	return t
 }
 
@@ -69,9 +77,11 @@ func (t *T) Shard(i int) *ShardMetrics { return &t.shards[i] }
 // Shards returns the number of per-shard blocks.
 func (t *T) Shards() int { return len(t.shards) }
 
-// Histograms returns the four histograms, in a fixed order (trigger
-// latency, run duration, queue depth merged across shards, then the
-// global batch size) with their exported metric names attached.
+// Histograms returns the histograms in a fixed order — trigger latency,
+// run duration, queue depth merged across shards, then the global batch
+// size, merge latency and delta occupancy — with their exported metric
+// names attached. New histograms append at the end; consumers index into
+// the prefix.
 func (t *T) Histograms() []HistogramSnapshot {
 	lat := newHistogramSnapshot("dtt_trigger_dispatch_latency_ns",
 		"Nanoseconds from a trigger entering the thread queue to its instance dispatching", LatencyBounds)
@@ -88,7 +98,13 @@ func (t *T) Histograms() []HistogramSnapshot {
 	batch := newHistogramSnapshot("dtt_tstore_batch_size",
 		"Words written per TStoreBatch/TStoreRange call", BatchBounds)
 	t.BatchSize.addTo(&batch)
-	return []HistogramSnapshot{lat, run, depth, batch}
+	merge := newHistogramSnapshot("dtt_merge_latency_ns",
+		"Nanoseconds per update-plane merge (collect, apply, dispatch)", LatencyBounds)
+	t.MergeLatency.addTo(&merge)
+	occ := newHistogramSnapshot("dtt_merge_delta_words",
+		"Distinct dirty words drained per update-plane merge", BatchBounds)
+	t.DeltaOccupancy.addTo(&occ)
+	return []HistogramSnapshot{lat, run, depth, batch, merge, occ}
 }
 
 // Metric is one exported counter or gauge sample.

@@ -156,13 +156,16 @@ func (ns *Namespace) Threads() int {
 }
 
 // Close cancels every owned thread (squashing their pending triggers and
-// detaching their ranges), retires the quiet ones so their IDs recycle,
-// and returns the regions' address ranges to the arena free list.
-// Idempotent. A thread still running when Close is called is cancelled
-// but not retired — its table slot stays until the body drains — which
-// bounds the leak to in-flight work rather than session count. The caller
-// must have stopped issuing stores into the namespace's regions before
-// closing; Close frees their backing memory.
+// detaching their ranges), drains any instance still running, retires the
+// threads so their IDs recycle, and returns the regions' address ranges
+// to the arena free list. Idempotent. The drain is what makes the free
+// safe: a cancelled instance keeps executing against the entries it
+// captured, and without it a late store through an owned region could
+// land in an address range the arena had already re-issued to another
+// tenant — firing that tenant's triggers. Close therefore blocks until
+// in-flight work quiesces; do not call it from a support-thread body the
+// namespace owns. The caller must have stopped issuing stores into the
+// namespace's regions before closing; Close frees their backing memory.
 func (ns *Namespace) Close() {
 	ns.mu.Lock()
 	if ns.closed {
@@ -177,6 +180,11 @@ func (ns *Namespace) Close() {
 	ns.mu.Unlock()
 	for _, t := range owned {
 		ns.rt.Cancel(t)
+	}
+	// Cancel squashed everything pending, so the drain only ever waits for
+	// the (at most one, per thread) instance that was already executing.
+	for _, t := range owned {
+		ns.rt.drainThread(t)
 	}
 	// Retire and free under rt.mu: retirement mutates the free-ID list and
 	// region release prunes the merge set and the arena, both rt.mu-guarded.

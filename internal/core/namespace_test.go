@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 
-	"dtt/internal/mem"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"dtt/internal/mem"
 )
 
 func nsRuntime(t *testing.T) *Runtime {
@@ -203,6 +205,55 @@ func TestNamespaceChurnBoundsResources(t *testing.T) {
 	// Stats survive the churn monotonically: every cycle folded one update.
 	if got := rt.Stats().TUpdates; got != 50 {
 		t.Errorf("TUpdates = %d after 50 cycles, want 50", got)
+	}
+}
+
+// TestNamespaceCloseDrainsRunningInstances pins the use-after-free fix:
+// Close must not return a namespace's address ranges to the arena while a
+// cancelled-but-still-running instance of an owned thread is executing —
+// a late store through the region would otherwise land in a range already
+// re-issued to another tenant.
+func TestNamespaceCloseDrainsRunningInstances(t *testing.T) {
+	rt := nsRuntime(t)
+	ns := rt.NewNamespace("s")
+	r, err := ns.Region("r", 4)
+	if err != nil {
+		t.Fatalf("Region: %v", err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	id, err := ns.Register("slow", func(Trigger) {
+		close(started)
+		<-release
+		r.Poke(1, r.Peek(0)+1) // the region must still be live here
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := ns.Attach(id, r, 0, 1); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	r.TStore(0, 1)
+	<-started
+
+	freeBefore := rt.sys.FreeBytes()
+	closed := make(chan struct{})
+	go func() { ns.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while an owned instance was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := rt.sys.FreeBytes(); got != freeBefore {
+		t.Fatalf("Close freed memory (free %d -> %d) before the instance drained", freeBefore, got)
+	}
+	close(release)
+	<-closed
+	if got := rt.sys.FreeBytes(); got <= freeBefore {
+		t.Fatalf("Close freed nothing after the drain (free %d -> %d)", freeBefore, got)
+	}
+	if got := r.Peek(1); got != 2 {
+		t.Fatalf("instance body saw a dead region: word 1 = %d, want 2", got)
 	}
 }
 

@@ -520,6 +520,38 @@ func (rt *Runtime) retireThreadLocked(t ThreadID) bool {
 	return true
 }
 
+// drainThread blocks until thread t has no pending or running instance:
+// the quiescence predicate of Wait, without Wait's merge point, join edge
+// or stats. Namespace.Close uses it after Cancel to let an in-flight
+// instance finish before the namespace's regions are freed — a cancelled
+// instance keeps executing against the entries it captured, and a store it
+// issues through a freed region would land in an address range the arena
+// may already have handed to another tenant. On the single-goroutine
+// backends a running instance cannot coexist with the caller, so the
+// predicate holds immediately; on the immediate backend the drain sleeps
+// on t's quiet-waiter channel like Wait does. Must not be called with
+// rt.mu or any shard lock held, nor from a support-thread body of t.
+func (rt *Runtime) drainThread(t ThreadID) {
+	sh := rt.shardOf(t)
+	sh.mu.Lock()
+	for {
+		ths := rt.threadsSnap()
+		if int(t) < 0 || int(t) >= len(ths) {
+			break
+		}
+		te := ths[t]
+		if !sh.tq.Pending(t) && sh.tqst.Quiet(t) && !te.running {
+			break
+		}
+		ch := make(chan struct{})
+		te.quietWaiters = append(te.quietWaiters, ch)
+		sh.mu.Unlock()
+		<-ch
+		sh.mu.Lock()
+	}
+	sh.mu.Unlock()
+}
+
 // releaseRegionLocked returns r's backing range to the arena free list and
 // removes its update plane (if armed) from the merge set. The caller must
 // guarantee that no further accesses through r happen and that no thread
@@ -539,6 +571,19 @@ func (rt *Runtime) releaseRegionLocked(r *Region) {
 			}
 			rt.updPlanes.Store(&pruned)
 		}
+		// Kill the plane under its merge lock BEFORE freeing the range: a
+		// concurrent mergeAllPlanes (another session's Wait/Barrier) may
+		// hold a pre-prune updPlanes snapshot, and blocking it out here —
+		// then having mergePlane re-check dead under the same lock — is
+		// what keeps its merge from storing into the freed range. Pending
+		// deltas are discarded, not merged: the session is gone and nothing
+		// may observe its memory again. Taking mergeMu under rt.mu is safe
+		// because a mergeMu holder never acquires rt.mu (see the lock-order
+		// note in update.go).
+		u.mergeMu.Lock()
+		u.dead = true
+		u.plane.Discard()
+		u.mergeMu.Unlock()
 	}
 	lo := r.buf.Base()
 	hi := lo + mem.Addr(r.buf.Len())*mem.WordBytes

@@ -195,12 +195,20 @@ func (rt *Runtime) Stats() Stats {
 	s.Merges = rt.stats.merges.Load()
 	// TUpdates is summed from the planes' stripe counters under their
 	// stripe locks: counting there keeps the apply fast path free of any
-	// cross-producer shared write.
+	// cross-producer shared write. The retired total and the live-plane
+	// list are read together under rt.mu — releaseRegionLocked mutates
+	// both (folding a retiring plane's ops into retiredUpdates, then
+	// pruning it from the list) while holding that lock, and no load
+	// ordering makes the pair tear-free without it: reading retired first
+	// can miss a plane retired in between entirely, reading it last can
+	// count one twice. Either tear would make TUpdates dip across calls.
+	rt.mu.Lock()
 	s.TUpdates = rt.stats.retiredUpdates.Load()
 	if ps := rt.updPlanes.Load(); ps != nil {
 		for _, u := range *ps {
 			s.TUpdates += u.plane.Ops()
 		}
 	}
+	rt.mu.Unlock()
 	return s
 }

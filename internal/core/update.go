@@ -34,8 +34,11 @@
 //
 // A plane's merge lock (updatePlane.mergeMu) is taken before stripe locks
 // (inside Collect) and before shard locks (inside fireOne), never inside
-// either, and never with rt.mu held by the same call path below it:
-// armUpdates takes rt.mu but never merges. Inline overflow runs execute
+// either. rt.mu may be held while acquiring mergeMu — releaseRegionLocked
+// does so to kill a plane before freeing its region — which is safe
+// because the converse never happens: a mergeMu holder never acquires
+// rt.mu (armUpdates takes rt.mu but never merges; mergePlane touches only
+// stripe locks, shard locks and leaf locks). Inline overflow runs execute
 // after the merge lock is released.
 package core
 
@@ -73,6 +76,13 @@ type updatePlane struct {
 	// anything that slips past a skipped merge is caught at the next
 	// blocking point.
 	mergeMu sync.Mutex
+	// dead marks a plane whose region has been released. Guarded by
+	// mergeMu: releaseRegionLocked sets it (and discards pending deltas)
+	// under the lock before freeing the region's range, and mergePlane
+	// re-checks it after acquiring the lock — so a merger that raced the
+	// release through a stale updPlanes snapshot backs off instead of
+	// storing into a freed (possibly re-allocated) address range.
+	dead bool
 }
 
 // armUpdates creates the region's update plane on first TUpdate. Stripe
@@ -113,7 +123,11 @@ func (rt *Runtime) armUpdates(r *Region) *updatePlane {
 // Mixing TUpdate with direct TStore/Store on the same word is legal only
 // when a merge point separates them (merge order against an unmerged
 // delta is otherwise unspecified). Min and max compare words as unsigned
-// integers; set is last-writer-wins across producers.
+// integers. Set is last-writer-wins with a per-stripe order guarantee
+// only: deterministic on single-stripe planes (all single-goroutine
+// backends); on the concurrent backend the stripe hint is affinity, not
+// identity, so conflicting sets not separated by a merge point may
+// resolve in either order (see mem.UpdSet).
 func (r *Region) TUpdate(i int, op mem.UpdateOp, v mem.Word) {
 	if i < 0 || i >= r.buf.Len() {
 		panic(fmt.Sprintf("core: TUpdate index %d out of range of %q (%d words)", i, r.Name(), r.buf.Len()))
@@ -181,7 +195,10 @@ func (rt *Runtime) maybeEagerMerge(u *updatePlane, newly bool, since int64) {
 
 // mergeAllPlanes merges every armed plane with pending deltas, blocking
 // on each merge lock; Wait and Barrier call it so sync points observe
-// every completed update.
+// every completed update. The snapshot may be stale against a concurrent
+// region release: a released plane reads Pending() == 0 (the release
+// discards its deltas) and mergePlane re-checks the plane's dead flag
+// under the merge lock, so a freed range is never merged into.
 func (rt *Runtime) mergeAllPlanes() {
 	ps := rt.updPlanes.Load()
 	if ps == nil {
@@ -204,6 +221,12 @@ func (rt *Runtime) mergePlane(u *updatePlane, block bool) {
 	if block {
 		u.mergeMu.Lock()
 	} else if !u.mergeMu.TryLock() {
+		return
+	}
+	if u.dead {
+		// The region was released while we held a stale updPlanes
+		// snapshot; its range may already belong to another tenant.
+		u.mergeMu.Unlock()
 		return
 	}
 	var t0 int64

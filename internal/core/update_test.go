@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dtt/internal/mem"
@@ -452,5 +453,129 @@ func TestTUpdateSanitizerClean(t *testing.T) {
 	}
 	if err := rt.CheckErr(); err != nil {
 		t.Fatalf("sanitizer flagged a clean update program: %v", err)
+	}
+}
+
+// TestMergeSkipsReleasedPlane pins the merge-vs-release race fix: a
+// merger holding a stale updPlanes snapshot (another session's Wait or
+// Barrier) must not merge into a plane whose region was released by
+// Namespace.Close — the address range may already belong to a new tenant.
+func TestMergeSkipsReleasedPlane(t *testing.T) {
+	rt := newBackend(t, BackendImmediate, nil)
+	ns := rt.NewNamespace("a")
+	r, err := ns.Region("hot", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TUpdate(0, UpdAdd, 5) // arm the plane, leave a delta pending
+	u := r.upd.Load()
+	if u == nil {
+		t.Fatal("TUpdate did not arm an update plane")
+	}
+	ns.Close()
+	if got := u.plane.Pending(); got != 0 {
+		t.Fatalf("release left %d pending deltas on the dead plane", got)
+	}
+
+	// A second tenant picks up the freed range; its region must not see
+	// the first tenant's delta even if a stale merger runs now.
+	ns2 := rt.NewNamespace("b")
+	r2, err := ns2.Region("hot", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns2.Close()
+	before := rt.Stats()
+	rt.mergePlane(u, true) // the stale merge: must be a no-op
+	after := rt.Stats()
+	if after.MergedUpdates != before.MergedUpdates {
+		t.Fatalf("stale merge applied %d words to a released plane",
+			after.MergedUpdates-before.MergedUpdates)
+	}
+	if got := r2.Load(0); got != 0 {
+		t.Fatalf("new tenant's word holds %d — the old tenant's delta leaked through", got)
+	}
+}
+
+// TestTUpdateChurnAgainstBarrier races session churn (TUpdate, Close)
+// against another goroutine's Barrier merge points; under -race this
+// covers the stale-snapshot merge path against releaseRegionLocked.
+func TestTUpdateChurnAgainstBarrier(t *testing.T) {
+	rt := newBackend(t, BackendImmediate, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Barrier()
+			}
+		}
+	}()
+	for k := 0; k < 200; k++ {
+		ns := rt.NewNamespace(fmt.Sprintf("s%d", k))
+		r, err := ns.Region("hot", 8)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", k, err)
+		}
+		for i := 0; i < 8; i++ {
+			r.TUpdate(i, UpdAdd, mem.Word(k+i))
+		}
+		ns.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTUpdatesStatMonotoneUnderChurn races Stats() against namespace
+// release: retiring a plane folds its lifetime ops into retiredUpdates
+// and prunes it from the live list, and a reader interleaving those two
+// steps must never see the plane's ops in neither (a dip) — the snapshot
+// is taken under rt.mu.
+func TestTUpdatesStatMonotoneUnderChurn(t *testing.T) {
+	rt := newBackend(t, BackendImmediate, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var dip atomic.Bool
+	go func() {
+		defer wg.Done()
+		last := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				got := rt.Stats().TUpdates
+				if got < last {
+					dip.Store(true)
+					return
+				}
+				last = got
+			}
+		}
+	}()
+	for k := 0; k < 300; k++ {
+		ns := rt.NewNamespace(fmt.Sprintf("m%d", k))
+		r, err := ns.Region("hot", 4)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", k, err)
+		}
+		for i := 0; i < 4; i++ {
+			r.TUpdate(i, UpdAdd, 1)
+		}
+		ns.Close()
+	}
+	close(stop)
+	wg.Wait()
+	if dip.Load() {
+		t.Fatal("Stats.TUpdates dipped during namespace churn")
+	}
+	if got := rt.Stats().TUpdates; got != 300*4 {
+		t.Fatalf("TUpdates = %d after churn, want %d", got, 300*4)
 	}
 }

@@ -44,8 +44,14 @@ const (
 	UpdAnd
 	// UpdOr is bitwise OR (set union on bit sets).
 	UpdOr
-	// UpdSet overwrites: last writer wins. Within one producer the last
-	// value is deterministic; across producers the merge order decides.
+	// UpdSet overwrites: last writer wins. The winner is deterministic
+	// only among ops folded into the same stripe (replayed in application
+	// order); across stripes the merge's stripe-visit order decides. On a
+	// single-stripe plane — every single-goroutine backend — that makes
+	// one producer's last value exact; on a multi-stripe plane even one
+	// producer's successive ops may land on different stripes (Hint is
+	// affinity, not identity), so callers needing a deterministic winner
+	// must separate conflicting sets with a merge point.
 	UpdSet
 
 	// NumUpdateOps bounds the valid op range.
@@ -192,10 +198,19 @@ func (p *DeltaPlane) StripeCount() int { return len(p.stripes) }
 func (p *DeltaPlane) Pending() int64 { return p.pending.Load() }
 
 // Hint returns a goroutine-affine stripe index. It hashes the address of
-// a stack local: distinct goroutines run on distinct stacks, so steady
-// producers land on stable, mostly-distinct stripes without any
+// a stack local: distinct goroutines run on distinct stacks, so
+// concurrent producers land on mostly-distinct stripes without any
 // per-goroutine registration. The pointer is consumed immediately as an
 // integer — it never escapes and the hint costs no allocation.
+//
+// The hint is an affinity, not an identity: the local's address varies
+// with stack depth (different call sites) and moves when the stack grows,
+// so one goroutine's successive ops can land on different stripes. That
+// only spreads contention — every commutative op merges to the same net
+// effect regardless of stripe — but it means per-producer replay order is
+// NOT preserved across stripes; see UpdSet and Collect. (A goroutine-
+// stable key would need a goid lookup per op, which costs a stack read —
+// orders of magnitude more than the whole fold.)
 func (p *DeltaPlane) Hint() uint32 {
 	var x byte
 	h := uint64(uintptr(unsafe.Pointer(&x))) >> 10
@@ -330,8 +345,14 @@ func (st *deltaStripe) apply(i int, op UpdateOp, v Word) (newly bool) {
 // returns the number of distinct dirty words. The caller must hold the
 // plane's merge lock and then call MergeWord exactly once for each
 // k in [0, n). Stripes are visited in index order and, per word, each
-// stripe's displaced phases precede its live cell — so a single
-// producer's op sequence replays in its original order.
+// stripe's displaced phases precede its live cell — so ops that landed on
+// one stripe replay in their application order. Ops of one producer that
+// landed on different stripes (possible on multi-stripe planes: Hint is
+// affinity, not identity) replay in stripe order instead; that changes
+// nothing for the commutative ops, and is why UpdSet's last-wins
+// determinism is only per-stripe. A single-stripe plane — every
+// single-goroutine backend — replays each producer's full sequence
+// exactly.
 func (p *DeltaPlane) Collect() int {
 	if p.has == nil {
 		p.has = make([]bool, p.words)
@@ -362,6 +383,31 @@ func (p *DeltaPlane) Collect() int {
 		p.pending.Add(-collected)
 	}
 	return len(p.mergeIdx)
+}
+
+// Discard drains every stripe's pending deltas without collecting them:
+// the release path calls it when the shadowed region is freed, so a plane
+// that outlives its region through a stale snapshot reads as having
+// nothing to merge. Lifetime op counts (Ops) are unaffected. Safe against
+// concurrent Apply; the caller serializes it against mergers the same way
+// it serializes Collect.
+func (p *DeltaPlane) Discard() {
+	var dropped int64
+	for s := range p.stripes {
+		st := &p.stripes[s]
+		st.mu.Lock()
+		st.extra = st.extra[:0]
+		for _, i := range st.dirty {
+			st.cells[i].set = false
+			dropped++
+		}
+		st.dirty = st.dirty[:0]
+		st.sinceMerge = 0
+		st.mu.Unlock()
+	}
+	if dropped != 0 {
+		p.pending.Add(-dropped)
+	}
 }
 
 // push appends one pending (op, val) to word i's merge chain, folding

@@ -232,9 +232,14 @@ type Checker struct {
 	// stack[g] is the nest of support threads executing on goroutine g
 	// (inline overflow runs recurse, so it is a stack, not a single id).
 	stack map[uint64][]queue.ThreadID
-	// writesLazy stamps each written word with its last writer; nil until
-	// the first checked write (nil-map reads are legal and cheap).
-	writesLazy map[mem.Addr]writeRec
+	// writesLazy stamps each written word with its last writer, keyed by
+	// 4 KiB address bucket and then word address; nil until the first
+	// checked write (nil-map reads are legal and cheap). Bucketing exists
+	// for ReleaseRange: a region release drops only the stamps of the
+	// buckets its range touches, instead of scanning every stamped word
+	// ever written — per-connection namespaces in the serve plane release
+	// a range on every session close.
+	writesLazy map[mem.Addr]map[mem.Addr]writeRec
 
 	violations []Violation
 	total      int64
@@ -440,13 +445,31 @@ type access struct {
 	addr   mem.Addr
 }
 
-// writes is lazily allocated: a checker on a runtime that never writes
-// checked words costs two map lookups per access and nothing else.
-func (c *Checker) writesMap() map[mem.Addr]writeRec {
+// writeBucketShift buckets write stamps by 4 KiB of address space — 512
+// words, comfortably smaller than typical region allocations, so a
+// release's partial buckets (at most two, at the range ends) hold few
+// strays.
+const writeBucketShift = 12
+
+// lookupWrite returns addr's write stamp; the checker's lock is held.
+func (c *Checker) lookupWrite(addr mem.Addr) (writeRec, bool) {
+	rec, ok := c.writesLazy[addr>>writeBucketShift][addr]
+	return rec, ok
+}
+
+// stampWrite records addr's last writer, allocating the bucket (and, on
+// the very first checked write, the bucket index) lazily; the checker's
+// lock is held.
+func (c *Checker) stampWrite(addr mem.Addr, rec writeRec) {
 	if c.writesLazy == nil {
-		c.writesLazy = make(map[mem.Addr]writeRec)
+		c.writesLazy = make(map[mem.Addr]map[mem.Addr]writeRec)
 	}
-	return c.writesLazy
+	b := c.writesLazy[addr>>writeBucketShift]
+	if b == nil {
+		b = make(map[mem.Addr]writeRec)
+		c.writesLazy[addr>>writeBucketShift] = b
+	}
+	b[addr] = rec
 }
 
 // OnLoad checks a word read by the agent on goroutine g.
@@ -454,7 +477,7 @@ func (c *Checker) OnLoad(g uint64, region string, index int, addr mem.Addr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	a := c.agentLocked(g)
-	rec, ok := c.writesLazy[addr]
+	rec, ok := c.lookupWrite(addr)
 	if !ok || rec.agent == a {
 		return
 	}
@@ -470,11 +493,11 @@ func (c *Checker) OnStore(g uint64, region string, index int, addr mem.Addr) {
 	defer c.mu.Unlock()
 	a := c.agentLocked(g)
 	c.escapeCheckLocked(a, region, index, addr)
-	if rec, ok := c.writesLazy[addr]; ok && rec.agent != a && rec.tick > c.clockOf(a).at(rec.agent) {
+	if rec, ok := c.lookupWrite(addr); ok && rec.agent != a && rec.tick > c.clockOf(a).at(rec.agent) {
 		c.recordAccessViolation(a, rec, access{region, index, addr}, false)
 	}
 	tick := c.clockOf(a).bump(a)
-	c.writesMap()[addr] = writeRec{agent: a, tick: tick}
+	c.stampWrite(addr, writeRec{agent: a, tick: tick})
 }
 
 // OnSilentStore checks a word write that left memory unchanged. A silent
@@ -509,13 +532,34 @@ func (c *Checker) OnUpdate(g uint64, region string, index int, addr mem.Addr) {
 // runtime calls it when a region's address range is returned to the
 // allocator: a later tenant reusing the range must not inherit the old
 // tenant's happens-before obligations (its first read would otherwise be
-// flagged against a writer that no longer exists).
+// flagged against a writer that no longer exists). The cost is bounded by
+// the released range, not the total stamped footprint: buckets fully
+// inside [lo, hi) drop in one delete, and only the (at most two) partial
+// buckets at the range ends are scanned entry by entry.
 func (c *Checker) ReleaseRange(lo, hi mem.Addr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for addr := range c.writesLazy {
-		if addr >= lo && addr < hi {
-			delete(c.writesLazy, addr)
+	if lo >= hi || c.writesLazy == nil {
+		return
+	}
+	const bucketBytes = mem.Addr(1) << writeBucketShift
+	for bk := lo >> writeBucketShift; bk <= (hi-1)>>writeBucketShift; bk++ {
+		b, ok := c.writesLazy[bk]
+		if !ok {
+			continue
+		}
+		base := bk << writeBucketShift
+		if base >= lo && base+bucketBytes <= hi {
+			delete(c.writesLazy, bk)
+			continue
+		}
+		for addr := range b {
+			if addr >= lo && addr < hi {
+				delete(b, addr)
+			}
+		}
+		if len(b) == 0 {
+			delete(c.writesLazy, bk)
 		}
 	}
 }

@@ -336,3 +336,38 @@ func TestWaitAfterMultipleInstances(t *testing.T) {
 		t.Fatalf("violations after wait: %v", vs)
 	}
 }
+
+// TestReleaseRangeDropsOnlyTheRange stamps words inside and outside a
+// released range — including partial buckets at both range ends and a
+// bucket fully inside it — and checks that exactly the in-range stamps are
+// forgotten: reads of released words are clean for a new tenant, reads of
+// retained words still flag.
+func TestReleaseRangeDropsOnlyTheRange(t *testing.T) {
+	c := NewChecker()
+	c.RegisterThread(0, "w")
+	const bucket = mem.Addr(1) << writeBucketShift
+	// The released range spans three buckets: the tail of bucket 1, all of
+	// bucket 2, and the head of bucket 3.
+	lo, hi := bucket+bucket/2, 3*bucket+bucket/2
+	inside := []mem.Addr{lo, 2 * bucket, 3*bucket + bucket/2 - 8}
+	outside := []mem.Addr{bucket, hi, 4 * bucket}
+	c.EnterSupport(gWorker, 0)
+	for _, a := range append(append([]mem.Addr{}, inside...), outside...) {
+		c.OnStore(gWorker, "r", int(a/8), a)
+	}
+	c.ExitSupport(gWorker, 0)
+
+	c.ReleaseRange(lo, hi)
+	for _, a := range inside {
+		c.OnLoad(gMain, "r", int(a/8), a)
+	}
+	if vs := c.Violations(); len(vs) != 0 {
+		t.Fatalf("released words still flagged: %v", vs)
+	}
+	for _, a := range outside {
+		c.OnLoad(gMain, "r", int(a/8), a)
+	}
+	if got := len(c.Violations()); got != len(outside) {
+		t.Fatalf("retained words flagged %d reads, want %d", got, len(outside))
+	}
+}

@@ -20,16 +20,35 @@ COVER_PKGS  := ./internal/core ./internal/queue
 # Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
 FUZZTIME ?= 10s
 
-.PHONY: ci lint vet build test race fuzz-smoke fuzz cover allocs-gate serve-smoke bench-fastpath bench-batch bench bench-serve bench-scale bench-telemetry bench-update
+.PHONY: ci lint lock-table-check escape-gate vet build test race fuzz-smoke fuzz cover allocs-gate serve-smoke bench-fastpath bench-batch bench bench-serve bench-scale bench-telemetry bench-update
 
-ci: lint vet build race allocs-gate fuzz-smoke serve-smoke cover bench-fastpath bench-batch bench-update
+ci: lint lock-table-check escape-gate vet build race allocs-gate fuzz-smoke serve-smoke cover bench-fastpath bench-batch bench-update
 
-# Static DTT protocol check over the whole module (./... skips the
-# linter's own testdata fixtures by design). Findings are suppressed one
-# at a time with `//dtt:ignore <rule> -- <justification>`; see
-# internal/lint and the README's "Static checking" section.
+# Static whole-program check (protocol rules + lockorder + atomics) over
+# the whole module (./... skips the linter's own testdata fixtures by
+# design). Findings are suppressed one at a time with
+# `//dtt:ignore <rule> -- <justification>`; see internal/lint and the
+# README's "Static checking" section.
 lint:
 	$(GO) run ./cmd/dttlint $(LINTFLAGS) ./...
+
+# The lock lattice lives once in internal/lint/lockorder.go and is
+# rendered into DESIGN.md between lock-order-table markers; this fails if
+# the two drift.
+lock-table-check:
+	@$(GO) run ./cmd/dttlint -locktable > .locktable.tmp
+	@awk '/<!-- lock-order-table:begin -->/{f=1;next} /<!-- lock-order-table:end -->/{f=0} f' DESIGN.md \
+		| diff -u - .locktable.tmp \
+		|| { rm -f .locktable.tmp; echo "DESIGN.md lock-order table differs from dttlint -locktable"; exit 1; }
+	@rm -f .locktable.tmp
+	@echo "lock-table-check: DESIGN.md matches dttlint -locktable"
+
+# Compiler-level zero-allocation gate for the triggering fast paths: fails
+# if `go build -gcflags=-m` reports new heap allocations inside the pinned
+# functions (TStore*/TUpdate*, queue and delta hot paths). Intentional
+# first-touch allocations are justified with `//dtt:escape-ok -- <reason>`.
+escape-gate:
+	$(GO) run ./cmd/escapegate
 
 vet:
 	$(GO) vet ./...

@@ -86,6 +86,32 @@ func TestLintRuleSelection(t *testing.T) {
 	}
 }
 
+func TestLintLockTable(t *testing.T) {
+	code, out, errb := runCLI(t, "-locktable")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errb)
+	}
+	for _, want := range []string{"| rank | lock | role |", "Runtime.mu", "dispatchShard.mu"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lock table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintIntraFlag(t *testing.T) {
+	// The interproc corpus is built so every read-before-wait hazard is
+	// hidden one call deep: the full run flags it, -intra goes silent.
+	pkg := "./internal/lint/testdata/src/interproc"
+	code, _, errb := runCLI(t, "-C", "../..", "-rules", "readwait", pkg)
+	if code != 1 {
+		t.Fatalf("full run: exit %d, want 1 (stderr: %s)", code, errb)
+	}
+	code, _, errb = runCLI(t, "-C", "../..", "-rules", "readwait", "-intra", "-q", pkg)
+	if code != 0 {
+		t.Fatalf("-intra run: exit %d, want 0 (stderr: %s)", code, errb)
+	}
+}
+
 func TestLintBadUsage(t *testing.T) {
 	for _, args := range [][]string{
 		{"-not-a-flag"},

@@ -24,10 +24,10 @@ type Namespace struct {
 	name string
 
 	mu      sync.Mutex
-	regions map[string]*Region
-	owned   []ThreadID
-	ownedBy map[ThreadID]bool
-	closed  bool
+	regions map[string]*Region //dtt:guards mu
+	owned   []ThreadID         //dtt:guards mu
+	ownedBy map[ThreadID]bool  //dtt:guards mu
+	closed  bool               //dtt:guards mu
 }
 
 // NewNamespace returns a fresh namespace over rt. The name prefixes every

@@ -89,10 +89,10 @@ type dispatchShard struct {
 	// inlineRunning counts inline overflow executions in flight for threads
 	// of this shard; they hold run tokens but are invisible to the TQST, so
 	// the quiescence predicates must count them separately. Guarded by mu.
-	inlineRunning int
+	inlineRunning int //dtt:guards mu
 	// rr rotates worker wake targets so one hot shard does not pin all its
 	// wakeups on one worker. Guarded by mu.
-	rr int
+	rr int //dtt:guards mu
 	// idx is the shard's own index, fixed at construction.
 	idx int
 	// c are the shard's trigger counters, guarded by mu. Stats sums them
@@ -165,7 +165,7 @@ type Runtime struct {
 	// barMu guards barrierWaiters; barWaiting mirrors len(barrierWaiters)
 	// so the completion path can skip barMu entirely while nobody waits.
 	barMu          sync.Mutex
-	barrierWaiters []chan struct{}
+	barrierWaiters []chan struct{} //dtt:guards barMu
 	barWaiting     atomic.Int32
 
 	// workerWake has one capacity-1 channel per immediate-backend worker.
@@ -179,7 +179,7 @@ type Runtime struct {
 	// release maps a pending queue entry to the trace task that released
 	// it (BackendRecorded only). Guarded by relMu, a leaf lock.
 	relMu   sync.Mutex
-	release map[releaseKey]trace.TaskID
+	release map[releaseKey]trace.TaskID //dtt:guards relMu
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -204,7 +204,7 @@ type Runtime struct {
 	// allocations back on a path that contracts to 0 allocs/op. The two
 	// lock acquisitions are per batch, amortized over the whole span.
 	batchMu   sync.Mutex
-	batchFree []*batchScratch
+	batchFree []*batchScratch //dtt:guards batchMu
 
 	// updPlanes is the copy-on-write list of regions with an armed
 	// privatized update plane: readers (Wait/Barrier merge points, Stats)
@@ -214,7 +214,7 @@ type Runtime struct {
 
 	// freeIDs are thread-table slots recycled by retireThreadLocked;
 	// Register reuses them before growing the table. Guarded by rt.mu.
-	freeIDs []ThreadID
+	freeIDs []ThreadID //dtt:guards mu
 
 	// tel is the telemetry plane, nil when Config.Telemetry is off. Every
 	// hot-path use is behind a nil check, so the disabled configuration
@@ -740,7 +740,7 @@ func (sc *batchScratch) begin(shards int) {
 	sc.fired = sc.fired[:0]
 	sc.inline = sc.inline[:0]
 	if cap(sc.perShard) < shards {
-		sc.perShard = make([]int32, shards)
+		sc.perShard = make([]int32, shards) //dtt:escape-ok -- warms a fresh scratch once; the free list retains it
 	}
 	sc.perShard = sc.perShard[:shards]
 	for i := range sc.perShard {
@@ -805,7 +805,7 @@ func (rt *Runtime) tstoreBatch(r *Region, lo int, vs []mem.Word) int {
 	}
 
 	sc := rt.getScratch()
-	sc.begin(len(rt.shards))
+	sc.begin(len(rt.shards)) //dtt:escape-ok -- inlined scratch warm-up; allocates only for a fresh scratch
 	// One index resolution for the whole contiguous span: per word, trigger
 	// matching is then an interval test against the (usually zero or one)
 	// candidate attachments, in index order — the same matches in the same
@@ -1039,7 +1039,7 @@ func (rt *Runtime) quietConfirm() bool {
 // noteRelease records the current trace position as the release point of the
 // pending entry for (t, addr). BackendRecorded only.
 func (rt *Runtime) noteRelease(t ThreadID, addr mem.Addr) {
-	if rt.release == nil {
+	if rt.release == nil { //dtt:ignore atomics -- nil-gate on a map set once at construction (BackendRecorded); never reassigned
 		return
 	}
 	rt.relMu.Lock()
@@ -1049,7 +1049,7 @@ func (rt *Runtime) noteRelease(t ThreadID, addr mem.Addr) {
 
 // takeRelease pops the recorded release point for an entry, or trace.NoTask.
 func (rt *Runtime) takeRelease(e queue.Entry) trace.TaskID {
-	if rt.release == nil {
+	if rt.release == nil { //dtt:ignore atomics -- nil-gate on a map set once at construction; never reassigned
 		return trace.NoTask
 	}
 	rt.relMu.Lock()
@@ -1064,7 +1064,7 @@ func (rt *Runtime) takeRelease(e queue.Entry) trace.TaskID {
 
 // dropReleases discards the recorded release points of thread t (tcancel).
 func (rt *Runtime) dropReleases(t ThreadID) {
-	if rt.release == nil {
+	if rt.release == nil { //dtt:ignore atomics -- nil-gate on a map set once at construction; never reassigned
 		return
 	}
 	rt.relMu.Lock()

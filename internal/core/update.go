@@ -82,7 +82,7 @@ type updatePlane struct {
 	// re-checks it after acquiring the lock — so a merger that raced the
 	// release through a stale updPlanes snapshot backs off instead of
 	// storing into a freed (possibly re-allocated) address range.
-	dead bool
+	dead bool //dtt:guards mergeMu
 }
 
 // armUpdates creates the region's update plane on first TUpdate. Stripe

@@ -30,6 +30,10 @@ func (d Diagnostic) String() string {
 	return s
 }
 
+// sortDiagnostics totally orders findings: file, line, col, rule, message.
+// The message tie-break matters for -json determinism — two rules can both
+// fire at one position with distinct messages, and a total order is the
+// contract the golden double-run test pins.
 func sortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
@@ -42,7 +46,10 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 }
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -52,14 +53,25 @@ func mergeFlow(a, b flowState) flowState {
 type flowAnalyzer struct {
 	f   *facts
 	rep *reporter
+	// prog enables the interprocedural transfer: at a call to an
+	// in-program function, the callee's summary moves the bit and
+	// surfaces its entry-sensitive output reads. nil keeps the walk
+	// intra-procedural (Options.IntraOnly, and the summary bootstrap).
+	prog *program
+	// sumReads, when non-nil, puts the analyzer in summary-collection
+	// mode: hazardous reads are recorded here instead of reported.
+	sumReads map[token.Pos]readSite
+	// exit, when non-nil, accumulates the merge of the flow state at
+	// every reachable function exit (returns and fall-off).
+	exit *flowState
 }
 
 // runFlowRule analyses every function of the package that executes in
 // main-thread context: support bodies are excluded (a support thread
 // reading its own outputs is its business; cross-thread hazards are the
 // dynamic checker's domain), as are function literals nested inside them.
-func runFlowRule(f *facts, rep *reporter) {
-	fa := &flowAnalyzer{f: f, rep: rep}
+func runFlowRule(pr *program, f *facts, rep *reporter) {
+	fa := &flowAnalyzer{f: f, rep: rep, prog: pr}
 	for _, file := range f.pkg.Files {
 		for _, d := range file.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -168,6 +180,9 @@ func (fa *flowAnalyzer) stmt(s ast.Stmt, st flowState) flowState {
 		for _, r := range s.Results {
 			st = fa.exprEvents(r, st)
 		}
+		if fa.exit != nil {
+			*fa.exit = mergeFlow(*fa.exit, flowState{triggered: st.triggered})
+		}
 		return flowState{dead: true}
 	case *ast.BranchStmt:
 		// break/continue/goto leave this straight-line region; treating
@@ -239,14 +254,55 @@ func (fa *flowAnalyzer) exprEvents(n ast.Node, st flowState) flowState {
 			if obj == nil || !fa.f.outputs[obj] {
 				break
 			}
-			fa.rep.report(call.Pos(), "read-before-wait",
-				fmt.Sprintf("%s of support-thread output region %q is reachable after a triggering store with no intervening Wait/Barrier",
-					fn.Name(), obj.Name()),
-				"synchronise with rt.Wait(thread) or rt.Barrier() before consuming support-thread results")
+			fa.foundRead(call.Pos(), fn.Name(), obj.Name(), "")
+		default:
+			// Interprocedural transfer: a call to an in-program function
+			// applies its summary — Wait one call deep clears the bit,
+			// TStore one call deep sets it, and an output load one call
+			// deep is reported at the call site with the chain that
+			// reaches it.
+			fi := fa.prog.lookup(fn)
+			if fi == nil {
+				break
+			}
+			s := &fi.sum
+			if st.triggered {
+				for _, r := range s.reads {
+					fa.foundRead(call.Pos(), "call to "+fi.display, r.region, chainVia(fi.display, r.via))
+					break // one finding per call site; the chain names the rest
+				}
+				st.triggered = s.exitIfTriggered
+			} else {
+				st.triggered = s.exitIfClean
+			}
 		}
 		return true
 	})
 	return st
+}
+
+// foundRead handles one hazardous output read: reported in rule mode,
+// recorded in summary-collection mode. what is the operation ("Load", or
+// "call to helper" for interprocedural sites); via is the call chain that
+// reaches the load, "" when direct.
+func (fa *flowAnalyzer) foundRead(pos token.Pos, what, region, via string) {
+	if fa.sumReads != nil {
+		if _, ok := fa.sumReads[pos]; !ok {
+			fa.sumReads[pos] = readSite{pos: pos, region: region, via: via}
+		}
+		return
+	}
+	if fa.rep == nil {
+		return
+	}
+	msg := fmt.Sprintf("%s of support-thread output region %q is reachable after a triggering store with no intervening Wait/Barrier",
+		what, region)
+	if via != "" {
+		msg = fmt.Sprintf("call reads support-thread output region %q after a triggering store with no intervening Wait/Barrier (read reached via %s)",
+			region, via)
+	}
+	fa.rep.report(pos, "read-before-wait", msg,
+		"synchronise with rt.Wait(thread) or rt.Barrier() before consuming support-thread results")
 }
 
 // regionTriggers decides whether a triggering store to this receiver can

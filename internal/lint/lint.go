@@ -9,8 +9,9 @@
 // on every path, at build time, with no runtime cost — by analysing how a
 // package uses the runtime API.
 //
-// Five rules mirror the sanitizer's violation classes (see DESIGN.md
-// "Static vs dynamic checking" for the mapping):
+// Five rules mirror the sanitizer's violation classes, and two more check
+// the runtime's own implementation invariants (see DESIGN.md "Static vs
+// dynamic checking" for the mapping):
 //
 //	read-before-wait   an output-region Load reachable after a triggering
 //	                   store with no Wait/Barrier on that path
@@ -24,17 +25,28 @@
 //	config-misuse      discarded Register/Attach results, New without
 //	                   Close, non-power-of-two Shards, Workers on a
 //	                   single-goroutine backend
+//	lockorder          acquiring a lower-ranked lock while holding a
+//	                   higher-ranked one (lattice in lockorder.go, printed
+//	                   by dttlint -locktable), descending shard-lock
+//	                   loops, re-acquiring a held singleton lock
+//	atomics            a field accessed both via sync/atomic and plainly,
+//	                   unless the plain side holds the mutex declared by
+//	                   a //dtt:guards annotation
 //
 // Findings are suppressed — one at a time, with a mandatory justification
 // — by a trailing or preceding comment:
 //
 //	out.Store(i, v) //dtt:ignore untriggered-write -- mirror write; thread re-reads via guard
 //
-// The analysis is intra-procedural and type-driven: packages load through
+// The analysis is whole-program and type-driven: packages load through
 // `go list -export` and type-check against compiler export data, so only
-// the standard library is needed. Everything is an approximation chosen to
-// keep false positives near zero on idiomatic DTT code; the dynamic
-// sanitizer remains the authority on what actually raced.
+// the standard library is needed. A bottom-up fixpoint over the call graph
+// summarises every function (trigger/wait transfer, output reads, region
+// writes, lock effects), and the rules consume call sites through those
+// summaries — see program.go; Options.IntraOnly reverts to the
+// single-function core. Everything is an approximation chosen to keep
+// false positives near zero on idiomatic DTT code; the dynamic sanitizer
+// remains the authority on what actually raced.
 package lint
 
 import (
@@ -44,10 +56,11 @@ import (
 	"strings"
 )
 
-// rule is one named check over a package's facts.
+// rule is one named check over a package's facts, with the whole-program
+// context (call graph, summaries) alongside; pr is nil in intra-only runs.
 type rule struct {
 	name string
-	run  func(f *facts, rep *reporter)
+	run  func(pr *program, f *facts, rep *reporter)
 }
 
 // ruleTable is the registry, in reporting-priority order.
@@ -57,6 +70,13 @@ var ruleTable = []rule{
 	{"write-escape", runWriteEscape},
 	{"trigger-capture", runTriggerCapture},
 	{"config-misuse", runConfigMisuse},
+	{"lockorder", runLockOrder},
+	{"atomics", runAtomics},
+}
+
+// ruleAliases maps accepted shorthand names to canonical rule names.
+var ruleAliases = map[string]string{
+	"readwait": "read-before-wait",
 }
 
 // RuleNames returns the names of all rules, in registry order.
@@ -85,7 +105,13 @@ type Options struct {
 	// Patterns are go package patterns (./..., explicit directories).
 	Patterns []string
 	// Rules restricts the run to a subset of rule names; nil runs all.
+	// Aliases ("readwait") resolve to their canonical names.
 	Rules []string
+	// IntraOnly disables the whole-program layer (call graph, function
+	// summaries), reverting every rule to its intra-procedural core.
+	// Exists so tests can demonstrate what the summaries catch; real runs
+	// leave it false.
+	IntraOnly bool
 }
 
 // Result is one lint run's findings.
@@ -112,6 +138,9 @@ func Run(opts Options) (*Result, error) {
 		}
 	} else {
 		for _, name := range opts.Rules {
+			if canon, ok := ruleAliases[name]; ok {
+				name = canon
+			}
 			if !knownRule(name) {
 				return nil, fmt.Errorf("lint: unknown rule %q; known rules: %s", name, strings.Join(RuleNames(), ", "))
 			}
@@ -125,6 +154,21 @@ func Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Phase 1: per-package facts for everything loaded, so the
+	// whole-program layer sees every declaration before any rule runs.
+	factsOf := make(map[*Package]*facts, len(pkgs))
+	for _, p := range pkgs {
+		factsOf[p] = collectFacts(p)
+	}
+	var pr *program
+	if !opts.IntraOnly {
+		pr = buildProgram(fset, pkgs, factsOf)
+		pr.computeSummaries()
+		pr.computeEntryHeld()
+	}
+
+	// Phase 2: rules run per package (reporting and //dtt:ignore scoping
+	// stay file-local) against the global program.
 	res := &Result{}
 	for _, p := range pkgs {
 		res.Packages = append(res.Packages, p.Path)
@@ -135,10 +179,9 @@ func Run(opts Options) (*Result, error) {
 			pos := fset.Position(file.Pos())
 			rep.ignores[pos.Filename] = dirs
 		}
-		f := collectFacts(p)
 		for _, r := range ruleTable {
 			if enabled[r.name] {
-				r.run(f, rep)
+				r.run(pr, factsOf[p], rep)
 			}
 		}
 		res.Diagnostics = append(res.Diagnostics, rep.diags...)

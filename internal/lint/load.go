@@ -21,6 +21,7 @@ import (
 type Package struct {
 	Path  string
 	Dir   string
+	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
@@ -117,6 +118,7 @@ func load(dir string, patterns []string, fset *token.FileSet) ([]*Package, error
 		pkgs = append(pkgs, &Package{
 			Path:  t.ImportPath,
 			Dir:   t.Dir,
+			Fset:  fset,
 			Files: files,
 			Types: tpkg,
 			Info:  info,

@@ -1,0 +1,592 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Whole-program layer: the call graph and per-function summaries that turn
+// the intra-procedural rules interprocedural. A TStore, Wait or Lock hidden
+// one call deep used to be invisible to the CFG walk; here every function
+// declaration in the loaded packages gets a bottom-up summary (does it
+// leave a trigger outstanding, does it synchronise, which support outputs
+// does it read, which regions does it write, which ranked locks does it
+// acquire) computed to a bounded fixpoint so mutual recursion converges.
+// The summaries are deliberately instance-insensitive: regions and locks
+// are identified by struct field or package-level variable, so a helper
+// that triggers through a parameter is a documented blind spot (the facts
+// layer has the same one), while the `p.data.TStore(...)` method idiom —
+// how multi-step pipelines are actually written — resolves exactly.
+
+// readSite is one output-region load a function performs that is hazardous
+// iff a trigger is already outstanding when the function is entered.
+type readSite struct {
+	pos    token.Pos
+	region string
+	via    string // call chain below this function, "" for a direct load
+}
+
+// writeSite is one region write a function performs, directly or through
+// same-package callees. Only writes to struct fields and package-level
+// variables are recorded: those identities mean the same thing in the
+// caller.
+type writeSite struct {
+	obj    types.Object
+	region string
+	via    string
+}
+
+// lockAcq is one ranked-lock acquisition, directly or through callees.
+type lockAcq struct {
+	key string // "Type.field", e.g. "Runtime.mu"
+	pos token.Pos
+	via string // call chain below this function, "" for a direct Lock
+}
+
+// funcSummary is the bottom-up behaviour of one function declaration.
+type funcSummary struct {
+	// exitIfClean / exitIfTriggered: the outstanding-trigger bit at exit,
+	// as a function of the bit at entry. The zero value (false, true) is
+	// the identity transfer: a function that neither triggers nor waits.
+	exitIfClean     bool
+	exitIfTriggered bool
+	// reads are output loads that become hazardous when the caller enters
+	// with a trigger outstanding (loads the function makes hazardous all
+	// by itself are reported at their own site by the intra pass).
+	reads []readSite
+	// writes is the transitive region write set (fields and package vars).
+	writes []writeSite
+	// acquires is the transitive set of named mutex acquisitions.
+	acquires []lockAcq
+	// exitHeld are lock keys held on every path at exit and not released
+	// by a defer — the net effect of a lock helper (lockAllShards).
+	exitHeld []string
+	// exitReleased are lock keys the function unlocks without holding —
+	// releases of the caller's locks (unlockAllShards).
+	exitReleased []string
+}
+
+// refSite is one place a function is called or referenced.
+type refSite struct {
+	callerKey string // enclosing declaration's key; "" at package scope
+	inSupport bool   // lexically inside a registered support body
+}
+
+// funcInfo is one function declaration in the loaded program.
+type funcInfo struct {
+	key     string // pkgPath.[Recv.]Name — stable across packages
+	display string // [Recv.]Name, for via chains and diagnostics
+	pkg     *Package
+	f       *facts
+	decl    *ast.FuncDecl
+	fn      *types.Func
+
+	calls      []string // callee keys of direct calls, sorted, deduped
+	methodRefs []string // keys referenced as method/function values
+	refs       []refSite
+
+	sum funcSummary
+
+	// supportOnly: every reference to this function is inside a support
+	// body (or inside another support-only function), so its body runs in
+	// support-thread context.
+	supportOnly bool
+
+	// entryHeld is the set of lock keys held at every known call site;
+	// entryHeldKnown is false when the function has no analysable call
+	// sites (or is referenced as a value), in which case guard checking
+	// gives it the benefit of the doubt.
+	entryHeld      map[string]bool
+	entryHeldKnown bool
+}
+
+// program ties the loaded packages together.
+type program struct {
+	fset  *token.FileSet
+	pkgs  []*Package
+	facts map[*Package]*facts
+	funcs map[string]*funcInfo
+	keys  []string // sorted, for deterministic iteration
+
+	// mutexFields indexes every sync.Mutex/RWMutex struct field in the
+	// analysed packages by "Type.field", for validating //dtt:guards.
+	mutexFields map[string]bool
+}
+
+// funcKeyFor builds the cross-package key for a *types.Func. Keys are
+// strings, not objects: the same function is a different types.Object in
+// its source-checked package and in importers' export data.
+func funcKeyFor(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if r := recvNamed(fn); r != "" {
+		return fn.Pkg().Path() + "." + r + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+func displayNameFor(fn *types.Func) string {
+	if r := recvNamed(fn); r != "" {
+		return r + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// lookup resolves a called function to its in-program info, or nil.
+func (pr *program) lookup(fn *types.Func) *funcInfo {
+	if pr == nil || fn == nil {
+		return nil
+	}
+	return pr.funcs[funcKeyFor(fn)]
+}
+
+// buildProgram indexes every function declaration, records call and
+// method-value edges, and collects the mutex-field index.
+func buildProgram(fset *token.FileSet, pkgs []*Package, factsOf map[*Package]*facts) *program {
+	pr := &program{
+		fset:        fset,
+		pkgs:        pkgs,
+		facts:       factsOf,
+		funcs:       make(map[string]*funcInfo),
+		mutexFields: make(map[string]bool),
+	}
+	for _, p := range pkgs {
+		f := factsOf[p]
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				key := funcKeyFor(fn)
+				pr.funcs[key] = &funcInfo{
+					key: key, display: displayNameFor(fn),
+					pkg: p, f: f, decl: fd, fn: fn,
+				}
+			}
+			pr.indexMutexFields(p, file)
+		}
+	}
+	for k := range pr.funcs {
+		pr.keys = append(pr.keys, k)
+	}
+	sort.Strings(pr.keys)
+
+	for _, p := range pkgs {
+		pr.collectEdges(p, factsOf[p])
+	}
+	for _, k := range pr.keys {
+		fi := pr.funcs[k]
+		fi.calls = sortedUnique(fi.calls)
+		fi.methodRefs = sortedUnique(fi.methodRefs)
+	}
+	pr.computeSupportOnly()
+	return pr
+}
+
+// indexMutexFields records "Type.field" for every mutex-typed struct field.
+func (pr *program) indexMutexFields(p *Package, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				obj, _ := p.Info.Defs[name].(*types.Var)
+				if obj != nil && isMutexType(obj.Type()) {
+					pr.mutexFields[ts.Name.Name+"."+name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// collectEdges walks one package recording, for every reference to an
+// in-program function, a call edge (direct call position) or a
+// method-value edge (the function escapes as a value — its invocation
+// points are unknowable, which the consumers treat conservatively).
+func (pr *program) collectEdges(p *Package, f *facts) {
+	for _, file := range p.Files {
+		walkStack(file, func(stack []ast.Node, n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			callee := pr.funcs[funcKeyFor(fn)]
+			if callee == nil {
+				return true
+			}
+			callerKey := ""
+			if enc := enclosingDeclKey(p, stack); enc != nil {
+				callerKey = funcKeyFor(enc)
+			}
+			if isCallIdent(stack, id) {
+				callee.refs = append(callee.refs, refSite{callerKey: callerKey, inSupport: f.inSupportBody(id)})
+				if callerKey != "" {
+					pr.funcs[callerKey].calls = append(pr.funcs[callerKey].calls, callee.key)
+				}
+			} else {
+				// The function escapes as a value: its invocation points are
+				// unknown, so the ref counts as main-context and the callee
+				// is marked as escaping.
+				callee.refs = append(callee.refs, refSite{})
+				callee.methodRefs = append(callee.methodRefs, callee.key)
+				if callerKey != "" {
+					fi := pr.funcs[callerKey]
+					fi.methodRefs = append(fi.methodRefs, callee.key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCallIdent reports whether id is the called operand of a CallExpr (the
+// f of f(...) or the m of x.m(...)), as opposed to a method/function value.
+func isCallIdent(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	var callee ast.Expr = id
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.Sel == id {
+		callee = sel
+		if len(stack) < 2 {
+			return false
+		}
+		parent = stack[len(stack)-2]
+	}
+	call, ok := parent.(*ast.CallExpr)
+	return ok && unparen(call.Fun) == callee
+}
+
+// enclosingDeclKey returns the innermost enclosing FuncDecl's *types.Func.
+func enclosingDeclKey(p *Package, stack []ast.Node) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func sortedUnique(ss []string) []string {
+	sort.Strings(ss)
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// computeSupportOnly finds functions whose every reference sits in
+// support-thread context: inside a registered body, or inside another
+// support-only function. A greatest fixpoint starting from "has refs"
+// knocks entries out until stable. Method-value references count as
+// main-context (the invocation point is unknown).
+func (pr *program) computeSupportOnly() {
+	for _, k := range pr.keys {
+		fi := pr.funcs[k]
+		fi.supportOnly = len(fi.refs) > 0
+	}
+	for round := 0; round < 20; round++ {
+		changed := false
+		for _, k := range pr.keys {
+			fi := pr.funcs[k]
+			if !fi.supportOnly {
+				continue
+			}
+			for _, r := range fi.refs {
+				if r.inSupport {
+					continue
+				}
+				if r.callerKey == "" || !pr.funcs[r.callerKey].supportOnly {
+					fi.supportOnly = false
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// supportOnlyFunc reports whether the declaration enclosing a node runs
+// only in support-thread context.
+func (pr *program) supportOnlyFunc(fn *types.Func) bool {
+	if pr == nil || fn == nil {
+		return false
+	}
+	fi := pr.funcs[funcKeyFor(fn)]
+	return fi != nil && fi.supportOnly
+}
+
+// summaryRounds bounds the global fixpoint. Flow bits stabilise in one
+// round per call-chain depth; recursion cycles converge because the merge
+// is monotone in practice. The cap is a backstop, not a budget.
+const summaryRounds = 12
+
+// computeSummaries runs the bottom-up fixpoint over all declarations.
+func (pr *program) computeSummaries() {
+	for round := 0; round < summaryRounds; round++ {
+		changed := false
+		for _, k := range pr.keys {
+			fi := pr.funcs[k]
+			s := pr.summarize(fi)
+			if !summariesEqual(&fi.sum, &s) {
+				fi.sum = s
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// summarize computes one function's summary against the current table.
+func (pr *program) summarize(fi *funcInfo) funcSummary {
+	var s funcSummary
+	s.exitIfTriggered = true
+
+	// Flow transfer and entry-sensitive reads: run the flow walk twice,
+	// entering clean and entering triggered. Reads observed only in the
+	// triggered run are the caller's hazard; reads in both are the
+	// function's own and are reported at their site by the intra pass.
+	readsClean := map[token.Pos]readSite{}
+	readsTrig := map[token.Pos]readSite{}
+	for _, entry := range []bool{false, true} {
+		reads := readsClean
+		if entry {
+			reads = readsTrig
+		}
+		exit := flowState{dead: true}
+		fa := &flowAnalyzer{f: fi.f, prog: pr, sumReads: reads, exit: &exit}
+		final := fa.stmts(fi.decl.Body.List, flowState{triggered: entry})
+		if !final.dead {
+			exit = mergeFlow(exit, final)
+		}
+		out := entry // a function that never returns keeps the identity transfer
+		if !exit.dead {
+			out = exit.triggered
+		}
+		if entry {
+			s.exitIfTriggered = out
+		} else {
+			s.exitIfClean = out
+		}
+	}
+	for pos, r := range readsTrig {
+		if _, own := readsClean[pos]; !own {
+			s.reads = append(s.reads, r)
+		}
+	}
+	sort.Slice(s.reads, func(i, j int) bool { return s.reads[i].pos < s.reads[j].pos })
+	if len(s.reads) > 8 {
+		s.reads = s.reads[:8]
+	}
+
+	s.writes = pr.collectWrites(fi)
+	s.acquires, s.exitHeld, s.exitReleased = pr.collectLockFacts(fi)
+	return s
+}
+
+// collectWrites gathers the function's direct region writes (fields and
+// package-level variables only) plus same-package callees' transitive
+// writes.
+func (pr *program) collectWrites(fi *funcInfo) []writeSite {
+	info := fi.pkg.Info
+	byObj := map[types.Object]writeSite{}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF", "TStoreBatch", "TStoreRange", "TUpdate", "TUpdateBatch") {
+			if obj := rootObj(info, recvExpr(call)); obj != nil && summaryVisible(obj, fi.pkg) {
+				if _, ok := byObj[obj]; !ok {
+					byObj[obj] = writeSite{obj: obj, region: obj.Name()}
+				}
+			}
+			return true
+		}
+		if callee := pr.lookup(fn); callee != nil && callee != fi && callee.pkg == fi.pkg {
+			for _, w := range callee.sum.writes {
+				if _, ok := byObj[w.obj]; !ok {
+					byObj[w.obj] = writeSite{obj: w.obj, region: w.region, via: chainVia(callee.display, w.via)}
+				}
+			}
+		}
+		return true
+	})
+	var out []writeSite
+	for _, w := range byObj {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].region != out[j].region {
+			return out[i].region < out[j].region
+		}
+		return out[i].via < out[j].via
+	})
+	return out
+}
+
+// chainVia prepends one call-chain hop to an existing chain.
+func chainVia(hop, rest string) string {
+	if rest == "" {
+		return hop
+	}
+	return hop + " → " + rest
+}
+
+func summariesEqual(a, b *funcSummary) bool {
+	if a.exitIfClean != b.exitIfClean || a.exitIfTriggered != b.exitIfTriggered ||
+		len(a.reads) != len(b.reads) || len(a.writes) != len(b.writes) || len(a.acquires) != len(b.acquires) ||
+		len(a.exitHeld) != len(b.exitHeld) || len(a.exitReleased) != len(b.exitReleased) {
+		return false
+	}
+	for i := range a.exitHeld {
+		if a.exitHeld[i] != b.exitHeld[i] {
+			return false
+		}
+	}
+	for i := range a.exitReleased {
+		if a.exitReleased[i] != b.exitReleased[i] {
+			return false
+		}
+	}
+	for i := range a.reads {
+		if a.reads[i] != b.reads[i] {
+			return false
+		}
+	}
+	for i := range a.writes {
+		if a.writes[i] != b.writes[i] {
+			return false
+		}
+	}
+	for i := range a.acquires {
+		if a.acquires[i] != b.acquires[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// summaryVisible reports whether a region identity means the same thing in
+// a caller: struct fields (instance-insensitive by design) and
+// package-level variables do; locals and parameters do not.
+func summaryVisible(obj types.Object, p *Package) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Parent() == p.Types.Scope()
+}
+
+// entryHeldRounds bounds the call-site held-set inference fixpoint. Each
+// round resolves one link of a "caller holds mu for me" chain; the longest
+// real one (dispatch path → TQST.Mark* → entry → entryGrow, with the shard
+// lock taken two frames above the TQST call) needs six.
+const entryHeldRounds = 6
+
+// computeEntryHeld infers, for every function, the set of lock keys held
+// at every known call site — the static form of a "caller holds mu"
+// contract comment. defer/go call sites contribute the empty set (the call
+// runs at an unknowable point); method-value references make the function
+// unknown (checked leniently).
+func (pr *program) computeEntryHeld() {
+	for round := 0; round < entryHeldRounds; round++ {
+		next := map[string]map[string]bool{}
+		seen := map[string]bool{}
+		for _, k := range pr.keys {
+			fi := pr.funcs[k]
+			entry := lockState{held: map[string]lockAcq{}}
+			if fi.entryHeldKnown {
+				for key := range fi.entryHeld {
+					entry.held[key] = lockAcq{key: key, pos: fi.decl.Pos()}
+				}
+			}
+			lw := &lockWalker{
+				f: fi.f, pr: pr,
+				onCallSite: func(callee *funcInfo, held map[string]lockAcq) {
+					hs, ok := next[callee.key]
+					if !ok {
+						hs = map[string]bool{}
+						for key := range held {
+							hs[key] = true
+						}
+						next[callee.key] = hs
+						seen[callee.key] = true
+						return
+					}
+					for key := range hs {
+						if _, still := held[key]; !still {
+							delete(hs, key)
+						}
+					}
+				},
+			}
+			lw.walkDecl(fi.decl, entry)
+		}
+		for _, k := range pr.keys {
+			fi := pr.funcs[k]
+			if len(fi.methodRefs) > 0 && contains(fi.methodRefs, fi.key) {
+				// escapes as a value: entry context unknowable
+				fi.entryHeldKnown = false
+				fi.entryHeld = nil
+				continue
+			}
+			fi.entryHeldKnown = seen[k]
+			fi.entryHeld = next[k]
+		}
+	}
+}

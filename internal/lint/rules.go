@@ -14,28 +14,40 @@ import (
 // wants. Trigger data is written with TStore (fires on change, silent
 // otherwise); pre-protocol input setup uses Poke, which is explicitly
 // event-free.
-func runUntriggeredWrite(f *facts, rep *reporter) {
+//
+// Interprocedural refinement: a helper whose every reference sits inside a
+// support body (directly, or through other such helpers — the call graph's
+// supportOnly set) executes in support-thread context, so its plain stores
+// are a support thread writing its outputs, not a missed trigger.
+func runUntriggeredWrite(pr *program, f *facts, rep *reporter) {
 	info := f.pkg.Info
 	for _, file := range f.pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil && pr.supportOnlyFunc(fn) {
+					continue
+				}
 			}
-			fn := calleeOf(info, call)
-			if !isCoreMethod(fn, "Region", "Store", "StoreF") {
+			ast.Inspect(d, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(info, call)
+				if !isCoreMethod(fn, "Region", "Store", "StoreF") {
+					return true
+				}
+				obj := rootObj(info, recvExpr(call))
+				if obj == nil || !f.attached[obj] || f.inSupportBody(call) {
+					return true
+				}
+				rep.report(call.Pos(), "untriggered-write",
+					fmt.Sprintf("plain %s to region %q, which has thread attachments: attached threads will not see this update",
+						fn.Name(), obj.Name()),
+					"use TStore to fire attached threads (silent when unchanged), or Poke for event-free input setup")
 				return true
-			}
-			obj := rootObj(info, recvExpr(call))
-			if obj == nil || !f.attached[obj] || f.inSupportBody(call) {
-				return true
-			}
-			rep.report(call.Pos(), "untriggered-write",
-				fmt.Sprintf("plain %s to region %q, which has thread attachments: attached threads will not see this update",
-					fn.Name(), obj.Name()),
-				"use TStore to fire attached threads (silent when unchanged), or Poke for event-free input setup")
-			return true
-		})
+			})
+		}
 	}
 }
 
@@ -47,7 +59,14 @@ func runUntriggeredWrite(f *facts, rep *reporter) {
 // body write must land in the attachment or grant set. Writes through
 // tg.Region are always legal — the trigger region is attached by
 // construction.
-func runWriteEscape(f *facts, rep *reporter) {
+//
+// Interprocedural extension: a call from the body to a same-package helper
+// whose summary writes an undeclared region is the same escape one hop
+// removed, reported at the call site with the chain that reaches the
+// write. Same-package only — the summary's region identities (fields,
+// package variables) mean nothing to the attachment facts of another
+// package.
+func runWriteEscape(pr *program, f *facts, rep *reporter) {
 	info := f.pkg.Info
 	for body, tf := range f.bodies {
 		if tf.grantN == 0 {
@@ -60,7 +79,23 @@ func runWriteEscape(f *facts, rep *reporter) {
 				return true
 			}
 			fn := calleeOf(info, call)
+			name := tf.regName
+			if name == "" {
+				name = "support thread"
+			}
 			if !isCoreMethod(fn, "Region", "Store", "StoreF", "TStore", "TStoreF", "TStoreBatch", "TStoreRange", "TUpdate", "TUpdateBatch") {
+				if callee := pr.lookup(fn); callee != nil && callee.pkg == f.pkg {
+					for _, w := range callee.sum.writes {
+						if tf.atts[w.obj] || tf.grants[w.obj] {
+							continue
+						}
+						rep.report(call.Pos(), "write-escape",
+							fmt.Sprintf("%s body writes region %q via %s, which is neither attached to it nor granted via AllowWrites",
+								name, w.region, chainVia(callee.display, w.via)),
+							"declare the output window with rt.AllowWrites(thread, region, lo, hi), or write only attached/granted regions")
+						break
+					}
+				}
 				return true
 			}
 			recv := recvExpr(call)
@@ -70,10 +105,6 @@ func runWriteEscape(f *facts, rep *reporter) {
 			obj := rootObj(info, recv)
 			if obj == nil || tf.atts[obj] || tf.grants[obj] {
 				return true
-			}
-			name := tf.regName
-			if name == "" {
-				name = "support thread"
 			}
 			rep.report(call.Pos(), "write-escape",
 				fmt.Sprintf("%s body writes region %q, which is neither attached to it nor granted via AllowWrites",
@@ -94,7 +125,7 @@ func runWriteEscape(f *facts, rep *reporter) {
 // exists to provide. Captured values that never change after registration
 // (regions, runtime handles, configuration) are the normal idiom and are
 // not flagged.
-func runTriggerCapture(f *facts, rep *reporter) {
+func runTriggerCapture(_ *program, f *facts, rep *reporter) {
 	info := f.pkg.Info
 	for body, tf := range f.bodies {
 		lit, ok := body.(*ast.FuncLit)

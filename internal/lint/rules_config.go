@@ -31,7 +31,7 @@ import (
 //     later frame on it fails at the server;
 //   - a server built with NewServer and never Closed in the same function
 //     (when it does not escape) — the listener and session goroutines leak.
-func runConfigMisuse(f *facts, rep *reporter) {
+func runConfigMisuse(_ *program, f *facts, rep *reporter) {
 	info := f.pkg.Info
 	for _, file := range f.pkg.Files {
 		walkStack(file, func(stack []ast.Node, n ast.Node) bool {

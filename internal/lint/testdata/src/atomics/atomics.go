@@ -1,0 +1,83 @@
+// Package atomics is golden-file input for dttlint's atomics rule: fields
+// accessed both through sync/atomic and plainly, and the //dtt:guards
+// annotation that licenses the plain side when a named mutex is held.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mixes atomic and plain access with no declared guard: the plain
+// read races the atomic increments.
+type counter struct {
+	n int64
+}
+
+func (c *counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) Read() int64 { return c.n } // want: atomics
+
+// gauge declares its guard and every plain access holds it: clean. The
+// field is never touched atomically — a guarded field is checked as
+// documentation either way.
+type gauge struct {
+	mu sync.Mutex
+	v  int64 //dtt:guards mu
+}
+
+func (g *gauge) Set(v int64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) Get() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// NewGauge writes the guarded field without the lock, legally: a value
+// still under construction is not shared yet.
+func NewGauge(v int64) *gauge {
+	return &gauge{v: v}
+}
+
+// leaky declares the same guard but one accessor skips the lock.
+type leaky struct {
+	mu sync.Mutex
+	v  int64 //dtt:guards mu
+}
+
+func (l *leaky) Good() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.v
+}
+
+func (l *leaky) Bad() int64 { return l.v } // want: atomics
+
+// DriveLeaky gives Bad a lock-free call site, so entry-held inference
+// cannot assume a caller holds the guard for it.
+func DriveLeaky(l *leaky) int64 { return l.Bad() }
+
+// locked relies on its caller's lock — the "caller holds l.mu" contract,
+// inferred from the call sites rather than trusted from a comment.
+func (l *leaky) locked() int64 { return l.v }
+
+func (l *leaky) ViaLocked() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.locked()
+}
+
+// typo's annotation names a sibling that is not a mutex: malformed,
+// reported at the field.
+type typo struct {
+	flag bool
+	// want: +1:atomics
+	v int64 //dtt:guards flag
+}
+
+func (t *typo) Set(v int64) { t.v = v }

@@ -1,0 +1,120 @@
+// Package lockorder is golden-file input for dttlint's lockorder rule.
+// The fixture types reuse the runtime's type and field names on purpose:
+// lock keys are name-based ("Runtime.mu", "dispatchShard.mu"), which is
+// what lets a golden package exercise the real lattice without importing
+// the runtime's unexported types.
+package lockorder
+
+import "sync"
+
+type Runtime struct {
+	mu     sync.Mutex // rank 3 in the lattice
+	shards []dispatchShard
+	n      int
+}
+
+type dispatchShard struct {
+	mu   sync.Mutex // rank 6, multi-instance
+	busy int
+}
+
+// Good: outermost-first. Runtime.mu (rank 3) then a shard lock (rank 6).
+func Good(rt *Runtime) {
+	rt.mu.Lock()
+	rt.shards[0].mu.Lock()
+	rt.n++
+	rt.shards[0].mu.Unlock()
+	rt.mu.Unlock()
+}
+
+// Bad: a shard lock is held while taking Runtime.mu — the inversion the
+// ISSUE seeds: shard (rank 6) then rt.mu (rank 3).
+func Bad(rt *Runtime) {
+	rt.shards[0].mu.Lock()
+	rt.mu.Lock() // want: lockorder
+	rt.n++
+	rt.mu.Unlock()
+	rt.shards[0].mu.Unlock()
+}
+
+// lockRT hides the Runtime.mu acquisition one call deep.
+func lockRT(rt *Runtime) {
+	rt.mu.Lock()
+}
+
+// BadDeep: the same inversion through the call graph. The diagnostic names
+// the acquisition path (lockRT) at the call site.
+func BadDeep(rt *Runtime) {
+	rt.shards[1].mu.Lock()
+	lockRT(rt) // want: lockorder
+	rt.mu.Unlock()
+	rt.shards[1].mu.Unlock()
+}
+
+// GoodDeep: the helper's acquisition is fine when nothing lower is held.
+func GoodDeep(rt *Runtime) {
+	lockRT(rt)
+	rt.n++
+	rt.mu.Unlock()
+}
+
+// GoodLoop: multi-shard holders lock in ascending index order.
+func GoodLoop(rt *Runtime) {
+	for s := 0; s < len(rt.shards); s++ {
+		rt.shards[s].mu.Lock()
+	}
+	for s := 0; s < len(rt.shards); s++ {
+		rt.shards[s].mu.Unlock()
+	}
+}
+
+// BadLoop: a descending shard-lock loop deadlocks against any ascending
+// holder.
+func BadLoop(rt *Runtime) {
+	for s := len(rt.shards) - 1; s >= 0; s-- {
+		rt.shards[s].mu.Lock() // want: lockorder
+	}
+	for s := 0; s < len(rt.shards); s++ {
+		rt.shards[s].mu.Unlock()
+	}
+}
+
+// TryBad: both TryLock if-forms track the held set; the inversion inside
+// the success arm is real.
+func TryBad(rt *Runtime) bool {
+	if rt.shards[0].mu.TryLock() {
+		rt.mu.Lock() // want: lockorder
+		rt.n++
+		rt.mu.Unlock()
+		rt.shards[0].mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// TryGood: the early-return form leaves the failure path lock-free; the
+// ordering on the success path is legal.
+func TryGood(rt *Runtime) {
+	if !rt.mu.TryLock() {
+		return
+	}
+	rt.shards[0].mu.Lock()
+	rt.shards[0].mu.Unlock()
+	rt.mu.Unlock()
+}
+
+// SelfDeadlock: re-acquiring a held singleton lock can never succeed.
+func SelfDeadlock(rt *Runtime) {
+	rt.mu.Lock()
+	rt.mu.Lock() // want: lockorder
+	rt.mu.Unlock()
+}
+
+// MultiReacquire: shard locks are multi-instance — locking two different
+// shards is the normal ascending pattern, not a self-deadlock.
+func MultiReacquire(rt *Runtime) {
+	rt.shards[0].mu.Lock()
+	rt.shards[1].mu.Lock()
+	rt.shards[1].mu.Unlock()
+	rt.shards[0].mu.Unlock()
+}

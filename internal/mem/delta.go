@@ -128,11 +128,11 @@ type stripePend struct {
 // capacity across merges — the steady-state apply path allocates nothing.
 type deltaStripe struct {
 	mu    sync.Mutex
-	cells []deltaCell
+	cells []deltaCell //dtt:guards mu
 	// dirty lists the set cells' indices in first-touch order; Collect
 	// walks it instead of scanning cells.
-	dirty []int32
-	extra []stripePend
+	dirty []int32      //dtt:guards mu
+	extra []stripePend //dtt:guards mu
 	// ops counts updates applied through this stripe over its lifetime;
 	// sinceMerge counts them since the last Collect (the MergeEvery
 	// cadence input).
@@ -225,7 +225,7 @@ func (p *DeltaPlane) Apply(s uint32, i int, op UpdateOp, v Word) (newly bool, si
 	st := &p.stripes[s&p.smask]
 	st.mu.Lock()
 	if st.cells == nil {
-		st.cells = make([]deltaCell, p.words)
+		st.cells = make([]deltaCell, p.words) //dtt:escape-ok -- first-touch stripe allocation; steady state re-uses it
 	}
 	newly = st.apply(i, op, v)
 	st.ops++
@@ -252,7 +252,7 @@ func (p *DeltaPlane) ApplyBatch(s uint32, lo int, op UpdateOp, vs []Word) (newly
 	st := &p.stripes[s&p.smask]
 	st.mu.Lock()
 	if st.cells == nil {
-		st.cells = make([]deltaCell, p.words)
+		st.cells = make([]deltaCell, p.words) //dtt:escape-ok -- first-touch stripe allocation; steady state re-uses it
 	}
 	cells := st.cells[lo : lo+len(vs)]
 	switch op {

@@ -320,7 +320,7 @@ func (b *Buffer) loadProbed(i int, v Word) { b.sys.onLoad(b.Addr(i), v) }
 
 // Peek returns word i without generating a memory event. It exists for
 // validation and debugging; workloads must use Load.
-func (b *Buffer) Peek(i int) Word { return b.data[i] }
+func (b *Buffer) Peek(i int) Word { return b.data[i] } //dtt:ignore atomics -- quiescent-only debug read; callers hold no concurrent writers by contract
 
 // LoadQuiet returns word i atomically without notifying probes. Merge-time
 // folding of privatized deltas reads the base value with it: the read is
@@ -351,7 +351,7 @@ func (b *Buffer) storeProbed(i int, v Word) bool {
 
 // Poke writes v to word i without generating a memory event. It exists for
 // input-setup code that should not pollute profiles.
-func (b *Buffer) Poke(i int, v Word) { b.data[i] = v }
+func (b *Buffer) Poke(i int, v Word) { b.data[i] = v } //dtt:ignore atomics -- input setup runs before threads attach; no concurrent readers by contract
 
 // LoadF and StoreF are float64 views of Load and Store.
 
@@ -363,15 +363,15 @@ func (b *Buffer) LoadF(i int) float64 { return math.Float64frombits(b.Load(i)) }
 func (b *Buffer) StoreF(i int, f float64) bool { return b.Store(i, math.Float64bits(f)) }
 
 // PeekF returns word i as a float64 without a memory event.
-func (b *Buffer) PeekF(i int) float64 { return math.Float64frombits(b.data[i]) }
+func (b *Buffer) PeekF(i int) float64 { return math.Float64frombits(b.data[i]) } //dtt:ignore atomics -- quiescent-only debug read, float view of Peek
 
 // PokeF writes f's bit pattern without a memory event.
-func (b *Buffer) PokeF(i int, f float64) { b.data[i] = math.Float64bits(f) }
+func (b *Buffer) PokeF(i int, f float64) { b.data[i] = math.Float64bits(f) } //dtt:ignore atomics -- event-free setup write, float view of Poke
 
 // Fill sets every word to v without memory events.
 func (b *Buffer) Fill(v Word) {
 	for i := range b.data {
-		b.data[i] = v
+		b.data[i] = v //dtt:ignore atomics -- bulk reset before the protocol starts; no threads attached yet
 	}
 }
 

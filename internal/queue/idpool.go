@@ -11,8 +11,8 @@ package queue
 // same contract as the other hardware-shaped structures in this package
 // (the server holds its session-table lock across both).
 type IDPool struct {
-	free []int
-	next int
+	free []int //dtt:guards Server.mu
+	next int   //dtt:guards Server.mu
 }
 
 // Get returns a free ID: the most recently Put one if any, otherwise the

@@ -223,9 +223,9 @@ type ThreadQueue struct {
 	dedup DedupPolicy
 	// ring[(head+i)%cap] for i in [0, n) are the pending entries, oldest
 	// first.
-	ring []Entry
-	head int
-	n    int
+	ring []Entry //dtt:guards dispatchShard.mu
+	head int     //dtt:guards dispatchShard.mu
+	n    int     //dtt:guards dispatchShard.mu
 	// pending counts queue occupancy per dedup key. It is nil under
 	// DedupNone: synthesizing fake keys to disable squashing (as an earlier
 	// revision did with seq<<16) risks colliding with real addresses and
@@ -299,7 +299,7 @@ func (q *ThreadQueue) at(i int) *Entry {
 
 func (q *ThreadQueue) countUp(t ThreadID) {
 	if int(t) >= len(q.perThread) {
-		grown := make([]int, int(t)+1)
+		grown := make([]int, int(t)+1) //dtt:escape-ok -- per-thread counter growth; allocates only on first sight of a thread id
 		copy(grown, q.perThread)
 		q.perThread = grown
 	}
@@ -343,7 +343,7 @@ func (q *ThreadQueue) Enqueue(t ThreadID, addr mem.Addr) EnqueueStatus {
 		q.pending.keys[slot] = k
 		q.pending.cnts[slot] = 1
 	}
-	q.countUp(t)
+	q.countUp(t) //dtt:escape-ok -- inlined per-thread counter growth; allocates only on first sight of a thread id
 	q.c.Enqueued++
 	if q.n > q.c.Peak {
 		q.c.Peak = q.n

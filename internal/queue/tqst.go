@@ -53,9 +53,9 @@ type tqstEntry struct {
 // registration order — and a global busy count makes the tbarrier predicate
 // AllQuiet O(1) rather than a table scan.
 type TQST struct {
-	entries []tqstEntry
+	entries []tqstEntry //dtt:guards dispatchShard.mu
 	// busy is the total pending+running instances across all threads.
-	busy int
+	busy int //dtt:guards dispatchShard.mu
 }
 
 // NewTQST returns an empty status table.

@@ -61,11 +61,11 @@ type Server struct {
 	opts Options
 
 	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[int]*session
+	ln       net.Listener     //dtt:guards mu
+	sessions map[int]*session //dtt:guards mu
 	ids      queue.IDPool
-	seq      int64 // lifetime accept count; names namespaces uniquely
-	closed   bool
+	seq      int64 //dtt:guards mu
+	closed   bool  //dtt:guards mu
 
 	serveErr  atomic.Pointer[error]
 	wg        sync.WaitGroup

@@ -38,10 +38,10 @@ type msg struct {
 // shedding, not by stalling the dispatch plane.
 type outbox struct {
 	mu     sync.Mutex
-	buf    []msg
-	spare  []msg
+	buf    []msg //dtt:guards mu
+	spare  []msg //dtt:guards mu
 	wake   chan struct{}
-	closed bool
+	closed bool //dtt:guards mu
 	cap    int
 }
 

@@ -20,9 +20,9 @@ COVER_PKGS  := ./internal/core ./internal/queue
 # Bounded fuzz budget for CI. `make fuzz FUZZTIME=5m` explores for real.
 FUZZTIME ?= 10s
 
-.PHONY: ci lint lock-table-check escape-gate vet build test race fuzz-smoke fuzz cover allocs-gate serve-smoke bench-fastpath bench-batch bench bench-serve bench-scale bench-telemetry bench-update
+.PHONY: ci lint lock-table-check escape-gate vet build test race fuzz-smoke fuzz cover allocs-gate serve-smoke serving-smoke bench-fastpath bench-batch bench bench-serve bench-scale bench-serving bench-telemetry bench-update
 
-ci: lint lock-table-check escape-gate vet build race allocs-gate fuzz-smoke serve-smoke cover bench-fastpath bench-batch bench-update
+ci: lint lock-table-check escape-gate vet build race allocs-gate fuzz-smoke serve-smoke serving-smoke cover bench-fastpath bench-batch bench-update bench-serving
 
 # Static whole-program check (protocol rules + lockorder + atomics) over
 # the whole module (./... skips the linter's own testdata fixtures by
@@ -80,6 +80,14 @@ fuzz: fuzz-smoke
 serve-smoke:
 	$(GO) run ./cmd/dttclient -smoke
 
+# End-to-end acceptance of the serving-workload suite: every scenario
+# (webcache, matview, pubsub, leaderboard) runs briefly under open-loop
+# Poisson load over a loopback server, asserting the dispatch-counter
+# identity, the in-band notify-gap accounting (client gap count ==
+# server's shed counter), and zero stale client words after recovery.
+serving-smoke:
+	$(GO) run ./cmd/dttbench -serving-smoke
+
 # Coverage floor for the runtime-critical packages. Fails if the combined
 # statement coverage of $(COVER_PKGS) drops below $(COVER_FLOOR)%. The
 # profile is kept on success (go tool cover -html=cover.out) but removed
@@ -102,11 +110,14 @@ bench-fastpath:
 	@echo "wrote bench-fastpath.out; compare runs with: benchstat <saved-baseline>.out bench-fastpath.out"
 
 # Explicit allocation gate for the triggering-store fast paths, telemetry
-# off and on. The same tests run inside `make race`, but a dedicated target
-# runs them without -race instrumentation (which changes allocation
-# behaviour) and names the contract in the CI log.
+# off and on, plus the load generator's arrival tick (on every open-loop
+# request's path, so it is held to the same 0 allocs/op contract). The
+# same tests run inside `make race`, but a dedicated target runs them
+# without -race instrumentation (which changes allocation behaviour) and
+# names the contract in the CI log.
 allocs-gate:
 	$(GO) test -count=1 -run 'Test(TStore(Batch)?|TUpdate)FastPathAllocs' -v . | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
+	$(GO) test -count=1 -run 'TestArrivalsFastPathAllocs' -v ./internal/loadgen | grep -E '^(=== RUN|--- (PASS|FAIL)|FAIL|ok)'
 
 # Batched triggering-store benchmarks: the scalar-vs-batch throughput pair
 # plus the silent and squash batch paths, with allocation reporting. The
@@ -160,3 +171,19 @@ bench-telemetry:
 SCALEFLAGS ?=
 bench-scale:
 	$(GO) run ./cmd/dttbench -scale-sweep $(SCALEFLAGS) -scale-out BENCH_scale.json
+
+# Open-loop serving tail-latency sweep: every scenario twice (a uniform
+# round, then a balanced round with load shifted toward the worst p99),
+# p50/p99/p999 trigger-to-dispatch and trigger-to-result per run. The CI
+# leg writes to the gitignored bench-serving.out.json so a green run
+# never dirties the tree; regenerate the committed baseline with
+#   make bench-serving SERVINGOUT=BENCH_serving.json SERVINGFLAGS=...
+# (on a single-CPU host add SERVINGFLAGS=-force-single-core; the report
+# then carries the warning). This is the tail-latency gate: it fails on
+# any broken identity or scenario error, not on a slow quantile — the
+# committed numbers are the regression baseline, judged by benchstat-like
+# comparison, not a hard threshold.
+SERVINGFLAGS ?=
+SERVINGOUT ?= bench-serving.out.json
+bench-serving:
+	$(GO) run ./cmd/dttbench -serving-sweep $(SERVINGFLAGS) -serving-out $(SERVINGOUT)

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// hostFingerprint is the machine block shared by every committed
+// BENCH_*.json: the numbers are meaningless without the host they were
+// measured on, and the single-core warning travels with them. No
+// timestamp — the files are committed, and regenerating unchanged
+// numbers must not dirty the tree.
+type hostFingerprint struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Warning flags a measurement whose shape cannot be trusted, e.g. a
+	// single-core host where every producer and every session serialise.
+	Warning string `json:"warning,omitempty"`
+}
+
+func newFingerprint() hostFingerprint {
+	fp := hostFingerprint{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if fp.GOMAXPROCS < 2 || fp.NumCPU < 2 {
+		fp.Warning = "measured on a single-core host; concurrent producers and sessions serialise, so scaling curves and tail latencies say nothing about a real serving machine"
+	}
+	return fp
+}
+
+// writeBenchReport writes a committed BENCH_*.json. On a single-CPU host
+// it refuses unless forced: numbers measured with everything serialised
+// would silently overwrite a real machine's committed results. The
+// refusal prints the results that were NOT written and returns nil — a
+// CI run on a laptop stays green, it just cannot update the baseline.
+func writeBenchReport(stdout io.Writer, path string, fp hostFingerprint, force bool, data []byte) error {
+	if fp.NumCPU < 2 && !force {
+		fmt.Fprintf(stdout, "refusing to write %s on a %d-CPU host (pass -force-single-core to write anyway, warning recorded in the report)\n",
+			path, fp.NumCPU)
+		return nil
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}

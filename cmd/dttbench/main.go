@@ -8,6 +8,11 @@
 //	dttbench -iters 80       # scale the workloads
 //	dttbench -fastpath       # microbenchmark the triggering-store fast paths
 //	dttbench -scale-sweep    # producer-scaling curve -> BENCH_scale.json
+//	dttbench -serving-sweep  # open-loop tail-latency suite -> BENCH_serving.json
+//	dttbench -serving-smoke  # short serving run asserting the plane's identities
+//
+// Both committed BENCH_*.json writes are refused on a single-CPU host
+// unless -force-single-core is passed; the report then carries a warning.
 //
 // See DESIGN.md for the experiment-to-paper mapping and EXPERIMENTS.md for
 // recorded results.
@@ -19,9 +24,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dtt/internal/harness"
 	"dtt/internal/workloads"
+	"dtt/internal/workloads/serving"
 )
 
 func main() {
@@ -45,6 +52,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sweep    = fs.Bool("scale-sweep", false, "measure triggering-store throughput across producer counts and exit")
 		sweepOut = fs.String("scale-out", "BENCH_scale.json", "output path for the -scale-sweep JSON report")
 		oversub  = fs.Bool("oversubscribe", false, "sweep producer counts past min(GOMAXPROCS, NumCPU), up to 64; recorded in the report")
+
+		servSweep = fs.Bool("serving-sweep", false, "run the open-loop serving suite and write its tail-latency report")
+		servOut   = fs.String("serving-out", "BENCH_serving.json", "output path for the -serving-sweep JSON report")
+		servRate  = fs.Float64("serving-rate", 2000, "per-scenario offered load for -serving-sweep, arrivals/s")
+		servDur   = fs.Duration("serving-dur", 2*time.Second, "per-scenario open-loop duration for -serving-sweep")
+		servSmoke = fs.Bool("serving-smoke", false, "run every serving scenario briefly, asserting the plane's identities, and exit")
+
+		forceSingle = fs.Bool("force-single-core", false, "write BENCH_*.json even on a single-CPU host (warning recorded in the report)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,8 +71,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *sweep {
-		if err := runScaleSweep(stdout, *sweepOut, *oversub); err != nil {
+		if err := runScaleSweep(stdout, *sweepOut, *oversub, *forceSingle); err != nil {
 			fmt.Fprintf(stderr, "dttbench: scale sweep: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *servSmoke {
+		if err := serving.Smoke(stdout); err != nil {
+			fmt.Fprintf(stderr, "dttbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *servSweep {
+		if err := runServingSweep(stdout, *servOut, *servRate, *servDur, *seed, *forceSingle); err != nil {
+			fmt.Fprintf(stderr, "dttbench: serving sweep: %v\n", err)
 			return 1
 		}
 		return 0

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -113,5 +115,83 @@ func TestBenchBadExperiment(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown experiment") {
 		t.Fatalf("stderr missing diagnostic: %s", errb.String())
+	}
+}
+
+// TestServingSweepWritesReport runs a short serving sweep into a temp
+// file and pins the BENCH_serving.json schema: host fingerprint, both
+// rounds, every scenario. -force-single-core makes the write
+// unconditional so the test passes on 1-CPU hosts too.
+func TestServingSweepWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-serving-sweep", "-serving-rate", "500", "-serving-dur", "100ms",
+		"-serving-out", out, "-force-single-core",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("sweep wrote no report: %v\nstdout: %s", err, stdout.String())
+	}
+	var rep servingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.GOOS == "" || rep.GoVersion == "" || rep.NumCPU < 1 {
+		t.Fatalf("fingerprint incomplete: %+v", rep.hostFingerprint)
+	}
+	if (rep.Warning != "") != (rep.GOMAXPROCS < 2 || rep.NumCPU < 2) {
+		t.Fatalf("warning %q inconsistent with GOMAXPROCS=%d NumCPU=%d", rep.Warning, rep.GOMAXPROCS, rep.NumCPU)
+	}
+	got := map[string]int{}
+	for _, r := range rep.Runs {
+		got[r.Round+"/"+r.Scenario]++
+		if r.Offered == 0 || r.Completed == 0 {
+			t.Errorf("%s/%s ran nothing: %+v", r.Round, r.Scenario, r)
+		}
+	}
+	for _, round := range []string{"uniform", "balanced"} {
+		for _, name := range []string{"webcache", "matview", "pubsub", "leaderboard"} {
+			if got[round+"/"+name] != 1 {
+				t.Errorf("report has %d %s runs of %s, want 1", got[round+"/"+name], round, name)
+			}
+		}
+	}
+}
+
+// TestSingleCoreRefusal pins the write guard: a 1-CPU fingerprint
+// refuses the committed-report write unless forced, and the refusal is
+// not an error.
+func TestSingleCoreRefusal(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_x.json")
+	fp := newFingerprint()
+	fp.NumCPU = 1
+	var stdout bytes.Buffer
+	if err := writeBenchReport(&stdout, out, fp, false, []byte("{}")); err != nil {
+		t.Fatalf("refusal returned an error: %v", err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("refused write still created %s", out)
+	}
+	if !strings.Contains(stdout.String(), "refusing") || !strings.Contains(stdout.String(), "-force-single-core") {
+		t.Fatalf("refusal message missing the override hint: %s", stdout.String())
+	}
+	stdout.Reset()
+	if err := writeBenchReport(&stdout, out, fp, true, []byte("{}")); err != nil {
+		t.Fatalf("forced write: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("forced write created no file: %v", err)
+	}
+	fp.NumCPU = 8
+	out2 := filepath.Join(t.TempDir(), "BENCH_y.json")
+	if err := writeBenchReport(&stdout, out2, fp, false, []byte("{}")); err != nil {
+		t.Fatalf("multi-CPU write: %v", err)
+	}
+	if _, err := os.Stat(out2); err != nil {
+		t.Fatalf("multi-CPU fingerprint refused the write: %v", err)
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -24,26 +23,17 @@ type scalePoint struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 }
 
-// scaleReport is the BENCH_scale.json schema. The host block records the
-// machine the curve was measured on, since the shape is meaningless without
-// it: a 1-core box necessarily measures a flat curve. No timestamp — the
-// file is committed, and regenerating an unchanged curve must not dirty the
-// tree.
+// scaleReport is the BENCH_scale.json schema: the shared host
+// fingerprint (a 1-core box necessarily measures a flat curve, and the
+// warning says so) plus the sweep points.
 type scaleReport struct {
-	GOOS              string `json:"goos"`
-	GOARCH            string `json:"goarch"`
-	GoVersion         string `json:"go_version"`
-	GOMAXPROCS        int    `json:"gomaxprocs"`
-	NumCPU            int    `json:"num_cpu"`
-	StoresPerProducer int    `json:"stores_per_producer"`
+	hostFingerprint
+	StoresPerProducer int `json:"stores_per_producer"`
 	// Oversubscribe records that the sweep was explicitly pushed past the
 	// host's parallelism (-oversubscribe), so producer counts above NumCPU
 	// measure scheduler contention, not hardware scaling.
-	Oversubscribe bool `json:"oversubscribe"`
-	// Warning flags a sweep whose shape cannot be trusted, e.g. a
-	// single-core host where every producer count serialises.
-	Warning string       `json:"warning,omitempty"`
-	Points  []scalePoint `json:"points"`
+	Oversubscribe bool         `json:"oversubscribe"`
+	Points        []scalePoint `json:"points"`
 }
 
 const (
@@ -160,23 +150,14 @@ func runScalePoint(p int, mode, dist string) (float64, error) {
 	return float64(p) * scaleStoresPerProducer / elapsed.Seconds(), nil
 }
 
-// newScaleReport builds the report header: the host block the curve is
-// meaningless without, and the single-core warning when the sweep cannot
-// show scaling.
+// newScaleReport builds the report header: the shared host fingerprint
+// (with its single-core warning) plus the sweep's own parameters.
 func newScaleReport(oversubscribe bool) scaleReport {
-	rep := scaleReport{
-		GOOS:              runtime.GOOS,
-		GOARCH:            runtime.GOARCH,
-		GoVersion:         runtime.Version(),
-		GOMAXPROCS:        runtime.GOMAXPROCS(0),
-		NumCPU:            runtime.NumCPU(),
+	return scaleReport{
+		hostFingerprint:   newFingerprint(),
 		StoresPerProducer: scaleStoresPerProducer,
 		Oversubscribe:     oversubscribe,
 	}
-	if rep.GOMAXPROCS < 2 || rep.NumCPU < 2 {
-		rep.Warning = "swept on a single-core host; producers serialise, so the curve says nothing about scaling"
-	}
-	return rep
 }
 
 // scaleProducerCounts returns the producer counts to sweep: 1, 2, 4, ...
@@ -206,8 +187,8 @@ func scaleProducerCounts(oversubscribe bool) []int {
 // and hot-shard distributions for each producer count, printing the curves
 // and writing them to outPath as JSON (the committed BENCH_scale.json).
 // Each point runs twice and keeps the higher throughput, discarding warmup
-// noise.
-func runScaleSweep(stdout io.Writer, outPath string, oversubscribe bool) error {
+// noise. On a single-CPU host the file write is refused unless forced.
+func runScaleSweep(stdout io.Writer, outPath string, oversubscribe, force bool) error {
 	rep := newScaleReport(oversubscribe)
 	if rep.Warning != "" {
 		fmt.Fprintf(stdout, "warning: %s\n", rep.Warning)
@@ -248,9 +229,5 @@ func runScaleSweep(stdout io.Writer, outPath string, oversubscribe bool) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "wrote %s\n", outPath)
-	return nil
+	return writeBenchReport(stdout, outPath, rep.hostFingerprint, force, data)
 }

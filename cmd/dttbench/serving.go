@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dtt/internal/loadgen"
+	"dtt/internal/workloads/serving"
+)
+
+// servingRun is one scenario execution in the sweep: the scenario's own
+// report annotated with which round produced it.
+type servingRun struct {
+	// Round is "uniform" (every scenario at the base rate) or "balanced"
+	// (rates reweighted toward the worst observed p99).
+	Round string `json:"round"`
+	serving.Report
+}
+
+// servingReport is the BENCH_serving.json schema: the shared host
+// fingerprint, the sweep parameters, and every scenario run from both
+// rounds. All latencies are nanoseconds; Result latency is measured from
+// each arrival's SCHEDULED instant (open loop), so coordinated omission
+// is inside the number, not hidden by it.
+type servingReport struct {
+	hostFingerprint
+	RatePerSec  float64      `json:"offered_rate_per_sec"`
+	DurationSec float64      `json:"duration_sec"`
+	Seed        uint64       `json:"seed"`
+	Runs        []servingRun `json:"runs"`
+}
+
+func printServingRun(stdout io.Writer, round string, rep serving.Report) {
+	fmt.Fprintf(stdout, "  %-8s %-12s rate=%-6.0f offered=%-6d completed=%-6d late=%-5d notifies=%-6d gaps=%d\n",
+		round, rep.Scenario, rep.Rate, rep.Offered, rep.Completed, rep.Late, rep.Notifies, rep.Gaps)
+	fmt.Fprintf(stdout, "           dispatch p50=%-9.0f p99=%-9.0f p999=%-9.0f  result p50=%-9.0f p99=%-9.0f p999=%.0f ns\n",
+		rep.Dispatch.P50, rep.Dispatch.P99, rep.Dispatch.P999,
+		rep.Result.P50, rep.Result.P99, rep.Result.P999)
+}
+
+// runServingSweep drives every serving scenario under open-loop Poisson
+// load twice: a uniform round with each scenario at the base rate, then
+// a balanced round where the total offered rate is redistributed by the
+// fitness balancer — the scenario with the worst uniform-round result
+// p99 draws the largest share, so the suite spends its budget hammering
+// whatever currently looks slowest. Both rounds land in the committed
+// BENCH_serving.json (refused on a single-CPU host unless forced).
+func runServingSweep(stdout io.Writer, outPath string, rate float64, dur time.Duration, seed uint64, force bool) error {
+	rep := servingReport{
+		hostFingerprint: newFingerprint(),
+		RatePerSec:      rate,
+		DurationSec:     dur.Seconds(),
+		Seed:            seed,
+	}
+	if rep.Warning != "" {
+		fmt.Fprintf(stdout, "warning: %s\n", rep.Warning)
+	}
+	scenarios := serving.All()
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name()
+	}
+	bal := loadgen.NewBalancer(names...)
+
+	fmt.Fprintf(stdout, "serving sweep (%s/%s %s, GOMAXPROCS=%d, num_cpu=%d, rate=%.0f/s, dur=%s, seed=%d):\n",
+		rep.GOOS, rep.GOARCH, rep.GoVersion, rep.GOMAXPROCS, rep.NumCPU, rate, dur, seed)
+	for i, s := range scenarios {
+		r, err := s.Run(serving.Config{Rate: rate, Duration: dur, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("uniform %s: %w", s.Name(), err)
+		}
+		printServingRun(stdout, "uniform", r)
+		rep.Runs = append(rep.Runs, servingRun{Round: "uniform", Report: r})
+		bal.Observe(i, r.Result.P99)
+	}
+
+	total := rate * float64(len(scenarios))
+	fmt.Fprintf(stdout, "  balanced round: %.0f/s total redistributed by uniform-round p99 —", total)
+	for i := range scenarios {
+		fmt.Fprintf(stdout, " %s=%.2f", names[i], bal.Share(i))
+	}
+	fmt.Fprintln(stdout)
+	for i, s := range scenarios {
+		r, err := s.Run(serving.Config{Rate: total * bal.Share(i), Duration: dur, Seed: seed + 1})
+		if err != nil {
+			return fmt.Errorf("balanced %s: %w", s.Name(), err)
+		}
+		printServingRun(stdout, "balanced", r)
+		rep.Runs = append(rep.Runs, servingRun{Round: "balanced", Report: r})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeBenchReport(stdout, outPath, rep.hostFingerprint, force, data)
+}

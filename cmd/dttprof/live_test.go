@@ -139,3 +139,61 @@ func TestLiveErrors(t *testing.T) {
 		t.Fatalf("bad -samples: exit %d, want 2", code)
 	}
 }
+
+// TestLiveSurvivesTransientPollFailure: a scrape that fails mid-run
+// renders a dash row and sampling continues; the next good sample deltas
+// across the gap, the quantile columns come back, and the exit code is 0
+// because the run ended on a reachable target.
+func TestLiveSurvivesTransientPollFailure(t *testing.T) {
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		n := polls.Add(1)
+		if n == 3 { // baseline is poll 1, so this fails interval sample 2
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"dtt":{"counters":{"tstores":%d,"silent":0,"fired":%d,"squashed":0,"executed":%d},"gauges":{},"histograms":{"trigger_dispatch_latency_ns":{"bounds":[1000,32000],"counts":[%d,%d,0],"sum":0}},"shards":[{"depth":0}]}}`,
+			n*1000, n*100, n*100, n*50, n*10)
+	}))
+	defer srv.Close()
+	var out, errb bytes.Buffer
+	code := run([]string{"-live", srv.URL, "-interval", "1ms", "-samples", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d despite recovery\nstderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"p50(ns)", "p99(ns)", "totals: tstores 4000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(errb.String(), "sample 2") {
+		t.Fatalf("stderr does not name the failed sample: %s", errb.String())
+	}
+	// The post-gap row deltas poll 2 -> poll 4: 100 obs in (0,1000] and 20
+	// in (1000,32000], so p50 = 600 and p99 = 30140 by linear interpolation.
+	if !strings.Contains(s, "600") || !strings.Contains(s, "30140") {
+		t.Fatalf("quantile columns missing the interval's bucket-delta estimates:\n%s", s)
+	}
+}
+
+// TestLiveFinalFailurePrintsTable: when the target stays down, the run
+// still prints the table it accumulated (all dash rows here) and exits
+// nonzero — the table is the record of when the target died.
+func TestLiveFinalFailurePrintsTable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	var out, errb bytes.Buffer
+	code := run([]string{"-live", srv.URL, "-interval", "1ms", "-samples", "2"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Live trigger rates") {
+		t.Fatalf("no table printed on final failure:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "end of the run") {
+		t.Fatalf("stderr missing the final-failure diagnostic: %s", errb.String())
+	}
+}

@@ -15,6 +15,14 @@ type Notify struct {
 	Handle uint32
 	Index  int
 	Value  mem.Word
+	// Dropped is the session's cumulative count of notifications the
+	// server shed at the mailbox cap, stamped when this frame was
+	// encoded. A jump between consecutive notifies means notifications
+	// were lost in between: the subscriber's view may be stale and should
+	// be re-established with Read. The count is session-wide, not
+	// per-handle — shedding at the mailbox does not know which handle's
+	// notification it refused.
+	Dropped uint32
 }
 
 // Session is a client connection to a dttserve server. It is a
@@ -32,6 +40,11 @@ type Session struct {
 	scratch []byte
 	id      uint32
 	pending []Notify
+	// dropped is the highest cumulative shed count seen on any
+	// CHANGE_NOTIFY; gap is the portion not yet acknowledged via
+	// TakeGap.
+	dropped uint32
+	gap     uint32
 }
 
 // Dial connects to a dttserve server and performs the HELLO handshake.
@@ -86,8 +99,13 @@ func (s *Session) roundTrip(op byte, payload func([]byte) []byte) ([]byte, error
 			n := Notify{Handle: c.u32()}
 			n.Index = int(c.u32())
 			n.Value = c.u64()
+			n.Dropped = c.u32()
 			if !c.done() {
 				return nil, fmt.Errorf("serve: malformed CHANGE_NOTIFY of %d bytes", len(rp))
+			}
+			if n.Dropped > s.dropped {
+				s.gap += n.Dropped - s.dropped
+				s.dropped = n.Dropped
 			}
 			s.pending = append(s.pending, n)
 		case OpError:
@@ -217,12 +235,62 @@ func (s *Session) Subscribe(handle uint32) error {
 	return emptyReply(OpSubscribe, reply)
 }
 
+// Read returns a point-in-time copy of words [lo, lo+n) of the handle's
+// region, merged truth included (the server folds any pending
+// commutative-update deltas before reading). It is the recovery path a
+// subscriber uses after TakeGap reports lost notifications.
+func (s *Session) Read(handle uint32, lo, n int) ([]mem.Word, error) {
+	// The reply frame carries opcode + count u32 + n words and must fit
+	// under MaxFrame.
+	if n < 0 || n > (MaxFrame-5)/8 {
+		return nil, fmt.Errorf("serve: read of %d words exceeds the frame cap", n)
+	}
+	reply, err := s.roundTrip(OpRead, func(b []byte) []byte {
+		b = appendU32(b, handle)
+		b = appendU32(b, uint32(lo))
+		return appendU32(b, uint32(n))
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := cursor{b: reply}
+	count := int(c.u32())
+	if count != n {
+		return nil, fmt.Errorf("serve: READ reply carries %d words, want %d", count, n)
+	}
+	ws := make([]mem.Word, count)
+	for i := range ws {
+		ws[i] = c.u64()
+	}
+	if !c.done() {
+		return nil, fmt.Errorf("serve: malformed READ reply of %d bytes", len(reply))
+	}
+	return ws, nil
+}
+
 // Notifies drains and returns the notifications buffered so far, in
-// arrival order.
+// arrival order. Each notify carries the session's cumulative dropped
+// count as of its encoding; TakeGap folds the same information into a
+// single "how many did I miss since I last asked" answer.
 func (s *Session) Notifies() []Notify {
 	n := s.pending
 	s.pending = nil
 	return n
+}
+
+// Dropped returns the highest cumulative shed count observed on any
+// notification so far: the server-side dtt_serve_notify_dropped
+// contribution of this session, seen from the client.
+func (s *Session) Dropped() uint32 { return s.dropped }
+
+// TakeGap returns how many notifications the server has shed since the
+// previous TakeGap call (or since Dial), and resets the gap. A nonzero
+// return means the subscriber's derived state may be stale: re-establish
+// it with Read before trusting it.
+func (s *Session) TakeGap() uint32 {
+	g := s.gap
+	s.gap = 0
+	return g
 }
 
 // Close closes the connection. The server cancels the session's support

@@ -28,8 +28,14 @@ import (
 const (
 	// Magic opens every HELLO request: "DTT1".
 	Magic uint32 = 0x44545431
-	// Version is the protocol version spoken by this package.
-	Version uint16 = 1
+	// Version is the protocol version spoken by this package. Version 2
+	// added the cumulative dropped count to CHANGE_NOTIFY (notification
+	// shedding became detectable in-band instead of a server-side counter
+	// only) and the READ opcode subscribers use to re-establish a
+	// consistent view after a gap. Both sides speak exactly one version;
+	// a version-1 peer is refused at HELLO rather than silently fed
+	// frames whose payload shape it would misparse.
+	Version uint16 = 2
 	// MaxFrame bounds length (opcode + payload). A TSTORE_BATCH of
 	// MaxFrame bytes carries ~128k words, far above any batch the span
 	// path can amortise further, and small enough that a hostile length
@@ -42,15 +48,16 @@ const (
 // Opcodes. Replies reuse the request opcode; CHANGE_NOTIFY and ERROR are
 // server-originated.
 const (
-	OpHello        byte = 1 // req: magic u32 | version u16     → reply: session u32
-	OpAttach       byte = 2 // req: words u32 | lo u32 | hi u32 | nameLen u16 | name → reply: handle u32
-	OpTStoreBatch  byte = 3 // req: handle u32 | lo u32 | n u32 | n×8B words → reply: changed u32
-	OpWait         byte = 4 // req: handle u32 → reply: empty
-	OpBarrier      byte = 5 // req: empty → reply: empty
-	OpSubscribe    byte = 6 // req: handle u32 → reply: empty
-	OpChangeNotify byte = 7 // server→client: handle u32 | index u32 | value u64
-	OpError        byte = 8 // server→client: msgLen u16 | msg
-	OpTUpdate      byte = 9 // req: handle u32 | op u8 | lo u32 | n u32 | n×8B operands → reply: applied u32
+	OpHello        byte = 1  // req: magic u32 | version u16     → reply: session u32
+	OpAttach       byte = 2  // req: words u32 | lo u32 | hi u32 | nameLen u16 | name → reply: handle u32
+	OpTStoreBatch  byte = 3  // req: handle u32 | lo u32 | n u32 | n×8B words → reply: changed u32
+	OpWait         byte = 4  // req: handle u32 → reply: empty
+	OpBarrier      byte = 5  // req: empty → reply: empty
+	OpSubscribe    byte = 6  // req: handle u32 → reply: empty
+	OpChangeNotify byte = 7  // server→client: handle u32 | index u32 | value u64 | dropped u32
+	OpError        byte = 8  // server→client: msgLen u16 | msg
+	OpTUpdate      byte = 9  // req: handle u32 | op u8 | lo u32 | n u32 | n×8B operands → reply: applied u32
+	OpRead         byte = 10 // req: handle u32 | lo u32 | n u32 → reply: n u32 | n×8B words
 )
 
 // opName returns a human-readable opcode name for error messages.
@@ -74,6 +81,8 @@ func opName(op byte) string {
 		return "ERROR"
 	case OpTUpdate:
 		return "TUPDATE"
+	case OpRead:
+		return "READ"
 	}
 	return fmt.Sprintf("opcode %d", op)
 }

@@ -18,7 +18,12 @@ type Options struct {
 	// MailboxCap bounds each session's pending CHANGE_NOTIFY frames; a
 	// slow client sheds notifications past this (counted in
 	// NotifyDropped) rather than stalling the dispatch plane. Replies
-	// are never shed. Default 1024.
+	// are never shed. Shedding is visible in-band: every CHANGE_NOTIFY
+	// carries the session's cumulative dropped count, so a subscriber
+	// detects the gap from the next notification it receives and can
+	// re-read the region (READ) to recover — NotifyDropped always equals
+	// the sum over sessions of the latest count each put on the wire.
+	// Default 1024.
 	MailboxCap int
 }
 
@@ -260,7 +265,7 @@ func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
 		telemetry.Metric{Name: "dtt_serve_changed_total", Help: "Value-changing stores among the batched words.", Value: c.Changed},
 		telemetry.Metric{Name: "dtt_serve_updates_total", Help: "Operands folded by TUPDATE requests.", Value: c.Updates},
 		telemetry.Metric{Name: "dtt_serve_notifies_total", Help: "CHANGE_NOTIFY frames queued to clients.", Value: c.Notifies},
-		telemetry.Metric{Name: "dtt_serve_notify_dropped_total", Help: "Notifications shed at the session mailbox cap.", Value: c.NotifyDropped},
+		telemetry.Metric{Name: "dtt_serve_notify_dropped_total", Help: "Notifications shed at the session mailbox cap; equals the sum of the cumulative gap counts carried on CHANGE_NOTIFY frames.", Value: c.NotifyDropped},
 		telemetry.Metric{Name: "dtt_serve_errors_total", Help: "ERROR replies sent (semantic request failures).", Value: c.Errors},
 		telemetry.Metric{Name: "dtt_serve_sessions_total", Help: "Sessions ever accepted.", Value: c.SessionsTotal},
 	)

@@ -17,10 +17,11 @@ import (
 // allocation, and the writer encodes straight out of the slot.
 type msg struct {
 	op   byte
-	a, b uint32 // first/second u32 payload fields (handle, index, ...)
-	v    uint64 // CHANGE_NOTIFY value
-	t0   int64  // CHANGE_NOTIFY: batch arrival stamp, for the latency histogram
-	s    string // ERROR message
+	a, b uint32     // first/second u32 payload fields (handle, index, ...)
+	v    uint64     // CHANGE_NOTIFY value
+	t0   int64      // CHANGE_NOTIFY: batch arrival stamp, for the latency histogram
+	s    string     // ERROR message
+	ws   []mem.Word // READ reply words (reader-owned copy; READ is off the hot path)
 }
 
 // outbox is a session's mailbox: the per-session dual of a dispatch
@@ -35,7 +36,13 @@ type msg struct {
 // bounded by requests in flight (one each). CHANGE_NOTIFY frames are
 // fire-and-forget and are dropped once the mailbox holds cap entries,
 // counted in the server's notify-dropped counter — backpressure by
-// shedding, not by stalling the dispatch plane.
+// shedding, not by stalling the dispatch plane. Shedding is never silent
+// on the wire: every CHANGE_NOTIFY carries the session's cumulative
+// dropped count, stamped at encode time (see writeLoop), so a subscriber
+// that lost notifications learns it from the very next one it receives.
+// A drop can only happen while the mailbox already holds cap entries,
+// and those entries are encoded strictly after the drop, so at least cap
+// post-drop stamps are always on their way to the client.
 type outbox struct {
 	mu     sync.Mutex
 	buf    []msg //dtt:guards mu
@@ -239,6 +246,13 @@ func (s *session) handle(op byte, payload []byte) bool {
 			h.subscribed.Store(true)
 			s.reply(msg{op: OpSubscribe})
 		}
+	case OpRead:
+		handle, lo, n := c.u32(), c.u32(), c.u32()
+		// The reply (count u32 + n words) must itself fit under MaxFrame.
+		if !c.done() || n > (MaxFrame-5)/8 {
+			return false
+		}
+		s.handleRead(handle, lo, int(n))
 	default:
 		// HELLO twice, a server-side opcode from a client, or an unknown
 		// opcode: framing violation.
@@ -351,6 +365,28 @@ func (s *session) handleUpdate(handle uint32, uop byte, lo uint32, n int, c *cur
 	s.reply(msg{op: OpTUpdate, a: uint32(n)})
 }
 
+// handleRead replies with a point-in-time copy of [lo, lo+n) of the
+// handle's region. Load merges any pending update-plane deltas first, so
+// the words a recovering subscriber reads are the merged truth its lost
+// notifications were about. The copy is a fresh allocation per request —
+// READ is the recovery path, not the hot path, and the reply msg outlives
+// this handler's reused buffers.
+func (s *session) handleRead(handle, lo uint32, n int) {
+	h := s.lookup(handle, OpRead)
+	if h == nil {
+		return
+	}
+	if int(lo)+n > h.region.Len() {
+		s.sendErr(fmt.Sprintf("serve: READ span [%d, %d) outside region of %d words", lo, int(lo)+n, h.region.Len()))
+		return
+	}
+	ws := make([]mem.Word, n)
+	for i := range ws {
+		ws[i] = h.region.Load(int(lo) + i)
+	}
+	s.reply(msg{op: OpRead, a: uint32(n), ws: ws})
+}
+
 // lookup resolves a client handle, pushing an ERROR reply when it is out
 // of range.
 func (s *session) lookup(handle uint32, op byte) *attachHandle {
@@ -391,6 +427,19 @@ func (s *session) writeLoop() {
 				scratch = appendU32(scratch, m.a)
 				scratch = appendU32(scratch, m.b)
 				scratch = appendU64(scratch, m.v)
+				// The cumulative dropped count is stamped at encode time,
+				// not enqueue time: a drop requires cap entries already in
+				// the mailbox, and those entries reach this line strictly
+				// after the drop was counted, so the stamp that announces a
+				// gap always trails it onto the wire. Stamping at enqueue
+				// would race the drop and could leave every in-flight
+				// notify carrying the pre-drop count.
+				scratch = appendU32(scratch, uint32(s.notifyDropped.Load()))
+			case OpRead:
+				scratch = appendU32(scratch, m.a)
+				for _, w := range m.ws {
+					scratch = appendU64(scratch, w)
+				}
 			case OpError:
 				scratch = appendU16(scratch, uint16(len(m.s)))
 				scratch = append(scratch, m.s...)

@@ -1,0 +1,82 @@
+package telemetry
+
+// Quantile extraction over histogram snapshots. A fixed-bucket histogram
+// only knows how many observations fell in each bucket, so a quantile is
+// an estimate: the bucket holding the target rank is found from the
+// cumulative counts and the value is linearly interpolated between the
+// bucket's bounds, the standard Prometheus histogram_quantile estimator.
+// Two honesty rules keep the estimate from inventing precision:
+//
+//   - The open +Inf bucket has no upper bound to interpolate toward, so
+//     any quantile landing there clamps to the bucket's LOWER bound (the
+//     largest finite bound). A p999 of "at least 1s" is reported as 1s,
+//     never as a fabricated midpoint of an unbounded interval.
+//   - An empty histogram has no quantiles; Quantile returns 0 and callers
+//     that need to distinguish "no data" from "fast" check Count first.
+//
+// The first bucket interpolates from 0: all histograms here measure
+// non-negative quantities (nanoseconds, depths, words).
+
+// Quantile returns the estimated q-quantile (0 < q <= 1) of the
+// observations in s, e.g. Quantile(0.99) for p99. Values below the first
+// bound interpolate within [0, Bounds[0]]. It returns 0 when the
+// histogram is empty or q is out of range.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	// rank is the 1-based index of the target observation under the
+	// usual "smallest value with cumulative fraction >= q" definition.
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(s.Bounds) {
+				// Open top bucket: clamp to its lower bound rather than
+				// fabricate a midpoint of [bound, +Inf).
+				return float64(s.Bounds[len(s.Bounds)-1])
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(s.Bounds[i-1])
+			}
+			hi := float64(s.Bounds[i])
+			// Position of the target rank within this bucket, in (0, 1].
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	// Unreachable with a consistent snapshot (cum reaches total); be
+	// conservative if counts raced to zero.
+	return 0
+}
+
+// Sub returns s - prev bucket-wise: the histogram of observations made
+// between the two snapshots. Both must come from the same histogram (same
+// bounds); the name and help of s are kept. Buckets that went backwards —
+// a restarted process between scrapes — clamp to zero rather than going
+// negative, matching how counter deltas are read.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := newHistogramSnapshot(s.Name, s.Help, s.Bounds)
+	for i := range d.Counts {
+		var p int64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		if c := s.Counts[i] - p; c > 0 {
+			d.Counts[i] = c
+		}
+	}
+	if d.Sum = s.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func snapOver(bounds []int64, counts ...int64) HistogramSnapshot {
+	s := newHistogramSnapshot("t", "", bounds)
+	copy(s.Counts, counts)
+	return s
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	s := snapOver([]int64{10, 100})
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileOutOfRangeQ(t *testing.T) {
+	s := snapOver([]int64{10, 100}, 5, 5, 0)
+	for _, q := range []float64{-1, 0, 1.5, math.NaN()} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucket: all mass in one bucket interpolates linearly
+// across that bucket's bounds, from its lower bound (exclusive) to its
+// upper bound at q=1.
+func TestQuantileSingleBucket(t *testing.T) {
+	// 100 observations in (10, 100].
+	s := snapOver([]int64{10, 100, 1000}, 0, 100, 0, 0)
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want 100 (bucket upper bound)", got)
+	}
+	if got := s.Quantile(0.5); got != 55 {
+		t.Errorf("Quantile(0.5) = %v, want 55 (midpoint of (10,100])", got)
+	}
+	// All mass in the FIRST bucket interpolates from 0.
+	s = snapOver([]int64{10, 100}, 10, 0, 0)
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("first-bucket Quantile(0.5) = %v, want 5 (midpoint of (0,10])", got)
+	}
+}
+
+// TestQuantileTopBucketClamp: ranks landing in the open +Inf bucket clamp
+// to the largest finite bound — never a fabricated midpoint.
+func TestQuantileTopBucketClamp(t *testing.T) {
+	// 90 fast observations, 10 in +Inf.
+	s := snapOver([]int64{10, 100}, 90, 0, 10)
+	for _, q := range []float64{0.95, 0.999, 1} {
+		if got := s.Quantile(q); got != 100 {
+			t.Errorf("Quantile(%v) = %v, want clamp to 100", q, got)
+		}
+	}
+	// Everything in +Inf: every quantile is the clamp.
+	s = snapOver([]int64{10, 100}, 0, 0, 7)
+	if got := s.Quantile(0.5); got != 100 {
+		t.Errorf("all-Inf Quantile(0.5) = %v, want 100", got)
+	}
+}
+
+// TestQuantileAcrossBuckets: the cumulative walk picks the right bucket
+// and the interpolated estimate brackets the true rank.
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 50 in (0,10], 30 in (10,100], 20 in (100,1000].
+	s := snapOver([]int64{10, 100, 1000}, 50, 30, 20, 0)
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 5},     // rank 25 of 50 in (0,10]
+		{0.5, 10},     // rank 50: exactly the last of bucket 0
+		{0.8, 100},    // rank 80: exactly the last of bucket 1
+		{0.65, 55},    // rank 65: halfway through bucket 1
+		{0.9, 550},    // rank 90: halfway through bucket 2
+		{1.0, 1000},   // rank 100: top of bucket 2
+		{0.001, 0.02}, // rank 0.1 of the 50 in (0,10]: 10 * 0.1/50
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Monotonicity over a dense sweep.
+	prev := -1.0
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQuantileFromLiveHistogram ties the estimator to the concurrent
+// Histogram: observed values land in the right buckets and the quantile
+// estimates bracket the true values.
+func TestQuantileFromLiveHistogram(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot("live", "")
+	// True p50 is 500; bucket (100,1000] holds ranks 101..1000 so the
+	// estimate is 100 + 900*(500-100)/900 = 500 exactly.
+	if got := s.Quantile(0.5); math.Abs(got-500) > 1e-9 {
+		t.Errorf("live Quantile(0.5) = %v, want 500", got)
+	}
+	if got := s.Quantile(0.99); math.Abs(got-990) > 1e-9 {
+		t.Errorf("live Quantile(0.99) = %v, want 990", got)
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	bounds := []int64{10, 100}
+	prev := snapOver(bounds, 5, 3, 1)
+	prev.Sum = 100
+	cur := snapOver(bounds, 9, 3, 2)
+	cur.Sum = 180
+	d := cur.Sub(prev)
+	if d.Counts[0] != 4 || d.Counts[1] != 0 || d.Counts[2] != 1 {
+		t.Errorf("Sub counts = %v, want [4 0 1]", d.Counts)
+	}
+	if d.Sum != 80 {
+		t.Errorf("Sub sum = %d, want 80", d.Sum)
+	}
+	// A restart between scrapes: clamp, don't go negative.
+	d = prev.Sub(cur)
+	for i, c := range d.Counts {
+		if c < 0 {
+			t.Errorf("Sub bucket %d went negative: %d", i, c)
+		}
+	}
+	if d.Sum < 0 {
+		t.Errorf("Sub sum went negative: %d", d.Sum)
+	}
+}

@@ -1,0 +1,135 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+
+	"dtt/internal/mem"
+	"dtt/internal/sched"
+	"dtt/internal/serve"
+)
+
+// leaderboard is a live scoreboard on the monotone folds: scores stream
+// in through TUPDATE and the region keeps per-key watermarks — the high
+// half under UpdMax, the low half under UpdMin (seeded to MaxUint64 so
+// the first score always lands). The fold is where the paper's
+// redundancy elimination shows as a serving property: a score that does
+// not move a watermark merges silently, fires no trigger and costs no
+// notify, so the notification stream carries exactly the record-breaking
+// updates a scoreboard has to display.
+type leaderboard struct{}
+
+func (leaderboard) Name() string { return "leaderboard" }
+
+func (leaderboard) Description() string {
+	return "TUpdateBatch(UpdMax/UpdMin) watermarks; only record-breaking scores notify"
+}
+
+func (leaderboard) Run(cfg Config) (Report, error) {
+	e, err := newEnv("leaderboard", cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg = e.cfg
+	cs, err := serve.Dial(e.addr)
+	if err != nil {
+		rep, _ := e.finish()
+		return rep, err
+	}
+	defer cs.Close()
+	fail := func(err error) (Report, error) {
+		rep, _ := e.finish()
+		return rep, err
+	}
+
+	// Words [0, Keys) are UpdMax highs; [Keys, 2*Keys) are UpdMin lows.
+	words := 2 * cfg.Keys
+	h, err := cs.Attach("board", words, 0, words)
+	if err != nil {
+		return fail(err)
+	}
+	// Seed the low half to MaxUint64 before subscribing, so the seeding
+	// stores do not count as scoreboard traffic.
+	seed := make([]mem.Word, cfg.Keys)
+	for i := range seed {
+		seed[i] = mem.Word(math.MaxUint64)
+	}
+	if _, err := cs.Batch(h, cfg.Keys, seed); err != nil {
+		return fail(err)
+	}
+	if err := cs.Wait(h); err != nil {
+		return fail(err)
+	}
+	if err := cs.Subscribe(h); err != nil {
+		return fail(err)
+	}
+
+	hi := make([]mem.Word, cfg.Keys)
+	lo := make([]mem.Word, cfg.Keys)
+	for i := range lo {
+		lo[i] = mem.Word(math.MaxUint64)
+	}
+	apply := func(n serve.Notify) {
+		if n.Index < cfg.Keys {
+			hi[n.Index] = n.Value
+		} else {
+			lo[n.Index-cfg.Keys] = n.Value
+		}
+	}
+	onGap := func() error {
+		ws, err := cs.Read(h, 0, words)
+		if err != nil {
+			return err
+		}
+		copy(hi, ws[:cfg.Keys])
+		copy(lo, ws[cfg.Keys:])
+		return nil
+	}
+
+	src := sched.New(cfg.Seed ^ 0x1eadb0a4d)
+	scores := make([]mem.Word, cfg.BatchWords)
+	err = e.runOpenLoop(func(scheduledAt int64, k int) error {
+		pos := int(src.Uint64() % uint64(cfg.Keys-cfg.BatchWords+1))
+		for i := range scores {
+			scores[i] = mem.Word(src.Uint64())
+		}
+		if _, err := cs.Update(h, pos, mem.UpdMax, scores); err != nil {
+			return err
+		}
+		if _, err := cs.Update(h, cfg.Keys+pos, mem.UpdMin, scores); err != nil {
+			return err
+		}
+		if err := cs.Wait(h); err != nil {
+			return err
+		}
+		if err := e.drain(cs, apply, onGap); err != nil {
+			return err
+		}
+		e.observeResult(scheduledAt)
+		e.rep.Completed++
+		return nil
+	})
+	if err == nil {
+		err = cs.Barrier()
+	}
+	if err == nil {
+		err = e.drain(cs, apply, onGap)
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	truth, err := cs.Read(h, 0, words)
+	if err != nil {
+		return fail(fmt.Errorf("serving: leaderboard final read: %w", err))
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		if hi[i] != truth[i] {
+			e.rep.Stale++
+		}
+		if lo[i] != truth[cfg.Keys+i] {
+			e.rep.Stale++
+		}
+	}
+	return e.finish()
+}

@@ -1,0 +1,117 @@
+package serving
+
+import (
+	"fmt"
+
+	"dtt/internal/mem"
+	"dtt/internal/sched"
+	"dtt/internal/serve"
+)
+
+// matview is materialized-view maintenance: the base table takes
+// commutative increments through TUPDATE (the PR 8 update plane), and
+// the client maintains a running aggregate — the sum over all keys —
+// incrementally from merge-time notifications, never rescanning the
+// table on the fast path. Each notify carries the merged word value, so
+// the view update is total += new - old. A gap makes the aggregate
+// silently wrong, which is exactly why the in-band gap count matters:
+// on a gap the client re-reads the table once and rebuilds the view.
+type matview struct{}
+
+func (matview) Name() string { return "matview" }
+
+func (matview) Description() string {
+	return "TUpdateBatch(UpdAdd) deltas maintain a client-side running aggregate from merge-time notifies"
+}
+
+func (matview) Run(cfg Config) (Report, error) {
+	e, err := newEnv("matview", cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg = e.cfg
+	cs, err := serve.Dial(e.addr)
+	if err != nil {
+		rep, _ := e.finish()
+		return rep, err
+	}
+	defer cs.Close()
+	h, err := cs.Attach("table", cfg.Keys, 0, cfg.Keys)
+	if err == nil {
+		err = cs.Subscribe(h)
+	}
+	if err != nil {
+		rep, _ := e.finish()
+		return rep, err
+	}
+
+	view := make([]mem.Word, cfg.Keys)
+	var total uint64 // wrapping, like UpdAdd itself
+	apply := func(n serve.Notify) {
+		total += uint64(n.Value) - uint64(view[n.Index])
+		view[n.Index] = n.Value
+	}
+	onGap := func() error {
+		ws, err := cs.Read(h, 0, cfg.Keys)
+		if err != nil {
+			return err
+		}
+		total = 0
+		for i, w := range ws {
+			view[i] = w
+			total += uint64(w)
+		}
+		return nil
+	}
+
+	src := sched.New(cfg.Seed ^ 0x3a71e4)
+	deltas := make([]mem.Word, cfg.BatchWords)
+	err = e.runOpenLoop(func(scheduledAt int64, k int) error {
+		lo := int(src.Uint64() % uint64(cfg.Keys-cfg.BatchWords+1))
+		for i := range deltas {
+			// Non-zero increments so every folded word changes at merge.
+			deltas[i] = mem.Word(src.Uint64()%1000 + 1)
+		}
+		if _, err := cs.Update(h, lo, mem.UpdAdd, deltas); err != nil {
+			return err
+		}
+		// Wait merges the privatized deltas; the triggers fire there and
+		// the notifications are on the wire before the WAIT reply.
+		if err := cs.Wait(h); err != nil {
+			return err
+		}
+		if err := e.drain(cs, apply, onGap); err != nil {
+			return err
+		}
+		e.observeResult(scheduledAt)
+		e.rep.Completed++
+		return nil
+	})
+	if err == nil {
+		err = cs.Barrier()
+	}
+	if err == nil {
+		err = e.drain(cs, apply, onGap)
+	}
+	if err != nil {
+		rep, _ := e.finish()
+		return rep, err
+	}
+
+	truth, err := cs.Read(h, 0, cfg.Keys)
+	if err != nil {
+		rep, _ := e.finish()
+		return rep, fmt.Errorf("serving: matview final read: %w", err)
+	}
+	var want uint64
+	for i, w := range truth {
+		want += uint64(w)
+		if view[i] != w {
+			e.rep.Stale++
+		}
+	}
+	if total != want {
+		e.rep.Stale++
+	}
+	return e.finish()
+}

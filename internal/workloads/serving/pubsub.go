@@ -1,0 +1,125 @@
+package serving
+
+import (
+	"fmt"
+
+	"dtt/internal/mem"
+	"dtt/internal/sched"
+	"dtt/internal/serve"
+)
+
+// pubsub is fanout: one publisher multicasts each publish to N
+// subscriber sessions. Server-side namespaces are physically disjoint
+// per session — there is no shared topic region — so fanout is the
+// publisher writing the same batch into every subscriber's own region,
+// and each subscriber's support thread turning it into that session's
+// CHANGE_NOTIFY stream. The reported Completed counts deliveries (N per
+// publish), and trigger-to-result latency is per delivery, so the tail
+// includes the last subscriber in the multicast — the number a fanout
+// service actually promises.
+type pubsub struct{}
+
+func (pubsub) Name() string { return "pubsub" }
+
+func (pubsub) Description() string {
+	return "one publisher multicasts each publish to N subscriber sessions; latency is per delivery"
+}
+
+func (pubsub) Run(cfg Config) (Report, error) {
+	e, err := newEnv("pubsub", cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg = e.cfg
+
+	subs := make([]*serve.Session, 0, cfg.Sessions)
+	handles := make([]uint32, 0, cfg.Sessions)
+	last := make([][]mem.Word, cfg.Sessions)
+	closeAll := func() {
+		for _, cs := range subs {
+			cs.Close()
+		}
+	}
+	fail := func(err error) (Report, error) {
+		closeAll()
+		rep, _ := e.finish()
+		return rep, err
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		cs, err := serve.Dial(e.addr)
+		if err != nil {
+			return fail(err)
+		}
+		subs = append(subs, cs)
+		h, err := cs.Attach("topic", cfg.Keys, 0, cfg.Keys)
+		if err == nil {
+			err = cs.Subscribe(h)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		handles = append(handles, h)
+		last[i] = make([]mem.Word, cfg.Keys)
+	}
+	apply := func(i int) func(serve.Notify) {
+		return func(n serve.Notify) { last[i][n.Index] = n.Value }
+	}
+	onGap := func(i int) func() error {
+		return func() error {
+			ws, err := subs[i].Read(handles[i], 0, cfg.Keys)
+			if err != nil {
+				return err
+			}
+			copy(last[i], ws)
+			return nil
+		}
+	}
+
+	src := sched.New(cfg.Seed ^ 0x9b5b)
+	batch := make([]mem.Word, cfg.BatchWords)
+	err = e.runOpenLoop(func(scheduledAt int64, k int) error {
+		lo := int(src.Uint64() % uint64(cfg.Keys-cfg.BatchWords+1))
+		for i := range batch {
+			batch[i] = mem.Word(uint64(k+1)*0x9e3779b97f4a7c15 + uint64(lo+i))
+		}
+		for i, cs := range subs {
+			if _, err := cs.Batch(handles[i], lo, batch); err != nil {
+				return err
+			}
+			if err := cs.Wait(handles[i]); err != nil {
+				return err
+			}
+			if err := e.drain(cs, apply(i), onGap(i)); err != nil {
+				return err
+			}
+			// One delivery completed; its latency runs from the publish's
+			// scheduled instant, so later subscribers in the multicast
+			// carry the fanout cost in their tail.
+			e.observeResult(scheduledAt)
+			e.rep.Completed++
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	for i, cs := range subs {
+		if err := cs.Barrier(); err != nil {
+			return fail(err)
+		}
+		if err := e.drain(cs, apply(i), onGap(i)); err != nil {
+			return fail(err)
+		}
+		truth, err := cs.Read(handles[i], 0, cfg.Keys)
+		if err != nil {
+			return fail(fmt.Errorf("serving: pubsub final read of subscriber %d: %w", i, err))
+		}
+		for j, w := range truth {
+			if last[i][j] != w {
+				e.rep.Stale++
+			}
+		}
+	}
+	closeAll()
+	return e.finish()
+}

@@ -1,0 +1,113 @@
+package serving
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServingSmoke is the suite's own gate: every scenario runs end to
+// end over a loopback server, and Smoke fails on any broken identity
+// (dispatch counters, in-band gap accounting, stale client views).
+func TestServingSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Smoke(&buf); err != nil {
+		t.Fatalf("Smoke: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, s := range All() {
+		if !strings.Contains(out, s.Name()) {
+			t.Errorf("smoke output missing scenario %q:\n%s", s.Name(), out)
+		}
+	}
+}
+
+func TestServingByName(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name()] {
+			t.Fatalf("duplicate scenario name %q", s.Name())
+		}
+		seen[s.Name()] = true
+		got, ok := ByName(s.Name())
+		if !ok || got.Name() != s.Name() {
+			t.Errorf("ByName(%q) = %v, %v", s.Name(), got, ok)
+		}
+		if s.Description() == "" {
+			t.Errorf("scenario %q has no description", s.Name())
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted an unknown scenario")
+	}
+}
+
+// TestServingOfferedDeterministic: the offered-arrival count is a pure
+// function of (seed, rate, duration) — the schedule is fixed before the
+// system's behaviour is seen, so two runs of the same config offer the
+// same load no matter how the runs' wall-clock pacing differed. That is
+// the open-loop property the whole suite leans on.
+func TestServingOfferedDeterministic(t *testing.T) {
+	cfg := Config{Rate: 4000, Duration: 150 * time.Millisecond, Seed: 7}
+	sc, _ := ByName("webcache")
+	a, err := sc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Offered == 0 {
+		t.Fatal("run offered no arrivals")
+	}
+	if a.Offered != b.Offered {
+		t.Errorf("same config offered %d then %d arrivals; open-loop offered load must be deterministic", a.Offered, b.Offered)
+	}
+	if a.Completed != a.Offered {
+		t.Errorf("webcache completed %d of %d offered; each arrival is one synchronous operation", a.Completed, a.Offered)
+	}
+}
+
+// TestServingPubsubFanout: pubsub completes Sessions deliveries per
+// publish, and its subscriber views all converge (Stale == 0).
+func TestServingPubsubFanout(t *testing.T) {
+	sc, _ := ByName("pubsub")
+	rep, err := sc.Run(Config{Rate: 1000, Duration: 100 * time.Millisecond, Seed: 3, Sessions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("pubsub offered no publishes")
+	}
+	if rep.Completed != 3*rep.Offered {
+		t.Errorf("pubsub completed %d deliveries for %d publishes x 3 subscribers", rep.Completed, rep.Offered)
+	}
+	if rep.Stale != 0 {
+		t.Errorf("pubsub left %d stale subscriber words", rep.Stale)
+	}
+}
+
+// TestServingLeaderboardNotifiesAreRecords: the monotone folds squash
+// non-record scores silently, so the notify volume is strictly below the
+// score volume once watermarks tighten.
+func TestServingLeaderboardNotifiesAreRecords(t *testing.T) {
+	sc, _ := ByName("leaderboard")
+	cfg := Config{Rate: 2000, Duration: 200 * time.Millisecond, Seed: 5, Keys: 32, BatchWords: 8}
+	rep, err := sc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered < 20 {
+		t.Skipf("only %d arrivals; not enough traffic to see squashing", rep.Offered)
+	}
+	// Each arrival folds BatchWords scores into a max word AND a min word.
+	folded := 2 * int64(cfg.BatchWords) * rep.Offered
+	if rep.Notifies >= folded {
+		t.Errorf("leaderboard notified %d times for %d folded scores; non-records must merge silently", rep.Notifies, folded)
+	}
+	if rep.Stale != 0 {
+		t.Errorf("leaderboard left %d stale watermarks", rep.Stale)
+	}
+}
